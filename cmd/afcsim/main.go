@@ -1,0 +1,181 @@
+// Command afcsim runs closed-loop workloads on network configurations and
+// prints performance, energy, injection-rate and AFC mode statistics.
+//
+// Usage:
+//
+//	afcsim [-kind afc] [-bench apache] [-seed 1] [-warmup 2000] [-tx 6000]
+//	afcsim -bench all -kind all          # full cross product
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/config"
+	"afcnet/internal/network"
+	"afcnet/internal/router"
+	"afcnet/internal/topology"
+	"afcnet/internal/trace"
+)
+
+var kindsByName = map[string]network.Kind{
+	"backpressured":    network.Backpressured,
+	"ideal-bypass":     network.BackpressuredIdealBypass,
+	"backpressureless": network.Bless,
+	"drop":             network.BlessDrop,
+	"afc":              network.AFC,
+	"afc-always-bp":    network.AFCAlwaysBuffered,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("afcsim: ")
+	var (
+		kindFlag  = flag.String("kind", "afc", "router kind: backpressured|ideal-bypass|backpressureless|drop|afc|afc-always-bp|all")
+		benchFlag = flag.String("bench", "apache", "workload: apache|oltp|specjbb|barnes|ocean|water|all")
+		seed      = flag.Int64("seed", 1, "random seed")
+		warmup    = flag.Uint64("warmup", 2000, "warmup transactions before measurement")
+		tx        = flag.Uint64("tx", 6000, "measured transactions")
+		limit     = flag.Uint64("limit", 20_000_000, "cycle limit")
+		oldest    = flag.Bool("oldest", false, "use oldest-first deflection arbitration instead of randomized")
+		prealloc  = flag.Bool("wb-prealloc", false, "use the writeback pre-allocation protocol variant (Section II)")
+		realVCA   = flag.Bool("realistic-vca", false, "model the 3-stage backpressured pipeline (non-speculative VCA)")
+		meshFlag  = flag.String("mesh", "3x3", "mesh dimensions WxH (the paper uses 3x3; Sec. V-B uses 8x8)")
+		recordTo  = flag.String("record", "", "record the created packet trace to this file")
+		replayOf  = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
+	)
+	flag.Parse()
+
+	mesh, err := parseMesh(*meshFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var kinds []network.Kind
+	if *kindFlag == "all" {
+		kinds = []network.Kind{
+			network.Backpressured, network.BackpressuredIdealBypass,
+			network.Bless, network.AFCAlwaysBuffered, network.AFC,
+		}
+	} else {
+		k, ok := kindsByName[*kindFlag]
+		if !ok {
+			log.Fatalf("unknown kind %q", *kindFlag)
+		}
+		kinds = []network.Kind{k}
+	}
+
+	var benches []cmp.Params
+	if *benchFlag == "all" {
+		benches = cmp.AllBenchmarks()
+	} else {
+		p, ok := cmp.ByName(*benchFlag)
+		if !ok {
+			log.Fatalf("unknown benchmark %q", *benchFlag)
+		}
+		benches = []cmp.Params{p}
+	}
+
+	if *replayOf != "" {
+		for _, k := range kinds {
+			if err := replayOne(*replayOf, k, *seed); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("%-8s %-26s %8s %9s %9s %8s %10s %7s %7s %8s %6s\n",
+		"bench", "kind", "inj", "cycles", "tx/cycle", "netlat",
+		"energy", "buf%", "link%", "bufmode", "defl")
+	for _, p := range benches {
+		for _, k := range kinds {
+			pol := router.PolicyRandom
+			if *oldest {
+				pol = router.PolicyOldest
+			}
+			if *prealloc {
+				p.WritebackPreAlloc = true
+			}
+			if err := runOne(p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo); err != nil {
+				log.Print(err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// parseMesh parses "WxH" into a mesh.
+func parseMesh(s string) (topology.Mesh, error) {
+	var w, h int
+	if _, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil || w < 2 || h < 2 {
+		return topology.Mesh{}, fmt.Errorf("afcsim: bad mesh %q (want WxH, each >= 2)", s)
+	}
+	return topology.NewMesh(w, h), nil
+}
+
+func runOne(p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string) error {
+	sys := config.DefaultWithMesh(mesh)
+	sys.Baseline.RealisticVCA = realVCA
+	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol})
+	var tr *trace.Trace
+	if recordTo != "" {
+		tr = trace.Record(net)
+	}
+	workload := cmp.NewSystem(net, p, net.RandStream)
+	res, ok := workload.Measure(warmup, tx, limit)
+	if !ok {
+		return fmt.Errorf("%s on %s: cycle limit %d exceeded (completed %d transactions)",
+			p.Name, k, limit, workload.CompletedTransactions())
+	}
+	e := net.TotalEnergy()
+	ms := net.ModeStats()
+	fmt.Printf("%-8s %-26s %8.3f %9d %9.4f %8.1f %10.0f %6.1f%% %6.1f%% %8.2f %6d\n",
+		p.Name, k, res.InjectionRate, res.Cycles, res.TransactionsPerCycle,
+		res.MeanNetLatency, e.Total(), 100*e.Buffer()/e.Total(),
+		100*e.Link/e.Total(), ms.BufferedFraction(), net.TotalDeflections())
+	if ms.EscapeEvents > 0 {
+		fmt.Printf("  note: %d escape-latch events, %d gossip switches\n",
+			ms.EscapeEvents, ms.GossipSwitches)
+	}
+	if tr != nil {
+		f, err := os.Create(recordTo)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr.Sort()
+		if err := tr.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("  recorded %d packets (%d flits) to %s\n",
+			len(tr.Events), tr.Flits(), recordTo)
+	}
+	return nil
+}
+
+// replayOne feeds a recorded trace open-loop into a fresh network of the
+// given kind and reports the trace-driven (no-feedback) metrics.
+func replayOne(path string, k network.Kind, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true})
+	rp := trace.NewReplayer(net, tr)
+	net.AddTicker(rp)
+	limit := tr.Duration() + 500_000
+	done := net.RunUntil(func() bool { return rp.Done() && net.Drained() }, limit)
+	backlog := net.CreatedPackets() - net.DeliveredPackets()
+	fmt.Printf("replay    %-26s packets=%d delivered=%d backlog=%d netlat=%.1f drained=%v\n",
+		k, net.CreatedPackets(), net.DeliveredPackets(), backlog, net.MeanNetLatency(), done)
+	return nil
+}

@@ -1,0 +1,172 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results).
+//
+// Usage:
+//
+//	figures                      # everything (several minutes)
+//	figures -fig 2a              # one artifact
+//	figures -quick               # reduced runs for smoke checks
+//
+// Artifacts: 2a 2b 2c 2d 3a 3b duty rates sweep quadrant gossip
+// lazyvca thresholds sizing pipeline metric ejectwidth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/experiments"
+	"afcnet/internal/network"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		fig     = flag.String("fig", "all", "artifact to regenerate (see command doc)")
+		quick   = flag.Bool("quick", false, "reduced run lengths")
+		svgDir  = flag.String("svg", "", "also render the main figures as SVG into this directory")
+		jsonOut = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
+	)
+	flag.Parse()
+
+	opt := experiments.Default()
+	if *quick {
+		opt = experiments.Quick()
+	}
+
+	want := func(name string) bool {
+		return *fig == "all" || strings.EqualFold(*fig, name)
+	}
+	ran := false
+	out := os.Stdout
+
+	if want("2a") || want("2b") {
+		ms, err := experiments.ClosedLoop(cmp.LowLoad(), experiments.Fig2EnergyKinds, opt)
+		check(err)
+		ms = append(ms, experiments.GeoMeans(ms)...)
+		if want("2a") {
+			experiments.WriteFig2(out, "Figure 2(a/b): low-load benchmarks (normalized to backpressured)", ms)
+		} else {
+			experiments.WriteFig2(out, "Figure 2(b): low-load energy (normalized to backpressured)", ms)
+		}
+		ran = true
+	}
+	if want("2c") || want("2d") {
+		ms, err := experiments.ClosedLoop(cmp.HighLoad(), experiments.Fig2Kinds, opt)
+		check(err)
+		ms = append(ms, experiments.GeoMeans(ms)...)
+		experiments.WriteFig2(out, "Figure 2(c/d): high-load benchmarks (normalized to backpressured)", ms)
+		ran = true
+	}
+	if want("3a") {
+		ms, err := experiments.ClosedLoop(cmp.LowLoad(), experiments.Fig2Kinds, opt)
+		check(err)
+		experiments.WriteFig3(out, "Figure 3(a): energy breakdown, low-load benchmarks", ms)
+		ran = true
+	}
+	if want("3b") {
+		ms, err := experiments.ClosedLoop(cmp.HighLoad(), experiments.Fig2Kinds, opt)
+		check(err)
+		experiments.WriteFig3(out, "Figure 3(b): energy breakdown, high-load benchmarks", ms)
+		ran = true
+	}
+	if want("duty") {
+		ms, err := experiments.ClosedLoop(cmp.AllBenchmarks(), []network.Kind{network.Backpressured, network.AFC}, opt)
+		check(err)
+		experiments.WriteDuty(out, ms)
+		ran = true
+	}
+	if want("rates") {
+		rows, err := experiments.Table3(opt)
+		check(err)
+		experiments.WriteTable3(out, rows)
+		ran = true
+	}
+	if want("sweep") {
+		rates := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6}
+		pts := experiments.LatencySweep(
+			[]network.Kind{network.Backpressured, network.Bless, network.BlessDrop, network.AFC},
+			rates, opt)
+		experiments.WriteSweep(out, pts)
+		ran = true
+	}
+	if want("quadrant") {
+		rs := experiments.Quadrant(
+			[]network.Kind{network.Backpressured, network.Bless, network.AFC},
+			0.9, 0.1, opt)
+		experiments.WriteQuadrant(out, rs)
+		ran = true
+	}
+	if want("gossip") {
+		r := experiments.GossipHotspot(opt.Seeds[0], opt)
+		experiments.WriteGossip(out, r)
+		ran = true
+	}
+	if want("lazyvca") {
+		rows, err := experiments.AblationLazyVCA(opt)
+		check(err)
+		experiments.WriteLazyVCA(out, rows)
+		ran = true
+	}
+	if want("thresholds") {
+		rows, err := experiments.AblationThresholds([]float64{0.5, 1.0, 2.0, 4.0}, opt)
+		check(err)
+		experiments.WriteThresholds(out, rows)
+		ran = true
+	}
+	if want("sizing") {
+		rows, err := experiments.AblationBaselineSizing(opt)
+		check(err)
+		experiments.WriteBaselineSizing(out, rows)
+		ran = true
+	}
+	if want("pipeline") {
+		rows, err := experiments.AblationPipeline(opt)
+		check(err)
+		experiments.WritePipeline(out, rows)
+		ran = true
+	}
+	if want("metric") {
+		rows := experiments.AblationContentionMetric(opt)
+		experiments.WriteContentionMetric(out, rows)
+		ran = true
+	}
+	if want("ejectwidth") {
+		rows, err := experiments.AblationEjectWidth([]int{1, 2, 3}, opt)
+		check(err)
+		experiments.WriteEjectWidth(out, rows)
+		ran = true
+	}
+	if *jsonOut != "" {
+		res, err := experiments.CollectAll(opt)
+		check(err)
+		f, err := os.Create(*jsonOut)
+		check(err)
+		defer f.Close()
+		check(res.WriteJSON(f))
+		fmt.Printf("wrote JSON results to %s\n", *jsonOut)
+		ran = true
+	}
+	if *svgDir != "" {
+		if err := experiments.WriteSVGs(*svgDir, opt); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+		ran = true
+	}
+	if !ran {
+		log.Fatalf("unknown artifact %q", *fig)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

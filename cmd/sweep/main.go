@@ -1,0 +1,88 @@
+// Command sweep runs open-loop injection-rate sweeps and prints
+// latency/throughput series per flow-control kind — the data behind the
+// paper's "Other results" saturation comparison and the drop-vs-deflect
+// extension.
+//
+// Usage:
+//
+//	sweep [-kinds backpressured,backpressureless,afc] [-pattern uniform]
+//	      [-min 0.05] [-max 0.6] [-step 0.05] [-seeds 2]
+//	      [-warmup 10000] [-measure 30000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"afcnet/internal/experiments"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// patterns maps the -pattern flag to constructors.
+var patterns = map[string]func(topology.Mesh) traffic.Pattern{
+	"uniform":   func(m topology.Mesh) traffic.Pattern { return traffic.Uniform{Mesh: m} },
+	"transpose": func(m topology.Mesh) traffic.Pattern { return traffic.Transpose{Mesh: m} },
+	"bitcomp":   func(m topology.Mesh) traffic.Pattern { return traffic.BitComplement{Mesh: m} },
+	"neighbor":  func(m topology.Mesh) traffic.Pattern { return traffic.NearNeighbor{Mesh: m} },
+	"hotspot": func(m topology.Mesh) traffic.Pattern {
+		return traffic.Hotspot{Mesh: m, Hot: m.Node(m.Width/2, m.Height/2), Frac: 0.3}
+	},
+}
+
+var kindsByName = map[string]network.Kind{
+	"backpressured":    network.Backpressured,
+	"ideal-bypass":     network.BackpressuredIdealBypass,
+	"backpressureless": network.Bless,
+	"drop":             network.BlessDrop,
+	"afc":              network.AFC,
+	"afc-always-bp":    network.AFCAlwaysBuffered,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		kindList = flag.String("kinds", "backpressured,backpressureless,drop,afc", "comma-separated router kinds")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|bitcomp|neighbor|hotspot")
+		minRate  = flag.Float64("min", 0.05, "minimum offered load (flits/node/cycle)")
+		maxRate  = flag.Float64("max", 0.60, "maximum offered load")
+		step     = flag.Float64("step", 0.05, "offered-load step")
+		seeds    = flag.Int("seeds", 2, "repeated runs per point")
+		warmup   = flag.Uint64("warmup", 10_000, "warmup cycles")
+		measure  = flag.Uint64("measure", 30_000, "measurement cycles")
+	)
+	flag.Parse()
+
+	var kinds []network.Kind
+	for _, name := range strings.Split(*kindList, ",") {
+		k, ok := kindsByName[strings.TrimSpace(name)]
+		if !ok {
+			log.Fatalf("unknown kind %q", name)
+		}
+		kinds = append(kinds, k)
+	}
+	var rates []float64
+	for r := *minRate; r <= *maxRate+1e-9; r += *step {
+		rates = append(rates, r)
+	}
+	opt := experiments.Default()
+	opt.Seeds = opt.Seeds[:0]
+	for s := 0; s < *seeds; s++ {
+		opt.Seeds = append(opt.Seeds, int64(s+1))
+	}
+	opt.OpenLoopWarmup = *warmup
+	opt.OpenLoopMeasure = *measure
+
+	mk, ok := patterns[*pattern]
+	if !ok {
+		log.Fatalf("unknown pattern %q", *pattern)
+	}
+	pts := experiments.LatencySweepPattern(kinds, rates, mk, opt)
+	experiments.WriteSweep(os.Stdout, pts)
+	fmt.Println("note: 'saturated' means mean total latency (including source queueing) exceeded the bound; see internal/experiments.")
+}

@@ -1,0 +1,63 @@
+// Benchsuite: run all six workload presets (the paper's Table III
+// benchmarks) on backpressured, backpressureless and AFC networks,
+// printing the robustness picture of Figure 2 — AFC tracks the better of
+// the two fixed mechanisms at both load levels.
+//
+//	go run ./examples/benchsuite
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+)
+
+func main() {
+	log.SetFlags(0)
+	kinds := []network.Kind{network.Backpressured, network.Bless, network.AFC}
+
+	fmt.Printf("%-9s", "bench")
+	for _, k := range kinds {
+		fmt.Printf(" | %-24s", k)
+	}
+	fmt.Println()
+	fmt.Printf("%-9s", "")
+	for range kinds {
+		fmt.Printf(" | %7s %8s %7s", "perf", "energy", "bufM%")
+	}
+	fmt.Println()
+
+	for _, p := range cmp.AllBenchmarks() {
+		type cell struct {
+			perf, energy, buf float64
+		}
+		var cells []cell
+		var base cell
+		for i, k := range kinds {
+			net := network.New(network.Config{Kind: k, Seed: 3, MeterEnergy: true})
+			sys := cmp.NewSystem(net, p, net.RandStream)
+			res, ok := sys.Measure(1500, 4000, 20_000_000)
+			if !ok {
+				log.Fatalf("%s on %s exceeded the cycle limit", p.Name, k)
+			}
+			c := cell{
+				perf:   res.TransactionsPerCycle,
+				energy: net.TotalEnergy().Total(),
+				buf:    net.ModeStats().BufferedFraction(),
+			}
+			if i == 0 {
+				base = c
+			}
+			cells = append(cells, c)
+		}
+		fmt.Printf("%-9s", p.Name)
+		for _, c := range cells {
+			fmt.Printf(" | %7.3f %8.3f %6.1f%%", c.perf/base.perf, c.energy/base.energy, 100*c.buf)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nperf and energy are normalized to the backpressured baseline;")
+	fmt.Println("bufM% is the fraction of router-cycles AFC spent in backpressured mode.")
+}

@@ -1,0 +1,3 @@
+module afcnet
+
+go 1.22

@@ -1,0 +1,387 @@
+// Package cmp is the closed-loop chip-multiprocessor substrate standing in
+// for the paper's Simics/GEMS full-system stack (see DESIGN.md for the
+// substitution argument). Each mesh node hosts a core with private L1
+// MSHRs and a shared-L2 bank (Table II: "each node is a core and an L2
+// cache bank"). Cores issue cache misses bounded by their MSHR count;
+// misses travel the network as 1-flit control requests; the home bank
+// answers after its access latency (plus DRAM latency for the off-chip
+// fraction) with a 17-flit data packet; completions free MSHRs and
+// occasionally emit dirty-writeback data packets.
+//
+// The substrate supplies the two properties the paper's evaluation hinges
+// on: the network load level of each workload, and the feedback of network
+// latency into execution time (a slower network holds MSHRs longer, which
+// throttles issue and stretches runtime). Execution time for a fixed
+// amount of work — the paper's performance metric — falls out directly.
+package cmp
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/network"
+	"afcnet/internal/ni"
+	"afcnet/internal/topology"
+)
+
+// message types carried in packet payloads
+const (
+	msgRequest uint64 = iota + 1
+	msgResponse
+	msgWriteback
+	msgWBRequest // writeback pre-allocation request (control)
+	msgWBAck     // writeback pre-allocation grant (control)
+
+	msgShift = 56
+)
+
+func payload(kind, tx uint64) uint64 { return kind<<msgShift | tx }
+func payloadKind(p uint64) uint64    { return p >> msgShift }
+func payloadTx(p uint64) uint64      { return p & (1<<msgShift - 1) }
+
+// Params defines a workload preset.
+type Params struct {
+	// Name identifies the workload.
+	Name string
+	// IssueProb is the per-cycle probability that a core with a free MSHR
+	// issues a new miss (geometric think time).
+	IssueProb float64
+	// MSHRs bounds outstanding misses per core (Table II: 16).
+	MSHRs int
+	// L2Latency is the bank access latency in cycles (Table II: 12).
+	L2Latency int
+	// MemLatency is the off-chip access latency added to the MemFraction
+	// of misses (Table II: 250).
+	MemLatency int
+	// MemFraction is the fraction of L2 accesses that miss to memory.
+	MemFraction float64
+	// WritebackFraction is the probability a completed miss also emits a
+	// dirty writeback (an "unexpected" data packet, Section II).
+	WritebackFraction float64
+	// HomeLocality is the probability the home bank is a mesh neighbor
+	// rather than uniformly random; commercial workloads with OS-assisted
+	// placement see substantial locality, and it lets the closed loop
+	// reach the paper's high injection rates.
+	HomeLocality float64
+	// WritebackPreAlloc enables the Section II protocol variant for
+	// "unexpected" packets: a dirty writeback first requests a receive
+	// buffer at the home bank (control message), holds the data until the
+	// grant arrives, and only then sends it — bounding receive-side
+	// buffering without worst-case provisioning.
+	WritebackPreAlloc bool
+	// WBBufferEntries is the per-bank writeback receive-buffer capacity
+	// used when WritebackPreAlloc is set (default 16, like the MSHRs).
+	WBBufferEntries int
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.IssueProb <= 0 || p.IssueProb > 1:
+		return fmt.Errorf("cmp: issue probability must be in (0,1], got %g", p.IssueProb)
+	case p.MSHRs < 1:
+		return fmt.Errorf("cmp: MSHRs must be >= 1, got %d", p.MSHRs)
+	case p.L2Latency < 1:
+		return fmt.Errorf("cmp: L2 latency must be >= 1, got %d", p.L2Latency)
+	case p.MemFraction < 0 || p.MemFraction > 1:
+		return fmt.Errorf("cmp: memory fraction must be in [0,1], got %g", p.MemFraction)
+	case p.WritebackFraction < 0 || p.WritebackFraction > 1:
+		return fmt.Errorf("cmp: writeback fraction must be in [0,1], got %g", p.WritebackFraction)
+	case p.HomeLocality < 0 || p.HomeLocality > 1:
+		return fmt.Errorf("cmp: home locality must be in [0,1], got %g", p.HomeLocality)
+	case p.WritebackPreAlloc && p.WBBufferEntries < 0:
+		return fmt.Errorf("cmp: writeback buffer entries must be >= 0, got %d", p.WBBufferEntries)
+	}
+	return nil
+}
+
+type coreState struct {
+	outstanding int
+	completed   uint64
+	issued      uint64
+	nextTx      uint64
+	neighbors   []topology.NodeID
+}
+
+type bankJob struct {
+	due  uint64
+	bank topology.NodeID
+	core topology.NodeID
+	tx   uint64
+}
+
+type jobHeap []bankJob
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].due < h[j].due }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(bankJob)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// System couples a CMP workload to a network. Construct it after the
+// network, before running.
+type System struct {
+	net    *network.Network
+	params Params
+	cores  []coreState
+	jobs   jobHeap
+	rngs   []*rand.Rand
+
+	totalCompleted uint64
+	writebacksSent uint64
+	stopped        bool
+
+	// writeback pre-allocation state (WritebackPreAlloc variant)
+	wbEntries  []int               // per-bank receive-buffer entries in use
+	wbWaiters  [][]topology.NodeID // per-bank cores awaiting a grant
+	wbHeld     []int               // per-core writebacks held awaiting grant
+	wbRequests uint64
+	wbMaxHeld  int
+}
+
+// NewSystem attaches a CMP running the given workload to net. seeds mints
+// per-core random streams. It panics on invalid parameters (presets are
+// validated in tests; custom parameters should be validated by the
+// caller).
+func NewSystem(net *network.Network, p Params, seeds func() *rand.Rand) *System {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.WritebackPreAlloc && p.WBBufferEntries == 0 {
+		p.WBBufferEntries = 16
+	}
+	s := &System{
+		net:       net,
+		params:    p,
+		cores:     make([]coreState, net.Nodes()),
+		rngs:      make([]*rand.Rand, net.Nodes()),
+		wbEntries: make([]int, net.Nodes()),
+		wbWaiters: make([][]topology.NodeID, net.Nodes()),
+		wbHeld:    make([]int, net.Nodes()),
+	}
+	mesh := net.Mesh()
+	for i := range s.cores {
+		s.rngs[i] = seeds()
+		node := topology.NodeID(i)
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if nb, ok := mesh.Neighbor(node, d); ok {
+				s.cores[i].neighbors = append(s.cores[i].neighbors, nb)
+			}
+		}
+		nif := net.NI(node)
+		nif.SetHandler(s.onPacket)
+	}
+	net.AddTicker(s)
+	return s
+}
+
+// Params returns the workload parameters.
+func (s *System) Params() Params { return s.params }
+
+// CompletedTransactions returns the total misses completed so far.
+func (s *System) CompletedTransactions() uint64 { return s.totalCompleted }
+
+// WritebacksSent returns the number of dirty writebacks emitted.
+func (s *System) WritebacksSent() uint64 { return s.writebacksSent }
+
+// Outstanding returns the currently outstanding misses across all cores.
+func (s *System) Outstanding() int {
+	t := 0
+	for i := range s.cores {
+		t += s.cores[i].outstanding
+	}
+	return t
+}
+
+// StopIssuing halts new miss generation (drain/quiesce phases); in-flight
+// transactions and the writeback protocol continue to completion.
+func (s *System) StopIssuing() { s.stopped = true }
+
+// Tick implements sim.Ticker: issue new misses and complete due bank jobs.
+func (s *System) Tick(now uint64) {
+	if s.stopped {
+		s.completeJobs(now)
+		return
+	}
+	for i := range s.cores {
+		c := &s.cores[i]
+		if c.outstanding >= s.params.MSHRs {
+			continue
+		}
+		rng := s.rngs[i]
+		if rng.Float64() >= s.params.IssueProb {
+			continue
+		}
+		node := topology.NodeID(i)
+		home := s.pickHome(node, rng)
+		c.nextTx++
+		tx := uint64(i)<<32 | c.nextTx
+		c.outstanding++
+		c.issued++
+		s.net.NI(node).SendPacket(now, home, flit.VNReq,
+			flit.ControlPacketFlits, payload(msgRequest, tx))
+	}
+
+	s.completeJobs(now)
+}
+
+func (s *System) completeJobs(now uint64) {
+	for len(s.jobs) > 0 && s.jobs[0].due <= now {
+		j := heap.Pop(&s.jobs).(bankJob)
+		s.net.NI(j.bank).SendPacket(now, j.core, flit.VNData,
+			flit.DataPacketFlits, payload(msgResponse, j.tx))
+	}
+}
+
+// pickHome selects the home L2 bank for a miss: a mesh neighbor with
+// probability HomeLocality, a uniformly random other node otherwise.
+func (s *System) pickHome(node topology.NodeID, rng *rand.Rand) topology.NodeID {
+	c := &s.cores[node]
+	if len(c.neighbors) > 0 && rng.Float64() < s.params.HomeLocality {
+		return c.neighbors[rng.Intn(len(c.neighbors))]
+	}
+	n := s.net.Nodes()
+	d := topology.NodeID(rng.Intn(n - 1))
+	if d >= node {
+		d++
+	}
+	return d
+}
+
+// onPacket handles packets delivered at any node.
+func (s *System) onPacket(now uint64, d ni.Delivered) {
+	switch payloadKind(d.Payload) {
+	case msgRequest:
+		// The local L2 bank services the request; the data response
+		// leaves after the access latency (plus DRAM for the off-chip
+		// fraction).
+		lat := uint64(s.params.L2Latency)
+		if s.rngs[d.Dst].Float64() < s.params.MemFraction {
+			lat += uint64(s.params.MemLatency)
+		}
+		heap.Push(&s.jobs, bankJob{due: now + lat, bank: d.Dst, core: d.Src, tx: payloadTx(d.Payload)})
+	case msgResponse:
+		// The miss completes: the MSHR frees; occasionally the evicted
+		// line is dirty and must be written back to its own home bank.
+		c := &s.cores[d.Dst]
+		c.outstanding--
+		c.completed++
+		s.totalCompleted++
+		if c.outstanding < 0 {
+			panic(fmt.Sprintf("cmp: node %d completed more misses than issued", d.Dst))
+		}
+		rng := s.rngs[d.Dst]
+		if rng.Float64() < s.params.WritebackFraction {
+			home := s.pickHome(d.Dst, rng)
+			if s.params.WritebackPreAlloc {
+				// Hold the dirty line; request a receive buffer first.
+				s.wbHeld[d.Dst]++
+				if s.wbHeld[d.Dst] > s.wbMaxHeld {
+					s.wbMaxHeld = s.wbHeld[d.Dst]
+				}
+				s.wbRequests++
+				s.net.NI(d.Dst).SendPacket(now, home, flit.VNReq,
+					flit.ControlPacketFlits, payload(msgWBRequest, 0))
+			} else {
+				s.writebacksSent++
+				s.net.NI(d.Dst).SendPacket(now, home, flit.VNData,
+					flit.DataPacketFlits, payload(msgWriteback, 0))
+			}
+		}
+	case msgWBRequest:
+		// The bank grants a receive-buffer entry now or queues the
+		// requester until one frees.
+		if s.wbEntries[d.Dst] < s.params.WBBufferEntries {
+			s.wbEntries[d.Dst]++
+			s.net.NI(d.Dst).SendPacket(now, d.Src, flit.VNResp,
+				flit.ControlPacketFlits, payload(msgWBAck, 0))
+		} else {
+			s.wbWaiters[d.Dst] = append(s.wbWaiters[d.Dst], d.Src)
+		}
+	case msgWBAck:
+		// Grant received: release the held line as a data packet.
+		s.wbHeld[d.Dst]--
+		if s.wbHeld[d.Dst] < 0 {
+			panic(fmt.Sprintf("cmp: node %d acked more writebacks than held", d.Dst))
+		}
+		s.writebacksSent++
+		s.net.NI(d.Dst).SendPacket(now, d.Src, flit.VNData,
+			flit.DataPacketFlits, payload(msgWriteback, 0))
+	case msgWriteback:
+		// Absorbed by the bank; dirty writebacks need no response. Under
+		// pre-allocation, the receive-buffer entry frees and any waiter
+		// is granted.
+		if s.params.WritebackPreAlloc {
+			s.wbEntries[d.Dst]--
+			if s.wbEntries[d.Dst] < 0 {
+				panic(fmt.Sprintf("cmp: bank %d freed more wb entries than allocated", d.Dst))
+			}
+			if w := s.wbWaiters[d.Dst]; len(w) > 0 {
+				next := w[0]
+				copy(w, w[1:])
+				s.wbWaiters[d.Dst] = w[:len(w)-1]
+				s.wbEntries[d.Dst]++
+				s.net.NI(d.Dst).SendPacket(now, next, flit.VNResp,
+					flit.ControlPacketFlits, payload(msgWBAck, 0))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("cmp: unknown payload kind in %+v", d))
+	}
+}
+
+// WBPreallocRequests returns the number of writeback pre-allocation
+// requests sent (WritebackPreAlloc variant).
+func (s *System) WBPreallocRequests() uint64 { return s.wbRequests }
+
+// WBMaxHeld returns the peak number of writebacks held at any single
+// core awaiting a grant.
+func (s *System) WBMaxHeld() int { return s.wbMaxHeld }
+
+// RunResult summarizes a measured closed-loop window.
+type RunResult struct {
+	// Cycles is the execution time of the measured transactions.
+	Cycles uint64
+	// Transactions completed in the window.
+	Transactions uint64
+	// TransactionsPerCycle is work per time — the performance metric
+	// (execution-time ratios invert it).
+	TransactionsPerCycle float64
+	// InjectionRate is the achieved network load in flits/node/cycle
+	// (Table III's per-workload metric).
+	InjectionRate float64
+	// MeanNetLatency is the mean packet network latency in the window.
+	MeanNetLatency float64
+}
+
+// Measure runs warmupTx transactions, resets network statistics, then
+// measures the execution of measureTx further transactions. It reports
+// failure (ok=false) if limit cycles elapse before completion.
+func (s *System) Measure(warmupTx, measureTx uint64, limit uint64) (RunResult, bool) {
+	if !s.net.RunUntil(func() bool { return s.totalCompleted >= warmupTx }, limit) {
+		return RunResult{}, false
+	}
+	s.net.ResetStats()
+	start := s.net.Now()
+	base := s.totalCompleted
+	if !s.net.RunUntil(func() bool { return s.totalCompleted-base >= measureTx }, limit) {
+		return RunResult{}, false
+	}
+	cycles := s.net.Now() - start
+	done := s.totalCompleted - base
+	return RunResult{
+		Cycles:               cycles,
+		Transactions:         done,
+		TransactionsPerCycle: float64(done) / float64(cycles),
+		InjectionRate:        s.net.InjectionRate(),
+		MeanNetLatency:       s.net.MeanNetLatency(),
+	}, true
+}

@@ -1,0 +1,18 @@
+package config_test
+
+import (
+	"fmt"
+
+	"afcnet/internal/config"
+)
+
+func ExampleDefault() {
+	s := config.Default()
+	fmt.Printf("mesh %dx%d, link latency %d\n", s.Mesh.Width, s.Mesh.Height, s.LinkLatency)
+	fmt.Printf("baseline buffers/port: %d flits\n", s.Baseline.BufferSlotsPerPort())
+	fmt.Printf("AFC buffers/port: %d flits (lazy VC allocation)\n", s.AFC.BufferSlotsPerPort())
+	// Output:
+	// mesh 3x3, link latency 2
+	// baseline buffers/port: 64 flits
+	// AFC buffers/port: 32 flits (lazy VC allocation)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/topology"
+)
+
+// bufferedCycle performs one cycle of backpressured operation with lazy VC
+// allocation: every occupied single-flit VC is an independent switch
+// candidate (flit-by-flit routing), there is no VC-allocation stage, and
+// winners depart with no VC assignment — the downstream buffer write picks
+// a free slot.
+func (r *Router) bufferedCycle(now uint64) {
+	// Input stage of separable switch allocation: one candidate per input
+	// port. Escape latches drain with priority (they are the oldest
+	// uncredited flits; see the package comment).
+	for p := 0; p < topology.NumPorts; p++ {
+		r.cands[p] = cand{}
+		if e := r.esc[p]; len(e) > 0 && e[0].readyAt <= now {
+			f := e[0].f
+			out := r.mesh.DORNext(r.node, f.Dst)
+			if out == topology.Local || r.usableOut(f, out) {
+				r.cands[p] = cand{valid: true, escape: true, out: out}
+				continue
+			}
+			// Escape head blocked on credits; regular slots may still
+			// compete this cycle.
+		}
+		pick := r.inArb[p].Pick(func(s int) bool {
+			sl := &r.in[p][s]
+			if sl.f == nil || sl.readyAt > now {
+				return false
+			}
+			out := r.mesh.DORNext(r.node, sl.f.Dst)
+			return out == topology.Local || r.usableOut(sl.f, out)
+		})
+		if pick >= 0 {
+			f := r.in[p][pick].f
+			r.cands[p] = cand{valid: true, slot: pick, out: r.mesh.DORNext(r.node, f.Dst)}
+		}
+	}
+
+	// Output stage: one grant per output port (router.EjectWidth for the
+	// ejection port, like every router kind).
+	for o := 0; o < topology.NumPorts; o++ {
+		out := topology.Dir(o)
+		grants := 1
+		if out == topology.Local {
+			grants = r.ejectWidth
+		}
+		for g := 0; g < grants; g++ {
+			win := r.outArb[o].Pick(func(p int) bool {
+				c := r.cands[p]
+				return c.valid && c.out == out
+			})
+			if win < 0 {
+				break
+			}
+			r.sendBuffered(now, topology.Dir(win), out)
+		}
+	}
+
+	r.bufferedInject(now)
+}
+
+func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
+	c := &r.cands[in]
+	c.valid = false
+	var f *flit.Flit
+	if c.escape {
+		f = r.esc[in][0].f
+		copy(r.esc[in], r.esc[in][1:])
+		r.esc[in] = r.esc[in][:len(r.esc[in])-1]
+		// Escape entries are outside the credited SRAM: no credit is
+		// returned upstream for them.
+	} else {
+		sl := &r.in[in][c.slot]
+		f = sl.f
+		sl.f = nil
+		if r.meter != nil {
+			r.meter.BufRead()
+		}
+		if in != topology.Local {
+			if pl := r.wires.Ports[in]; pl.CreditOut != nil {
+				pl.CreditOut.Send(now, link.Credit{VC: c.slot, VN: f.VN})
+				if r.meter != nil {
+					r.meter.Credit()
+				}
+			}
+		}
+	}
+	if r.meter != nil {
+		r.meter.SwArb()
+		r.meter.Xbar()
+	}
+	r.routedFlits++
+	r.dispatched++
+
+	if out == topology.Local {
+		r.ejectedFlits++
+		r.sink.Deliver(now, f)
+		return
+	}
+	if ds := &r.down[out]; ds.tracking {
+		ds.credits[f.VN]--
+		if ds.credits[f.VN] < 0 {
+			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, out, f.VN))
+		}
+	}
+	// Lazy VC allocation: the flit departs with no VC; the downstream
+	// buffer write assigns one.
+	f.VC = flit.NoVC
+	f.Hops++
+	r.wires.Ports[out].Out.Send(now, f)
+	if r.meter != nil {
+		r.meter.LinkHop()
+	}
+}
+
+// bufferedInject pulls up to one flit per virtual network per cycle from
+// the NI into free local-port slots (the Garnet-style NI model used by
+// every router kind).
+func (r *Router) bufferedInject(now uint64) {
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		f := r.src.Peek(vn)
+		if f == nil {
+			continue
+		}
+		s := r.freeSlot(topology.Local, vn)
+		if s < 0 {
+			continue
+		}
+		f = r.src.Pop(vn)
+		r.stamp(now, f)
+		r.injectedFlits++
+		f.VC = s
+		r.in[topology.Local][s] = slot{f: f, readyAt: now + 1}
+		if r.meter != nil {
+			r.meter.BufWrite()
+		}
+	}
+}
+
+// freeSlot returns a free slot index for vn at port p, or -1. This is the
+// lazy VC allocation itself: free slots are pre-discoverable by simple
+// daisy-chaining, adding no latency to the critical path (Section III-E).
+func (r *Router) freeSlot(p topology.Dir, vn flit.VN) int {
+	for _, s := range r.vnSlots[vn] {
+		if r.in[p][s].f == nil {
+			return s
+		}
+	}
+	return -1
+}

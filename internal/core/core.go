@@ -1,0 +1,439 @@
+// Package core implements the paper's primary contribution: the Adaptive
+// Flow Control (AFC) router, which dynamically switches between
+// backpressureless (deflection) and backpressured (credit-based) modes of
+// operation per router, using the paper's three mechanisms:
+//
+//   - Local contention thresholds (Section III-B/C): each router smooths
+//     its local traffic intensity (4-cycle window + EWMA, weight 0.99) and
+//     compares it against position-scaled high/low thresholds with
+//     hysteresis. Above the high threshold a backpressureless router
+//     forward-switches to backpressured mode over 2L cycles; below the low
+//     threshold — and only once its buffers are empty — a backpressured
+//     router reverse-switches back.
+//
+//   - Gossip-induced mode-switch (Section III-D): a backpressureless
+//     router tracks credits of backpressured neighbors; if a downstream
+//     virtual network's free buffers fall below the watermark X (>= 2L) it
+//     force-switches to backpressured mode, expanding the backpressured
+//     region before the neighbor's buffers can be overrun.
+//
+//   - Lazy VC allocation (Section III-E): in backpressured mode AFC routes
+//     flit-by-flit, so the input buffer is organized as K single-flit VCs,
+//     credits are tracked per virtual network, the upstream router sends
+//     flits with no VC assignment, and the downstream buffer write picks
+//     any free slot. This removes the VCA pipeline stage and halves total
+//     buffering versus the baseline (32 vs. 64 flits/port).
+//
+// Mode-switch protocol and credit exactness. A forward switch beginning at
+// cycle T sends a start-credits notification that reaches each neighbor at
+// T+L; flits those neighbors send from T+L onward arrive from T+2L+1
+// onward and are buffered, while earlier flits arrive by T+2L and are
+// still deflected — so neighbors' credit decrements account for exactly
+// the flits that will occupy buffer slots. A reverse switch (buffers
+// empty) takes effect immediately; the stale decrements neighbors make
+// before the stop-credits notification lands are harmless, exactly as the
+// paper argues.
+//
+// Escape latches. The paper's watermark argument makes buffer exhaustion
+// unreachable in the common case, but a flit in backpressureless mode can
+// transiently find every usable output either taken or credit-masked
+// during the 2L switch window. AFC hardware must do something with such a
+// flit; this implementation gives each input port a small escape-latch
+// FIFO (capacity 2L+1, outside the credited SRAM so upstream credit
+// accounting stays exact). An escape event immediately triggers a forward
+// switch and the escape latches drain with priority in backpressured
+// mode. The experiments report escape events; they are zero in all
+// closed-loop runs.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afcnet/internal/config"
+	"afcnet/internal/energy"
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/router"
+	"afcnet/internal/stats"
+	"afcnet/internal/topology"
+)
+
+// Mode is the operating mode of an AFC router.
+type Mode uint8
+
+// AFC router modes. Switching is the 2L-cycle forward transition window
+// during which the router still operates backpressurelessly but neighbors
+// are being told to start credit tracking.
+const (
+	ModeBless Mode = iota
+	ModeSwitching
+	ModeBuffered
+
+	numModes = 3
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBless:
+		return "backpressureless"
+	case ModeSwitching:
+		return "switching"
+	case ModeBuffered:
+		return "backpressured"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// slot is one single-flit virtual channel of the lazily-allocated input
+// buffer. A nil flit marks a free slot.
+type slot struct {
+	f       *flit.Flit
+	readyAt uint64
+}
+
+// escape is an entry of the per-port escape-latch FIFO.
+type escape struct {
+	f       *flit.Flit
+	readyAt uint64
+}
+
+// downstream is the locally tracked state of the neighbor on one output
+// port: whether it is in backpressured mode (and hence credits matter) and
+// the per-virtual-network free-slot counts.
+type downstream struct {
+	tracking bool
+	credits  [flit.NumVNs]int
+}
+
+type latched struct {
+	f         *flit.Flit
+	port      topology.Dir
+	arrivedAt uint64
+}
+
+// Router is one AFC router.
+type Router struct {
+	mesh topology.Mesh
+	node topology.NodeID
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	meter *energy.Meter
+
+	cfg        config.AFC
+	linkLat    int
+	ejectWidth int
+	th         config.Thresholds
+
+	// alwaysBuffered pins the router in backpressured mode ("AFC
+	// always-backpressured" in Section V), isolating the lazy-VCA
+	// mechanism from the adaptivity mechanisms.
+	alwaysBuffered bool
+	// misrouteThreshold selects the rejected cumulative-misroute switch
+	// policy when positive (see Options.MisrouteThreshold).
+	misrouteThreshold int
+
+	mode         Mode
+	bufferedFrom uint64 // first cycle arrivals are buffered (forward switch)
+	monitor      *stats.IntensityMonitor
+
+	vnSlots    [flit.NumVNs][]int
+	totalSlots int
+
+	in      [topology.NumPorts][]slot
+	esc     [topology.NumPorts][]escape
+	escCap  int
+	down    [topology.NumDirs]downstream
+	defl    *router.Deflector
+	latches []latched
+	dflits  []*flit.Flit // scratch for bless dispatch
+	dports  []topology.Dir
+
+	inArb      [topology.NumPorts]*router.RoundRobin
+	outArb     [topology.NumPorts]*router.RoundRobin
+	injArb     *router.RoundRobin
+	injArmedAt [flit.NumVNs]uint64
+
+	cands [topology.NumPorts]cand
+
+	dispatched int // flits dispatched this cycle (intensity metric)
+	// misrouteTripped records that a flit crossed the misroute threshold
+	// this cycle (rejected-policy ablation only).
+	misrouteTripped bool
+
+	// Stats
+	routedFlits     uint64
+	deflections     uint64
+	ejectedFlits    uint64
+	injectedFlits   uint64
+	modeCycles      [numModes]uint64
+	forwardSwitches uint64
+	reverseSwitches uint64
+	gossipSwitches  uint64
+	escapeEvents    uint64
+}
+
+type cand struct {
+	valid  bool
+	escape bool
+	slot   int
+	out    topology.Dir
+}
+
+// Options configures non-paper-parameter aspects of the router.
+type Options struct {
+	// AlwaysBuffered pins the router in backpressured mode.
+	AlwaysBuffered bool
+	// Policy selects the deflection arbitration policy (default
+	// PolicyRandom, the paper's choice).
+	Policy router.DeflectPolicy
+	// MisrouteThreshold > 0 replaces the local contention thresholds with
+	// the design alternative the paper REJECTS (Section III-B): forward-
+	// switch when a passing flit has accumulated that many misroutes.
+	// The paper's objection — contention is then detected in the wrong
+	// network region, because a deflected flit trips the threshold only
+	// after it has left the hot region — is demonstrated by ablation A7.
+	MisrouteThreshold int
+}
+
+// New returns an AFC router at node. rng drives deflection arbitration.
+func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, ejectWidth int,
+	rng *rand.Rand, wires router.Wires, src router.LocalSource, sink router.LocalSink,
+	meter *energy.Meter, opts Options) *Router {
+
+	r := &Router{
+		mesh:              mesh,
+		node:              node,
+		wires:             wires,
+		src:               src,
+		sink:              sink,
+		meter:             meter,
+		cfg:               cfg,
+		linkLat:           linkLatency,
+		ejectWidth:        ejectWidth,
+		th:                cfg.ThresholdsByPosition[mesh.Position(node)],
+		alwaysBuffered:    opts.AlwaysBuffered,
+		misrouteThreshold: opts.MisrouteThreshold,
+		monitor:           stats.NewIntensityMonitor(cfg.EWMAWeight),
+		defl:              router.NewDeflector(mesh, node, opts.Policy, rng),
+		escCap:            2*linkLatency + 1,
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
+			r.vnSlots[vn] = append(r.vnSlots[vn], r.totalSlots)
+			r.totalSlots++
+		}
+	}
+	for p := 0; p < topology.NumPorts; p++ {
+		r.in[p] = make([]slot, r.totalSlots)
+		r.inArb[p] = router.NewRoundRobin(r.totalSlots)
+		r.outArb[p] = router.NewRoundRobin(topology.NumPorts)
+	}
+	r.injArb = router.NewRoundRobin(flit.NumVNs)
+
+	if opts.AlwaysBuffered {
+		r.mode = ModeBuffered
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if wires.Ports[d].Exists() {
+				r.down[d] = downstream{tracking: true, credits: cfg.VCsPerVN}
+			}
+		}
+	} else {
+		r.mode = ModeBless
+		if meter != nil {
+			meter.SetGated(true)
+		}
+	}
+	return r
+}
+
+// Node implements router.Router.
+func (r *Router) Node() topology.NodeID { return r.node }
+
+// Mode returns the router's current operating mode.
+func (r *Router) Mode() Mode { return r.mode }
+
+// ModeCycles returns the cycles spent in each mode (Switching counts
+// separately; the duty-cycle experiment folds it into backpressureless,
+// since the datapath still deflects during the window).
+func (r *Router) ModeCycles() [3]uint64 { return r.modeCycles }
+
+// ForwardSwitches returns the number of bless->buffered transitions.
+func (r *Router) ForwardSwitches() uint64 { return r.forwardSwitches }
+
+// ReverseSwitches returns the number of buffered->bless transitions.
+func (r *Router) ReverseSwitches() uint64 { return r.reverseSwitches }
+
+// GossipSwitches returns how many forward switches were gossip-induced.
+func (r *Router) GossipSwitches() uint64 { return r.gossipSwitches }
+
+// EscapeEvents returns how many flits used the escape latches.
+func (r *Router) EscapeEvents() uint64 { return r.escapeEvents }
+
+// Deflections returns the misroutes issued by this router.
+func (r *Router) Deflections() uint64 { return r.deflections }
+
+// RoutedFlits returns the flits dispatched (sent or ejected).
+func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
+
+// Intensity returns the current smoothed local traffic intensity.
+func (r *Router) Intensity() float64 { return r.monitor.Value() }
+
+// BufferedFlits returns flits currently in SRAM slots and escape latches.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := range r.in {
+		for s := range r.in[p] {
+			if r.in[p][s].f != nil {
+				n++
+			}
+		}
+		n += len(r.esc[p])
+	}
+	return n
+}
+
+// LatchedFlits returns flits currently in bless-mode pipeline latches.
+func (r *Router) LatchedFlits() int { return len(r.latches) }
+
+// Credits exposes the tracked free-slot count of the neighbor on d for vn
+// (invariant tests).
+func (r *Router) Credits(d topology.Dir, vn flit.VN) (int, bool) {
+	return r.down[d].credits[vn], r.down[d].tracking
+}
+
+// Tick implements one cycle of AFC operation.
+func (r *Router) Tick(now uint64) {
+	if r.meter != nil {
+		r.meter.StaticTick()
+	}
+	r.modeCycles[r.mode]++
+	r.dispatched = 0
+
+	r.receiveCtrl(now)
+	r.receiveCredits(now)
+
+	// Complete a pending forward switch: once the last
+	// backpressureless-window arrivals (latched at bufferedFrom-1) have
+	// been dispatched, the router operates in backpressured mode.
+	if r.mode == ModeSwitching && now >= r.bufferedFrom && len(r.latches) == 0 {
+		r.mode = ModeBuffered
+	}
+
+	switch r.mode {
+	case ModeBuffered:
+		r.bufferedCycle(now)
+	default:
+		r.blessCycle(now)
+	}
+
+	r.receive(now)
+	r.monitor.Observe(r.dispatched)
+	r.decideMode(now)
+}
+
+// receiveCtrl applies neighbors' mode notifications.
+func (r *Router) receiveCtrl(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.CtrlIn == nil {
+			continue
+		}
+		c, ok := pl.CtrlIn.Recv(now)
+		if !ok {
+			continue
+		}
+		switch c {
+		case link.CtrlStartCredits:
+			// The neighbor's buffers are empty at the announcement, so
+			// the initial credit count is the full per-VN capacity.
+			r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
+		case link.CtrlStopCredits:
+			// Per the paper, occupancy is considered empty immediately;
+			// in-flight credits for the stopped neighbor are ignored.
+			r.down[d] = downstream{}
+		}
+	}
+}
+
+// receiveCredits applies credit backflow from tracked neighbors.
+func (r *Router) receiveCredits(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.CreditIn == nil {
+			continue
+		}
+		c, ok := pl.CreditIn.Recv(now)
+		if !ok {
+			continue
+		}
+		ds := &r.down[d]
+		if !ds.tracking {
+			continue // stale credit after a stop notification
+		}
+		ds.credits[c.VN]++
+		if ds.credits[c.VN] > r.cfg.VCsPerVN[c.VN] {
+			panic(fmt.Sprintf("afc %d: credit overflow toward %s vn %s", r.node, d, c.VN))
+		}
+	}
+}
+
+// usableOut reports whether output d can carry f this cycle, ignoring
+// same-cycle port contention (the caller masks taken ports).
+func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
+	if !r.wires.Ports[d].Exists() {
+		return false
+	}
+	ds := &r.down[d]
+	return !ds.tracking || ds.credits[f.VN] > 0
+}
+
+// receive accepts this cycle's link arrivals: into buffer slots when the
+// backpressured datapath is (or is about to be) active, into pipeline
+// latches otherwise. The boundary is exact: flits sent by neighbors under
+// credit accounting arrive at or after bufferedFrom (see the package
+// comment), so buffering them can never overflow.
+func (r *Router) receive(now uint64) {
+	buffered := r.mode == ModeBuffered ||
+		(r.mode == ModeSwitching && now >= r.bufferedFrom)
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.In == nil {
+			continue
+		}
+		f, ok := pl.In.Recv(now)
+		if !ok {
+			continue
+		}
+		if buffered {
+			s := r.freeSlot(d, f.VN)
+			if s < 0 {
+				panic(fmt.Sprintf("afc %d: buffer overflow on %s vn %s (flit %v)", r.node, d, f.VN, f))
+			}
+			// Lazy VC allocation: the buffer write assigns the VC.
+			f.VC = s
+			r.in[d][s] = slot{f: f, readyAt: now + 1}
+			if r.meter != nil {
+				r.meter.BufWrite()
+			}
+		} else {
+			r.latches = append(r.latches, latched{f: f, port: d, arrivedAt: now})
+			if r.meter != nil {
+				r.meter.Latch()
+			}
+		}
+	}
+}
+
+func (r *Router) stamp(now uint64, f *flit.Flit) {
+	if st, ok := r.src.(interface {
+		StampInjection(uint64, *flit.Flit)
+	}); ok {
+		st.StampInjection(now, f)
+	} else {
+		f.InjectedAt = now
+	}
+}

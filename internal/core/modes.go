@@ -1,0 +1,114 @@
+package core
+
+import (
+	"afcnet/internal/link"
+	"afcnet/internal/topology"
+)
+
+// decideMode evaluates the mode-transition policies at the end of each
+// cycle (Figure 1 of the paper).
+func (r *Router) decideMode(now uint64) {
+	if r.alwaysBuffered {
+		return
+	}
+	switch r.mode {
+	case ModeBless:
+		if r.misrouteThreshold > 0 {
+			// Rejected policy (ablation A7): only misroute observations
+			// and gossip can trigger the forward switch.
+			if r.misrouteTripped {
+				r.misrouteTripped = false
+				r.beginForwardSwitch(now, false)
+				return
+			}
+		} else if r.monitor.Value() > r.th.High {
+			r.beginForwardSwitch(now, false)
+			return
+		}
+		if r.gossipTriggered() {
+			r.beginForwardSwitch(now, true)
+		}
+	case ModeBuffered:
+		if r.monitor.Value() < r.th.Low && r.buffersEmpty() {
+			r.beginReverseSwitch(now)
+		}
+	}
+}
+
+// gossipTriggered reports whether a tracked downstream virtual network has
+// fewer than X free buffers (Section III-D's "sledgehammer" condition).
+// Credits are per-VN under lazy VC allocation, so the watermark applies
+// per VN: once one VN's free count falls below X, flits of that VN could
+// soon find the port unusable and pile up locally.
+func (r *Router) gossipTriggered() bool {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		ds := &r.down[d]
+		if !ds.tracking {
+			continue
+		}
+		for vn, c := range ds.credits {
+			_ = vn
+			if c < r.cfg.GossipFreeSlots {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// beginForwardSwitch starts the 2L-cycle transition to backpressured mode
+// (Section III-B): neighbors are notified immediately (the notification
+// arrives L cycles later and they start counting credits from then);
+// arrivals continue through the backpressureless datapath until
+// bufferedFrom = T+2L+1, the first cycle at which a flit sent under credit
+// accounting can arrive.
+func (r *Router) beginForwardSwitch(now uint64, gossip bool) {
+	r.mode = ModeSwitching
+	r.bufferedFrom = now + uint64(2*r.linkLat) + 1
+	r.forwardSwitches++
+	if gossip {
+		r.gossipSwitches++
+	}
+	if r.meter != nil {
+		// Wake the buffers immediately (conservative: leakage accrues for
+		// the whole switch window).
+		r.meter.SetGated(false)
+	}
+	r.notifyNeighbors(now, link.CtrlStartCredits)
+}
+
+// beginReverseSwitch switches to backpressureless mode in the very next
+// cycle (Section III-C): legal only with empty buffers, so no flit can be
+// trapped. Neighbors keep decrementing credits until the stop
+// notification lands; the discrepancy is only unnecessary accounting.
+func (r *Router) beginReverseSwitch(now uint64) {
+	r.mode = ModeBless
+	r.reverseSwitches++
+	if r.meter != nil {
+		r.meter.SetGated(true)
+	}
+	r.notifyNeighbors(now, link.CtrlStopCredits)
+}
+
+func (r *Router) notifyNeighbors(now uint64, c link.Ctrl) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if pl := r.wires.Ports[d]; pl.CtrlOut != nil {
+			pl.CtrlOut.Send(now, c)
+		}
+	}
+}
+
+// buffersEmpty reports whether every SRAM slot and escape latch is free.
+func (r *Router) buffersEmpty() bool {
+	for p := range r.in {
+		if len(r.esc[p]) > 0 {
+			return false
+		}
+		for s := range r.in[p] {
+			if r.in[p][s].f != nil {
+				return false
+			}
+		}
+	}
+	return true
+}

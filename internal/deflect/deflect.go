@@ -1,0 +1,250 @@
+// Package deflect implements the backpressureless routers of the paper.
+//
+// Router is the flit-by-flit deflection (hot-potato) router the paper
+// evaluates as "backpressureless": on link contention all but one flit are
+// misrouted rather than buffered, so the router never exerts backpressure
+// on network ports and needs no input buffers (only pipeline latches).
+// Arbitration is randomized Chaos-style by default (Section II: priorities
+// are not fundamental; randomization gives a probabilistic — and strong —
+// livelock-freedom guarantee), with an oldest-first policy available for
+// ablation.
+//
+// DropRouter is the drop-based variant (SCARAB-like): contending flits
+// that cannot take a productive port are dropped and NACKed to the source
+// for retransmission. The paper notes this variant saturates at lower
+// loads than deflection, which the open-loop sweep reproduces.
+//
+// Pipeline (Table I): stage 1 is combined routing + port-priority switch
+// arbitration, stage 2 is switch traversal plus link traversal with the
+// latch write absorbed into link traversal — the same 2-cycle router as
+// the baseline. The only backpressure is at the injection port: a new flit
+// is accepted only if an output port remains free after all network flits
+// are dispatched (footnote 3 of the paper).
+package deflect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afcnet/internal/energy"
+	"afcnet/internal/flit"
+	"afcnet/internal/router"
+	"afcnet/internal/topology"
+)
+
+type latched struct {
+	f         *flit.Flit
+	arrivedAt uint64
+}
+
+// Router is a backpressureless deflection router for one node.
+type Router struct {
+	mesh topology.Mesh
+	node topology.NodeID
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	meter *energy.Meter
+
+	defl       *router.Deflector
+	injArb     *router.RoundRobin
+	ejectWidth int
+
+	latches []latched
+	flits   []*flit.Flit // scratch, parallel prefix of latches
+
+	// injArmedAt models the per-VN injection-stage registers: a flit at
+	// the head of a VN's NI queue becomes eligible for port assignment
+	// one cycle after it reaches the head, so injected flits see the same
+	// 2-cycle router pipeline as network flits.
+	injArmedAt [flit.NumVNs]uint64
+
+	// Stats
+	routedFlits  uint64
+	deflections  uint64
+	ejectedFlits uint64
+	injected     uint64
+}
+
+// New returns a deflection router at node. rng drives the randomized
+// arbitration policy.
+func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
+	ejectWidth int, rng *rand.Rand, wires router.Wires, src router.LocalSource,
+	sink router.LocalSink, meter *energy.Meter) *Router {
+
+	return &Router{
+		mesh:       mesh,
+		node:       node,
+		wires:      wires,
+		src:        src,
+		sink:       sink,
+		meter:      meter,
+		defl:       router.NewDeflector(mesh, node, policy, rng),
+		injArb:     router.NewRoundRobin(flit.NumVNs),
+		ejectWidth: ejectWidth,
+	}
+}
+
+// Node implements router.Router.
+func (r *Router) Node() topology.NodeID { return r.node }
+
+// RoutedFlits returns the number of flits dispatched by this router.
+func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
+
+// Deflections returns the number of misroutes issued by this router.
+func (r *Router) Deflections() uint64 { return r.deflections }
+
+// Tick implements one cycle: dispatch every latched flit (the defining
+// deflection-router invariant), inject if a port remains, then latch this
+// cycle's arrivals.
+func (r *Router) Tick(now uint64) {
+	if r.meter != nil {
+		r.meter.StaticTick()
+	}
+
+	r.flits = r.flits[:0]
+	for _, l := range r.latches {
+		if l.arrivedAt >= now {
+			panic(fmt.Sprintf("deflect %d: latch holds current-cycle flit", r.node))
+		}
+		r.flits = append(r.flits, l.f)
+	}
+	r.latches = r.latches[:0]
+
+	assignments := r.defl.Assign(r.flits, func(_ *flit.Flit, d topology.Dir) bool {
+		return r.wires.Ports[d].Exists()
+	}, r.ejectWidth)
+	var taken [topology.NumDirs]bool
+	for i, a := range assignments {
+		f := r.flits[i]
+		if !a.OK {
+			panic(fmt.Sprintf("deflect %d: no output for flit %v", r.node, f))
+		}
+		if a.Dir == topology.Local {
+			r.eject(now, f)
+			continue
+		}
+		taken[a.Dir] = true
+		if a.Deflected {
+			f.Deflections++
+			r.deflections++
+		}
+		r.send(now, a.Dir, f)
+	}
+
+	r.inject(now, &taken)
+	r.receive(now)
+}
+
+func (r *Router) eject(now uint64, f *flit.Flit) {
+	r.routedFlits++
+	r.ejectedFlits++
+	if r.meter != nil {
+		r.meter.SwArb()
+		r.meter.Xbar()
+	}
+	r.sink.Deliver(now, f)
+}
+
+func (r *Router) send(now uint64, d topology.Dir, f *flit.Flit) {
+	r.routedFlits++
+	f.Hops++
+	r.wires.Ports[d].Out.Send(now, f)
+	if r.meter != nil {
+		r.meter.SwArb()
+		r.meter.Xbar()
+		r.meter.LinkHop()
+	}
+}
+
+// inject admits at most one new flit if an output port remains free after
+// the network flits — the only backpressure a backpressureless router
+// exerts.
+
+// armInjection advances vn's injection-stage register and reports whether
+// its head flit may be injected this cycle.
+func (r *Router) armInjection(now uint64, vn flit.VN) bool {
+	if r.src.Peek(vn) == nil {
+		r.injArmedAt[vn] = 0
+		return false
+	}
+	if r.injArmedAt[vn] == 0 {
+		r.injArmedAt[vn] = now + 1
+	}
+	return now >= r.injArmedAt[vn]
+}
+func (r *Router) inject(now uint64, taken *[topology.NumDirs]bool) {
+	// Round-robin over virtual networks for fairness; each VN may inject
+	// one flit per cycle, but every injection still needs a free output
+	// port after the network flits (footnote 3 of the paper).
+	start := r.injArb.Pick(func(int) bool { return true })
+	for i := 0; i < flit.NumVNs; i++ {
+		vn := flit.VN((start + i) % flit.NumVNs)
+		if !r.armInjection(now, vn) {
+			continue
+		}
+		free := false
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if r.wires.Ports[d].Exists() && !taken[d] {
+				free = true
+				break
+			}
+		}
+		if !free {
+			return
+		}
+		f := r.src.Pop(vn)
+		// The flit entered the injection register the cycle before it
+		// became eligible; latency accounting starts there, like a
+		// buffer write.
+		entered := r.injArmedAt[vn] - 1
+		r.injArmedAt[vn] = now + 1
+		r.stamp(entered, f)
+		r.injected++
+
+		one := []*flit.Flit{f}
+		a := r.defl.Assign(one, func(_ *flit.Flit, d topology.Dir) bool {
+			return r.wires.Ports[d].Exists() && !taken[d]
+		}, 0)[0]
+		if !a.OK {
+			panic(fmt.Sprintf("deflect %d: injection with no free port", r.node))
+		}
+		taken[a.Dir] = true
+		if a.Deflected {
+			f.Deflections++
+			r.deflections++
+		}
+		r.send(now, a.Dir, f)
+	}
+}
+
+func (r *Router) stamp(now uint64, f *flit.Flit) {
+	if st, ok := r.src.(interface {
+		StampInjection(uint64, *flit.Flit)
+	}); ok {
+		st.StampInjection(now, f)
+	} else {
+		f.InjectedAt = now
+	}
+}
+
+// receive latches this cycle's arrivals for dispatch next cycle.
+func (r *Router) receive(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.In == nil {
+			continue
+		}
+		if f, ok := pl.In.Recv(now); ok {
+			r.latches = append(r.latches, latched{f: f, arrivedAt: now})
+			if r.meter != nil {
+				r.meter.Latch()
+			}
+		}
+	}
+}
+
+// LatchedFlits returns the number of flits currently held in pipeline
+// latches (drain checks).
+func (r *Router) LatchedFlits() int { return len(r.latches) }

@@ -1,0 +1,209 @@
+package deflect
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afcnet/internal/energy"
+	"afcnet/internal/flit"
+	"afcnet/internal/router"
+	"afcnet/internal/topology"
+)
+
+// Nacker carries drop notifications back to packet sources. The paper's
+// drop-based designs (e.g. SCARAB) use a dedicated low-cost NACK network
+// with guaranteed delivery; the network layer implements this interface by
+// scheduling a source retransmission after the NACK's flight time.
+type Nacker interface {
+	Nack(now uint64, f *flit.Flit)
+}
+
+// DropRouter is the drop-based backpressureless variant: a contending
+// flit that cannot take a productive output port is dropped and NACKed
+// instead of deflected. Included as the paper's Section II comparison
+// point (it saturates at lower loads than deflection, which the open-loop
+// sweep bench reproduces).
+type DropRouter struct {
+	mesh topology.Mesh
+	node topology.NodeID
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	meter *energy.Meter
+	nack  Nacker
+
+	rng        *rand.Rand
+	injArb     *router.RoundRobin
+	ejectWidth int
+
+	latches    []latched
+	order      []int
+	prod       []topology.Dir
+	injArmedAt [flit.NumVNs]uint64
+
+	// Stats
+	routedFlits  uint64
+	droppedFlits uint64
+	ejectedFlits uint64
+}
+
+// NewDrop returns a drop-based backpressureless router at node.
+func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand.Rand,
+	wires router.Wires, src router.LocalSource, sink router.LocalSink,
+	meter *energy.Meter, nack Nacker) *DropRouter {
+
+	return &DropRouter{
+		mesh:       mesh,
+		node:       node,
+		wires:      wires,
+		src:        src,
+		sink:       sink,
+		meter:      meter,
+		nack:       nack,
+		rng:        rng,
+		injArb:     router.NewRoundRobin(flit.NumVNs),
+		ejectWidth: ejectWidth,
+	}
+}
+
+// Node implements router.Router.
+func (r *DropRouter) Node() topology.NodeID { return r.node }
+
+// DroppedFlits returns the number of flits dropped by this router.
+func (r *DropRouter) DroppedFlits() uint64 { return r.droppedFlits }
+
+// RoutedFlits returns the number of flits dispatched or ejected.
+func (r *DropRouter) RoutedFlits() uint64 { return r.routedFlits }
+
+// LatchedFlits returns the number of flits currently in pipeline latches.
+func (r *DropRouter) LatchedFlits() int { return len(r.latches) }
+
+// Tick implements one cycle: every latched flit either ejects, advances on
+// a productive port, or is dropped with a NACK; then at most one flit is
+// injected if a productive port remains.
+func (r *DropRouter) Tick(now uint64) {
+	if r.meter != nil {
+		r.meter.StaticTick()
+	}
+
+	var taken [topology.NumDirs]bool
+	ejectSlots := r.ejectWidth
+
+	// Randomize priority among latched flits (drop fairness).
+	r.order = r.order[:0]
+	for i := range r.latches {
+		r.order = append(r.order, i)
+	}
+	r.rng.Shuffle(len(r.order), func(a, b int) { r.order[a], r.order[b] = r.order[b], r.order[a] })
+
+	for _, idx := range r.order {
+		l := r.latches[idx]
+		if l.arrivedAt >= now {
+			panic(fmt.Sprintf("deflect(drop) %d: latch holds current-cycle flit", r.node))
+		}
+		f := l.f
+		if f.Dst == r.node && ejectSlots > 0 {
+			ejectSlots--
+			r.routedFlits++
+			r.ejectedFlits++
+			if r.meter != nil {
+				r.meter.SwArb()
+				r.meter.Xbar()
+			}
+			r.sink.Deliver(now, f)
+			continue
+		}
+		if d, ok := r.productiveFree(f, &taken); ok {
+			taken[d] = true
+			r.send(now, d, f)
+			continue
+		}
+		r.droppedFlits++
+		r.nack.Nack(now, f)
+	}
+	r.latches = r.latches[:0]
+
+	r.inject(now, &taken)
+	r.receive(now)
+}
+
+func (r *DropRouter) productiveFree(f *flit.Flit, taken *[topology.NumDirs]bool) (topology.Dir, bool) {
+	if f.Dst == r.node {
+		return 0, false // ejection port busy; dst flits cannot be misrouted here
+	}
+	if d := r.mesh.DORNext(r.node, f.Dst); !taken[d] && r.wires.Ports[d].Exists() {
+		return d, true
+	}
+	r.prod = r.mesh.ProductiveDirs(r.node, f.Dst, r.prod[:0])
+	for _, d := range r.prod {
+		if !taken[d] && r.wires.Ports[d].Exists() {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+func (r *DropRouter) send(now uint64, d topology.Dir, f *flit.Flit) {
+	r.routedFlits++
+	f.Hops++
+	r.wires.Ports[d].Out.Send(now, f)
+	if r.meter != nil {
+		r.meter.SwArb()
+		r.meter.Xbar()
+		r.meter.LinkHop()
+	}
+}
+
+func (r *DropRouter) armInjection(now uint64, vn flit.VN) bool {
+	if r.src.Peek(vn) == nil {
+		r.injArmedAt[vn] = 0
+		return false
+	}
+	if r.injArmedAt[vn] == 0 {
+		r.injArmedAt[vn] = now + 1
+	}
+	return now >= r.injArmedAt[vn]
+}
+
+func (r *DropRouter) inject(now uint64, taken *[topology.NumDirs]bool) {
+	start := r.injArb.Pick(func(int) bool { return true })
+	for i := 0; i < flit.NumVNs; i++ {
+		vn := flit.VN((start + i) % flit.NumVNs)
+		if !r.armInjection(now, vn) {
+			continue
+		}
+		f := r.src.Peek(vn)
+		d, ok := r.productiveFree(f, taken)
+		if !ok {
+			continue
+		}
+		f = r.src.Pop(vn)
+		entered := r.injArmedAt[vn] - 1
+		r.injArmedAt[vn] = now + 1
+		if st, ok := r.src.(interface {
+			StampInjection(uint64, *flit.Flit)
+		}); ok {
+			st.StampInjection(entered, f)
+		} else {
+			f.InjectedAt = entered
+		}
+		taken[d] = true
+		r.send(now, d, f)
+	}
+}
+
+func (r *DropRouter) receive(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.In == nil {
+			continue
+		}
+		if f, ok := pl.In.Recv(now); ok {
+			r.latches = append(r.latches, latched{f: f, arrivedAt: now})
+			if r.meter != nil {
+				r.meter.Latch()
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package experiments implements the paper's evaluation: one harness per
+// table/figure (see DESIGN.md's per-experiment index). cmd/figures and the
+// repository's benchmarks both call into this package, so the printed
+// rows and the bench-regenerated rows are the same code path.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+	"afcnet/internal/stats"
+)
+
+// Options controls run length and repetition.
+type Options struct {
+	// Seeds: one full run per seed; means and standard deviations across
+	// seeds reproduce the paper's variance bars.
+	Seeds []int64
+	// WarmupTx / MeasureTx: closed-loop transactions before/inside the
+	// measurement window.
+	WarmupTx, MeasureTx uint64
+	// CycleLimit aborts runaway runs.
+	CycleLimit uint64
+	// OpenLoopWarmup / OpenLoopMeasure: cycles for open-loop windows.
+	OpenLoopWarmup, OpenLoopMeasure uint64
+}
+
+// Default returns the options used for the recorded results in
+// EXPERIMENTS.md.
+func Default() Options {
+	return Options{
+		Seeds:           []int64{1, 2, 3},
+		WarmupTx:        2000,
+		MeasureTx:       6000,
+		CycleLimit:      30_000_000,
+		OpenLoopWarmup:  10_000,
+		OpenLoopMeasure: 30_000,
+	}
+}
+
+// Quick returns reduced options for fast regression benches.
+func Quick() Options {
+	return Options{
+		Seeds:           []int64{1},
+		WarmupTx:        800,
+		MeasureTx:       2500,
+		CycleLimit:      10_000_000,
+		OpenLoopWarmup:  4_000,
+		OpenLoopMeasure: 10_000,
+	}
+}
+
+// Fig2Kinds are the configurations compared in Figure 2, baseline first
+// (normalization target).
+var Fig2Kinds = []network.Kind{
+	network.Backpressured,
+	network.Bless,
+	network.AFCAlwaysBuffered,
+	network.AFC,
+}
+
+// Fig2EnergyKinds adds the ideal-bypass energy bound (shown only on the
+// low-load energy graph in the paper).
+var Fig2EnergyKinds = append([]network.Kind{network.BackpressuredIdealBypass}, Fig2Kinds...)
+
+// Measurement is one closed-loop (bench, kind) cell aggregated over seeds.
+type Measurement struct {
+	Bench string
+	Kind  network.Kind
+
+	// Perf is performance normalized to the backpressured baseline
+	// (transactions/cycle ratio; higher is better). Figure 2(a)/(c).
+	Perf, PerfStd float64
+	// Energy is network energy normalized to the baseline (lower is
+	// better). Figure 2(b)/(d).
+	Energy, EnergyStd float64
+
+	// Breakdown components normalized to the baseline's total energy
+	// (Figure 3): buffer, link, rest-of-router.
+	BufferE, LinkE, RestE float64
+
+	// Raw measurements (seed-averaged).
+	TxPerCycle    float64
+	InjectionRate float64
+	NetLatency    float64
+
+	// AFC mode statistics (zero for non-AFC kinds).
+	BufferedFraction float64
+	GossipSwitches   float64
+	EscapeEvents     float64
+}
+
+// runCell runs one (bench, kind, seed) closed-loop measurement.
+func runCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (cmp.RunResult, *network.Network, error) {
+	net := network.New(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
+	sys := cmp.NewSystem(net, p, net.RandStream)
+	res, ok := sys.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+	if !ok {
+		return res, net, fmt.Errorf("experiments: %s on %s exceeded %d cycles",
+			p.Name, kind, opt.CycleLimit)
+	}
+	return res, net, nil
+}
+
+// ClosedLoop runs the Figure 2/3 measurement for the given benchmarks and
+// kinds. The backpressured baseline is always run (it is the
+// normalization target) even if absent from kinds.
+func ClosedLoop(benches []cmp.Params, kinds []network.Kind, opt Options) ([]Measurement, error) {
+	var out []Measurement
+	for _, p := range benches {
+		agg := make(map[network.Kind]*cellAgg, len(kinds))
+		for _, k := range kinds {
+			agg[k] = &cellAgg{}
+		}
+		for _, seed := range opt.Seeds {
+			baseRes, baseNet, err := runCell(p, network.Backpressured, seed, opt)
+			if err != nil {
+				return nil, err
+			}
+			baseEnergy := baseNet.TotalEnergy().Total()
+			for _, k := range kinds {
+				res, net, err := runCell(p, k, seed, opt)
+				if k == network.Backpressured {
+					res, net, err = baseRes, baseNet, nil
+				}
+				if err != nil {
+					return nil, err
+				}
+				e := net.TotalEnergy()
+				ms := net.ModeStats()
+				a := agg[k]
+				a.perf.Add(res.TransactionsPerCycle / baseRes.TransactionsPerCycle)
+				a.energy.Add(e.Total() / baseEnergy)
+				a.bufferE.Add(e.Buffer() / baseEnergy)
+				a.linkE.Add(e.Link / baseEnergy)
+				a.restE.Add(e.Rest() / baseEnergy)
+				a.tx.Add(res.TransactionsPerCycle)
+				a.inj.Add(res.InjectionRate)
+				a.lat.Add(res.MeanNetLatency)
+				a.bufFrac.Add(ms.BufferedFraction())
+				a.gossip.Add(float64(ms.GossipSwitches))
+				a.escape.Add(float64(ms.EscapeEvents))
+			}
+		}
+		for _, k := range kinds {
+			a := agg[k]
+			out = append(out, Measurement{
+				Bench: p.Name, Kind: k,
+				Perf: a.perf.Mean(), PerfStd: a.perf.StdDev(),
+				Energy: a.energy.Mean(), EnergyStd: a.energy.StdDev(),
+				BufferE: a.bufferE.Mean(), LinkE: a.linkE.Mean(), RestE: a.restE.Mean(),
+				TxPerCycle: a.tx.Mean(), InjectionRate: a.inj.Mean(), NetLatency: a.lat.Mean(),
+				BufferedFraction: a.bufFrac.Mean(),
+				GossipSwitches:   a.gossip.Mean(),
+				EscapeEvents:     a.escape.Mean(),
+			})
+		}
+	}
+	return out, nil
+}
+
+type cellAgg struct {
+	perf, energy, bufferE, linkE, restE   stats.Running
+	tx, inj, lat, bufFrac, gossip, escape stats.Running
+}
+
+// GeoMeans appends per-kind geometric-mean rows (bench "geomean") over
+// the normalized performance and energy of ms.
+func GeoMeans(ms []Measurement) []Measurement {
+	byKind := map[network.Kind][]Measurement{}
+	var order []network.Kind
+	for _, m := range ms {
+		if _, ok := byKind[m.Kind]; !ok {
+			order = append(order, m.Kind)
+		}
+		byKind[m.Kind] = append(byKind[m.Kind], m)
+	}
+	var out []Measurement
+	for _, k := range order {
+		rows := byKind[k]
+		var perfs, energies []float64
+		for _, r := range rows {
+			perfs = append(perfs, r.Perf)
+			energies = append(energies, r.Energy)
+		}
+		out = append(out, Measurement{
+			Bench:  "geomean",
+			Kind:   k,
+			Perf:   stats.GeoMean(perfs),
+			Energy: stats.GeoMean(energies),
+		})
+	}
+	return out
+}
+
+// WriteFig2 renders the Figure 2 style table (normalized performance and
+// energy, with variance) to w.
+func WriteFig2(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tkind\tperf(norm)\t±\tenergy(norm)\t±\tinj rate\tnet lat")
+	for _, m := range ms {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.1f\n",
+			m.Bench, m.Kind, m.Perf, m.PerfStd, m.Energy, m.EnergyStd,
+			m.InjectionRate, m.NetLatency)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteFig3 renders the Figure 3 style energy breakdown (components
+// normalized to the backpressured total per benchmark).
+func WriteFig3(w io.Writer, title string, ms []Measurement) {
+	fmt.Fprintf(w, "%s\n", title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tkind\tbuffer\tlink\trest\ttotal")
+	for _, m := range ms {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			m.Bench, m.Kind, m.BufferE, m.LinkE, m.RestE, m.BufferE+m.LinkE+m.RestE)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteDuty renders the AFC mode duty-cycle report (Section V-A text).
+func WriteDuty(w io.Writer, ms []Measurement) {
+	fmt.Fprintln(w, "AFC mode duty cycle (fraction of router-cycles in backpressured mode)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tbackpressured-mode\tgossip switches\tescape events")
+	for _, m := range ms {
+		if m.Kind != network.AFC {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.1f\t%.1f\n",
+			m.Bench, 100*m.BufferedFraction, m.GossipSwitches, m.EscapeEvents)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Table3Row is a paper-vs-measured injection-rate calibration entry.
+type Table3Row struct {
+	Bench    string
+	Paper    float64
+	Measured float64
+}
+
+// Table3 measures the achieved injection rate of every workload preset on
+// the backpressured baseline (the configuration the paper's Table III
+// reports).
+func Table3(opt Options) ([]Table3Row, error) {
+	var out []Table3Row
+	for _, p := range cmp.AllBenchmarks() {
+		var r stats.Running
+		for _, seed := range opt.Seeds {
+			res, _, err := runCell(p, network.Backpressured, seed, opt)
+			if err != nil {
+				return nil, err
+			}
+			r.Add(res.InjectionRate)
+		}
+		out = append(out, Table3Row{
+			Bench:    p.Name,
+			Paper:    cmp.PaperInjectionRates[p.Name],
+			Measured: r.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// WriteTable3 renders the calibration table.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table III: workload injection rates (flits/node/cycle), paper vs. measured")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tpaper\tmeasured")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.3f\n", r.Bench, r.Paper, r.Measured)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+)
+
+// Results bundles the full evaluation for machine consumption
+// (cmd/figures -json).
+type Results struct {
+	// LowLoad / HighLoad are the Figure 2/3 measurements.
+	LowLoad  []Measurement `json:"lowLoad"`
+	HighLoad []Measurement `json:"highLoad"`
+	// Table3 is the injection-rate calibration.
+	Table3 []Table3Row `json:"table3"`
+	// Sweep is the open-loop latency-throughput series.
+	Sweep []SweepPoint `json:"sweep"`
+	// Quadrant is the Section V-B consolidation experiment.
+	Quadrant []QuadrantResult `json:"quadrant"`
+	// Gossip is the hotspot mode-switch demonstration.
+	Gossip GossipResult `json:"gossip"`
+}
+
+// CollectAll runs the complete evaluation once and returns it as a
+// Results bundle.
+func CollectAll(opt Options) (Results, error) {
+	var r Results
+	var err error
+	if r.LowLoad, err = ClosedLoop(cmp.LowLoad(), Fig2EnergyKinds, opt); err != nil {
+		return r, err
+	}
+	if r.HighLoad, err = ClosedLoop(cmp.HighLoad(), Fig2Kinds, opt); err != nil {
+		return r, err
+	}
+	if r.Table3, err = Table3(opt); err != nil {
+		return r, err
+	}
+	rates := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65}
+	r.Sweep = LatencySweep([]network.Kind{
+		network.Backpressured, network.Bless, network.BlessDrop, network.AFC,
+	}, rates, opt)
+	r.Quadrant = Quadrant([]network.Kind{
+		network.Backpressured, network.Bless, network.AFC,
+	}, 0.9, 0.1, opt)
+	r.Gossip = GossipHotspot(opt.Seeds[0], opt)
+	return r, nil
+}
+
+// WriteJSON emits the bundle as indented JSON.
+func (r Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

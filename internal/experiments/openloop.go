@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"afcnet/internal/config"
+	"afcnet/internal/network"
+	"afcnet/internal/stats"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// SweepPoint is one (kind, offered-rate) cell of the open-loop
+// latency-throughput sweep ("Other results" in Section V-A: all kinds
+// match at low load; AFC and backpressured reach near-identical
+// saturation throughput; backpressureless saturates earlier; the drop
+// variant earlier still).
+type SweepPoint struct {
+	Kind       network.Kind
+	Offered    float64 // flits/node/cycle
+	Throughput float64 // delivered flits/node/cycle
+	Latency    float64 // mean total latency (queueing included), cycles
+	Saturated  bool
+}
+
+// saturationLatency marks a sweep point saturated: total latency beyond
+// this bound means source queues are growing without bound. A point is
+// also saturated when deliveries fall visibly behind creations within the
+// window (backlog growth), which detects saturation robustly even in
+// short windows.
+const saturationLatency = 400
+
+// LatencySweep runs open-loop uniform-random traffic at each offered rate
+// for each kind.
+func LatencySweep(kinds []network.Kind, rates []float64, opt Options) []SweepPoint {
+	return LatencySweepPattern(kinds, rates, func(m topology.Mesh) traffic.Pattern {
+		return traffic.Uniform{Mesh: m}
+	}, opt)
+}
+
+// LatencySweepPattern is LatencySweep with a custom destination pattern
+// (cmd/sweep exposes transpose, bit-complement, hotspot and neighbor
+// patterns).
+func LatencySweepPattern(kinds []network.Kind, rates []float64,
+	mkPattern func(topology.Mesh) traffic.Pattern, opt Options) []SweepPoint {
+	var out []SweepPoint
+	for _, k := range kinds {
+		for _, rate := range rates {
+			var lat, thr stats.Running
+			sat := false
+			for _, seed := range opt.Seeds {
+				net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
+				gen := traffic.NewGenerator(net, traffic.Config{
+					Pattern: mkPattern(net.Mesh()),
+					Rate:    rate,
+				}, net.RandStream)
+				net.AddTicker(gen)
+				net.Run(opt.OpenLoopWarmup)
+				net.ResetStats()
+				net.Run(opt.OpenLoopMeasure)
+				lat.Add(net.MeanTotalLatency())
+				thr.Add(net.ThroughputFlits())
+				if net.MeanTotalLatency() > saturationLatency {
+					sat = true
+				}
+				if c := net.CreatedPackets(); c > 100 &&
+					float64(net.DeliveredPackets()) < 0.85*float64(c) {
+					sat = true
+				}
+			}
+			out = append(out, SweepPoint{
+				Kind:       k,
+				Offered:    rate,
+				Throughput: thr.Mean(),
+				Latency:    lat.Mean(),
+				Saturated:  sat,
+			})
+		}
+	}
+	return out
+}
+
+// SaturationThroughput returns, per kind, the highest offered rate in pts
+// that is not saturated (the paper's saturation-throughput comparison).
+func SaturationThroughput(pts []SweepPoint) map[network.Kind]float64 {
+	out := map[network.Kind]float64{}
+	for _, p := range pts {
+		if !p.Saturated && p.Offered > out[p.Kind] {
+			out[p.Kind] = p.Offered
+		}
+	}
+	return out
+}
+
+// WriteSweep renders the latency-throughput sweep.
+func WriteSweep(w io.Writer, pts []SweepPoint) {
+	fmt.Fprintln(w, "Open-loop uniform-random latency/throughput sweep (3x3 mesh)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\toffered\tthroughput\tlatency\tsaturated")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.1f\t%v\n",
+			p.Kind, p.Offered, p.Throughput, p.Latency, p.Saturated)
+	}
+	tw.Flush()
+	sat := SaturationThroughput(pts)
+	fmt.Fprintln(w, "saturation throughput (highest unsaturated offered load):")
+	for _, k := range []network.Kind{network.Backpressured, network.Bless, network.BlessDrop, network.AFC} {
+		if v, ok := sat[k]; ok {
+			fmt.Fprintf(w, "  %-28s %.3f flits/node/cycle\n", k, v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// QuadrantResult is the Section V-B spatial-variation experiment for one
+// kind: an 8x8 mesh where one quadrant injects at a high rate and the
+// other three at a low rate, with quadrant-local destinations.
+type QuadrantResult struct {
+	Kind            network.Kind
+	Energy          float64 // total network energy over the window
+	HotLatency      float64 // mean net latency of packets delivered in the hot quadrant
+	ColdLatency     float64 // same for the three cold quadrants
+	BufferedFrac    float64 // AFC only: buffered duty cycle
+	GossipSwitches  uint64
+	EscapeEvents    uint64
+	DeliveredHot    uint64
+	DeliveredCold   uint64
+	ThroughputFlits float64
+}
+
+// Quadrant runs the consolidation experiment: hotRate in quadrant 0,
+// coldRate elsewhere (the paper uses 0.9 and 0.1 flits/node/cycle).
+func Quadrant(kinds []network.Kind, hotRate, coldRate float64, opt Options) []QuadrantResult {
+	var out []QuadrantResult
+	mesh := topology.NewMesh(8, 8)
+	sys := config.DefaultWithMesh(mesh)
+	for _, k := range kinds {
+		var energy, hotLat, coldLat, thr, bufFrac stats.Running
+		var gossip, escape, delHot, delCold uint64
+		for _, seed := range opt.Seeds {
+			net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
+			rates := make([]float64, net.Nodes())
+			for i := range rates {
+				if traffic.QuadrantIndex(mesh, topology.NodeID(i)) == 0 {
+					rates[i] = hotRate
+				} else {
+					rates[i] = coldRate
+				}
+			}
+			gen := traffic.NewGenerator(net, traffic.Config{
+				Pattern:   traffic.Quadrant{Mesh: mesh},
+				NodeRates: rates,
+			}, net.RandStream)
+			net.AddTicker(gen)
+			net.Run(opt.OpenLoopWarmup)
+			net.ResetStats()
+			net.Run(opt.OpenLoopMeasure)
+
+			energy.Add(net.TotalEnergy().Total())
+			thr.Add(net.ThroughputFlits())
+			var hSum, cSum float64
+			var hN, cN uint64
+			for i := 0; i < net.Nodes(); i++ {
+				h := net.NI(topology.NodeID(i)).NetLatency()
+				if traffic.QuadrantIndex(mesh, topology.NodeID(i)) == 0 {
+					hSum += h.Mean() * float64(h.Count())
+					hN += h.Count()
+				} else {
+					cSum += h.Mean() * float64(h.Count())
+					cN += h.Count()
+				}
+			}
+			if hN > 0 {
+				hotLat.Add(hSum / float64(hN))
+			}
+			if cN > 0 {
+				coldLat.Add(cSum / float64(cN))
+			}
+			ms := net.ModeStats()
+			bufFrac.Add(ms.BufferedFraction())
+			gossip += ms.GossipSwitches
+			escape += ms.EscapeEvents
+			delHot += hN
+			delCold += cN
+		}
+		out = append(out, QuadrantResult{
+			Kind:            k,
+			Energy:          energy.Mean(),
+			HotLatency:      hotLat.Mean(),
+			ColdLatency:     coldLat.Mean(),
+			BufferedFrac:    bufFrac.Mean(),
+			GossipSwitches:  gossip,
+			EscapeEvents:    escape,
+			DeliveredHot:    delHot,
+			DeliveredCold:   delCold,
+			ThroughputFlits: thr.Mean(),
+		})
+	}
+	return out
+}
+
+// WriteQuadrant renders the consolidation experiment, normalizing energy
+// to AFC (the paper reports backpressured and backpressureless as +9% and
+// +30% energy over AFC).
+func WriteQuadrant(w io.Writer, rs []QuadrantResult) {
+	fmt.Fprintln(w, "Section V-B: 8x8 consolidation, hot quadrant @0.9 + three cold @0.1 flits/node/cycle")
+	var afcEnergy float64
+	for _, r := range rs {
+		if r.Kind == network.AFC {
+			afcEnergy = r.Energy
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tenergy/AFC\thot lat\tcold lat\tbuffered%\tgossip\tescape")
+	for _, r := range rs {
+		norm := 0.0
+		if afcEnergy > 0 {
+			norm = r.Energy / afcEnergy
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.1f\t%.1f%%\t%d\t%d\n",
+			r.Kind, norm, r.HotLatency, r.ColdLatency,
+			100*r.BufferedFrac, r.GossipSwitches, r.EscapeEvents)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// GossipResult reports the open-loop hotspot experiment that exercises
+// the gossip-induced mode switch (Section V-A: the paper saw them only in
+// an open-loop hotspot experiment; they are a correctness safeguard).
+type GossipResult struct {
+	GossipSwitches  uint64
+	ForwardSwitches uint64
+	EscapeEvents    uint64
+	Delivered       uint64
+	Created         uint64
+	Drained         bool
+}
+
+// GossipHotspot drives an AFC network with hotspot traffic tuned so that
+// the hotspot's neighborhood switches to backpressured mode while outer
+// routers stay backpressureless, then lets it drain and checks no flit
+// was lost.
+func GossipHotspot(seed int64, opt Options) GossipResult {
+	net := network.New(network.Config{Kind: network.AFC, Seed: seed, MeterEnergy: false})
+	mesh := net.Mesh()
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Hotspot{Mesh: mesh, Hot: mesh.Node(1, 1), Frac: 0.7},
+		Rate:    0.45,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(opt.OpenLoopMeasure)
+	gen.Stop()
+	drained := net.RunUntil(net.Drained, 200_000)
+	ms := net.ModeStats()
+	return GossipResult{
+		GossipSwitches:  ms.GossipSwitches,
+		ForwardSwitches: ms.ForwardSwitches,
+		EscapeEvents:    ms.EscapeEvents,
+		Delivered:       net.DeliveredPackets(),
+		Created:         net.CreatedPackets(),
+		Drained:         drained,
+	}
+}
+
+// WriteGossip renders the gossip experiment.
+func WriteGossip(w io.Writer, r GossipResult) {
+	fmt.Fprintln(w, "Gossip-induced mode switching under an open-loop hotspot (AFC network)")
+	fmt.Fprintf(w, "  forward switches: %d (gossip-induced: %d), escape events: %d\n",
+		r.ForwardSwitches, r.GossipSwitches, r.EscapeEvents)
+	fmt.Fprintf(w, "  packets delivered: %d of %d created (drained: %v)\n\n", r.Delivered, r.Created, r.Drained)
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+	"afcnet/internal/viz"
+)
+
+// Fig2SVG renders a Figure 2 style grouped bar chart from closed-loop
+// measurements. metric selects performance or energy.
+func Fig2SVG(title, ylabel string, ms []Measurement, energy bool) string {
+	var groups []string
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if !seen[m.Bench] {
+			seen[m.Bench] = true
+			groups = append(groups, m.Bench)
+		}
+	}
+	gi := map[string]int{}
+	for i, g := range groups {
+		gi[g] = i
+	}
+	var kinds []network.Kind
+	seenK := map[network.Kind]bool{}
+	for _, m := range ms {
+		if !seenK[m.Kind] {
+			seenK[m.Kind] = true
+			kinds = append(kinds, m.Kind)
+		}
+	}
+	var series []viz.BarSeries
+	for _, k := range kinds {
+		s := viz.BarSeries{
+			Name: k.String(),
+			Val:  make([]float64, len(groups)),
+			Err:  make([]float64, len(groups)),
+		}
+		for _, m := range ms {
+			if m.Kind != k {
+				continue
+			}
+			if energy {
+				s.Val[gi[m.Bench]] = m.Energy
+				s.Err[gi[m.Bench]] = m.EnergyStd
+			} else {
+				s.Val[gi[m.Bench]] = m.Perf
+				s.Err[gi[m.Bench]] = m.PerfStd
+			}
+		}
+		series = append(series, s)
+	}
+	return viz.BarChart{
+		Title:   title,
+		YLabel:  ylabel,
+		Groups:  groups,
+		Series:  series,
+		RefLine: 1,
+	}.SVG()
+}
+
+// Fig3SVG renders a Figure 3 style stacked energy breakdown: one stacked
+// bar per (bench, kind) pair.
+func Fig3SVG(title string, ms []Measurement) string {
+	var groups []string
+	buffer := viz.StackSeries{Name: "buffer"}
+	link := viz.StackSeries{Name: "link"}
+	rest := viz.StackSeries{Name: "rest of router"}
+	for _, m := range ms {
+		groups = append(groups, m.Bench+"/"+shortKind(m.Kind))
+		buffer.Val = append(buffer.Val, m.BufferE)
+		link.Val = append(link.Val, m.LinkE)
+		rest.Val = append(rest.Val, m.RestE)
+	}
+	return viz.StackedBarChart{
+		Title:  title,
+		YLabel: "energy (normalized to backpressured)",
+		Groups: groups,
+		Stacks: []viz.StackSeries{buffer, link, rest},
+	}.SVG()
+}
+
+func shortKind(k network.Kind) string {
+	switch k {
+	case network.Backpressured:
+		return "bp"
+	case network.BackpressuredIdealBypass:
+		return "bypass"
+	case network.Bless:
+		return "bless"
+	case network.BlessDrop:
+		return "drop"
+	case network.AFC:
+		return "afc"
+	case network.AFCAlwaysBuffered:
+		return "afc-abp"
+	}
+	return k.String()
+}
+
+// SweepSVG renders the open-loop latency curves.
+func SweepSVG(pts []SweepPoint) string {
+	byKind := map[network.Kind]*viz.LineSeries{}
+	var order []network.Kind
+	for _, p := range pts {
+		s, ok := byKind[p.Kind]
+		if !ok {
+			s = &viz.LineSeries{Name: p.Kind.String()}
+			byKind[p.Kind] = s
+			order = append(order, p.Kind)
+		}
+		s.X = append(s.X, p.Offered)
+		s.Y = append(s.Y, p.Latency)
+	}
+	var series []viz.LineSeries
+	for _, k := range order {
+		series = append(series, *byKind[k])
+	}
+	return viz.LineChart{
+		Title:  "Open-loop latency vs. offered load (uniform random, 3x3)",
+		XLabel: "offered load (flits/node/cycle)",
+		YLabel: "mean total latency (cycles)",
+		YCap:   250,
+		Series: series,
+	}.SVG()
+}
+
+// WriteSVGs renders the main figure set into dir (created if needed):
+// fig2a/b/c/d, fig3a/b and the sweep. It reuses measurements so each
+// closed-loop configuration runs once.
+func WriteSVGs(dir string, opt Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	lows, err := ClosedLoop(cmp.LowLoad(), Fig2EnergyKinds, opt)
+	if err != nil {
+		return err
+	}
+	highs, err := ClosedLoop(cmp.HighLoad(), Fig2Kinds, opt)
+	if err != nil {
+		return err
+	}
+	rates := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65}
+	pts := LatencySweep([]network.Kind{
+		network.Backpressured, network.Bless, network.BlessDrop, network.AFC,
+	}, rates, opt)
+
+	files := map[string]string{
+		"fig2a.svg": Fig2SVG("Figure 2(a): performance, low load", "performance (normalized)", lows, false),
+		"fig2b.svg": Fig2SVG("Figure 2(b): network energy, low load", "energy (normalized)", lows, true),
+		"fig2c.svg": Fig2SVG("Figure 2(c): performance, high load", "performance (normalized)", highs, false),
+		"fig2d.svg": Fig2SVG("Figure 2(d): network energy, high load", "energy (normalized)", highs, true),
+		"fig3a.svg": Fig3SVG("Figure 3(a): energy breakdown, low load", lows),
+		"fig3b.svg": Fig3SVG("Figure 3(b): energy breakdown, high load", highs),
+		"sweep.svg": SweepSVG(pts),
+	}
+	for name, svg := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

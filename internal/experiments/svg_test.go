@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"afcnet/internal/network"
+)
+
+func TestFig2SVGStructure(t *testing.T) {
+	ms := []Measurement{
+		{Bench: "water", Kind: network.Backpressured, Perf: 1, Energy: 1},
+		{Bench: "water", Kind: network.Bless, Perf: 1.01, Energy: 0.70, EnergyStd: 0.01},
+		{Bench: "ocean", Kind: network.Backpressured, Perf: 1, Energy: 1},
+		{Bench: "ocean", Kind: network.Bless, Perf: 1.0, Energy: 0.73},
+	}
+	svg := Fig2SVG("t", "energy", ms, true)
+	for _, want := range []string{"water", "ocean", "backpressureless", "<svg", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// performance variant uses Perf values
+	perf := Fig2SVG("t", "perf", ms, false)
+	if perf == svg {
+		t.Error("perf and energy charts identical")
+	}
+}
+
+func TestFig3SVGStructure(t *testing.T) {
+	ms := []Measurement{
+		{Bench: "apache", Kind: network.Backpressured, BufferE: 0.4, LinkE: 0.18, RestE: 0.42},
+		{Bench: "apache", Kind: network.AFC, BufferE: 0.3, LinkE: 0.22, RestE: 0.51},
+	}
+	svg := Fig3SVG("t", ms)
+	for _, want := range []string{"apache/bp", "apache/afc", "buffer", "rest of router"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSweepSVGStructure(t *testing.T) {
+	pts := []SweepPoint{
+		{Kind: network.Backpressured, Offered: 0.1, Latency: 15},
+		{Kind: network.Backpressured, Offered: 0.3, Latency: 18},
+		{Kind: network.Bless, Offered: 0.1, Latency: 15},
+		{Kind: network.Bless, Offered: 0.3, Latency: 900}, // clipped by YCap
+	}
+	svg := SweepSVG(pts)
+	if c := strings.Count(svg, "<polyline"); c != 2 {
+		t.Errorf("polylines = %d, want 2", c)
+	}
+}
+
+func TestShortKindCoversAll(t *testing.T) {
+	seen := map[string]bool{}
+	for k := network.Kind(0); k < network.NumKinds; k++ {
+		s := shortKind(k)
+		if s == "" || seen[s] {
+			t.Errorf("shortKind(%v) = %q (empty or duplicate)", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,25 @@
+package flit_test
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+)
+
+func ExamplePacket_Flits() {
+	p := flit.Packet{ID: 7, Src: 0, Dst: 8, VN: flit.VNData, Len: 3}
+	for _, f := range p.Flits() {
+		fmt.Printf("seq=%d head=%v tail=%v vc=%d\n", f.Seq, f.Head(), f.Tail(), f.VC)
+	}
+	// Output:
+	// seq=0 head=true tail=false vc=-1
+	// seq=1 head=false tail=false vc=-1
+	// seq=2 head=false tail=true vc=-1
+}
+
+func ExampleLenForVN() {
+	// Control packets are single flits; a 64-byte line over 32-bit flits
+	// plus a head flit makes a 17-flit data packet (Table II).
+	fmt.Println(flit.LenForVN(flit.VNReq), flit.LenForVN(flit.VNData))
+	// Output: 1 17
+}

@@ -1,0 +1,87 @@
+package flit
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"afcnet/internal/topology"
+)
+
+func TestHeadTail(t *testing.T) {
+	p := Packet{ID: 1, Src: 0, Dst: 5, VN: VNData, Len: 4}
+	fs := p.Flits()
+	if len(fs) != 4 {
+		t.Fatalf("len = %d", len(fs))
+	}
+	if !fs[0].Head() || fs[0].Tail() {
+		t.Error("first flit head/tail wrong")
+	}
+	if fs[3].Head() || !fs[3].Tail() {
+		t.Error("last flit head/tail wrong")
+	}
+	for _, f := range fs[1:3] {
+		if f.Head() || f.Tail() {
+			t.Errorf("body flit %d classified as head/tail", f.Seq)
+		}
+	}
+}
+
+func TestSingleFlitPacketIsHeadAndTail(t *testing.T) {
+	fs := Packet{ID: 2, Dst: 1, VN: VNReq, Len: 1}.Flits()
+	if !fs[0].Head() || !fs[0].Tail() {
+		t.Error("single-flit packet must be both head and tail")
+	}
+}
+
+// TestFlitsCarryIndependentRoutingState is the property backpressureless
+// routing depends on: every flit of a packet carries the full routing
+// metadata and no VC assignment.
+func TestFlitsCarryIndependentRoutingState(t *testing.T) {
+	f := func(lenByte uint8, src, dst uint8, vnRaw uint8, payload uint64) bool {
+		l := int(lenByte)%32 + 1
+		vn := VN(vnRaw % uint8(NumVNs))
+		p := Packet{ID: 9, Src: int2node(src), Dst: int2node(dst), VN: vn, Len: l, CreatedAt: 123, Payload: payload}
+		fs := p.Flits()
+		if len(fs) != l {
+			return false
+		}
+		for i, fl := range fs {
+			if fl.Seq != i || fl.Len != l || fl.Src != p.Src || fl.Dst != p.Dst ||
+				fl.VN != vn || fl.VC != NoVC || fl.CreatedAt != 123 || fl.Payload != payload {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidths(t *testing.T) {
+	// Section IV: 41/45/49-bit flits, strictly increasing with the
+	// control state each mechanism needs.
+	if WidthBackpressured != 41 || WidthBackpressureless != 45 || WidthAFC != 49 {
+		t.Errorf("widths = %d/%d/%d, want 41/45/49",
+			WidthBackpressured, WidthBackpressureless, WidthAFC)
+	}
+}
+
+func TestLenForVN(t *testing.T) {
+	if LenForVN(VNReq) != 1 || LenForVN(VNResp) != 1 {
+		t.Error("control packets must be single-flit")
+	}
+	// 64-byte line over 32-bit flits plus a head flit
+	if LenForVN(VNData) != 17 {
+		t.Errorf("data packet = %d flits, want 17", LenForVN(VNData))
+	}
+}
+
+func TestVNString(t *testing.T) {
+	if VNReq.String() != "req" || VNResp.String() != "resp" || VNData.String() != "data" {
+		t.Error("VN.String mismatch")
+	}
+}
+
+func int2node(b uint8) topology.NodeID { return topology.NodeID(b) }

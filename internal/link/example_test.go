@@ -1,0 +1,22 @@
+package link_test
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+)
+
+func ExamplePipe() {
+	// A 2-cycle link: a flit sent at cycle 10 is visible exactly at 12.
+	l := link.NewData(2)
+	l.Send(10, &flit.Flit{PacketID: 1})
+	if _, ok := l.Recv(11); !ok {
+		fmt.Println("nothing at cycle 11")
+	}
+	f, _ := l.Recv(12)
+	fmt.Println("arrived:", f.PacketID)
+	// Output:
+	// nothing at cycle 11
+	// arrived: 1
+}

@@ -1,0 +1,161 @@
+// Package link provides the latched, fixed-latency channels that connect
+// routers: data links carrying flits, credit links carrying credit
+// backflow, and control lines carrying AFC's credit-tracking start/stop
+// notifications.
+//
+// A Pipe is a cycle-indexed ring buffer: a value sent at cycle t with
+// latency L becomes visible to the receiver exactly at cycle t+L and at no
+// other time. Because every inter-router interaction is mediated by a
+// Pipe, the order in which routers are ticked within a cycle cannot leak
+// information — the simulator stays deterministic and composable.
+package link
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+)
+
+// Pipe is a single-value-per-cycle channel with a fixed latency of at
+// least one cycle.
+type Pipe[T any] struct {
+	lat      int
+	vals     []T
+	occupied []bool
+	sends    uint64
+}
+
+// NewPipe returns a pipe with the given latency. It panics if lat < 1:
+// zero-latency pipes would make results depend on tick order.
+func NewPipe[T any](lat int) *Pipe[T] {
+	if lat < 1 {
+		panic(fmt.Sprintf("link: pipe latency must be >= 1, got %d", lat))
+	}
+	return &Pipe[T]{
+		lat:      lat,
+		vals:     make([]T, lat+1),
+		occupied: make([]bool, lat+1),
+	}
+}
+
+// Latency returns the pipe's latency in cycles.
+func (p *Pipe[T]) Latency() int { return p.lat }
+
+// Sends returns the total number of values sent, for stats and energy
+// accounting.
+func (p *Pipe[T]) Sends() uint64 { return p.sends }
+
+func (p *Pipe[T]) slot(cycle uint64) int {
+	return int(cycle % uint64(len(p.vals)))
+}
+
+// CanSend reports whether a value may be sent at cycle now (i.e. the
+// arrival slot is free; it can only be occupied if the sender violated the
+// one-per-cycle discipline).
+func (p *Pipe[T]) CanSend(now uint64) bool {
+	return !p.occupied[p.slot(now+uint64(p.lat))]
+}
+
+// Send schedules v to arrive at now+Latency(). It panics if a value was
+// already sent this cycle, since physical links carry one value per cycle.
+func (p *Pipe[T]) Send(now uint64, v T) {
+	s := p.slot(now + uint64(p.lat))
+	if p.occupied[s] {
+		panic(fmt.Sprintf("link: double send at cycle %d", now))
+	}
+	p.vals[s] = v
+	p.occupied[s] = true
+	p.sends++
+}
+
+// Recv returns the value arriving at cycle now, if any, and clears the
+// slot. A value not received at its arrival cycle is lost; receivers must
+// therefore poll every cycle (all routers do).
+func (p *Pipe[T]) Recv(now uint64) (T, bool) {
+	s := p.slot(now)
+	if !p.occupied[s] {
+		var zero T
+		return zero, false
+	}
+	v := p.vals[s]
+	var zero T
+	p.vals[s] = zero
+	p.occupied[s] = false
+	return v, true
+}
+
+// Peek returns the value arriving at cycle now without consuming it.
+func (p *Pipe[T]) Peek(now uint64) (T, bool) {
+	s := p.slot(now)
+	if !p.occupied[s] {
+		var zero T
+		return zero, false
+	}
+	return p.vals[s], true
+}
+
+// InFlight counts values currently traveling in the pipe at cycle now
+// (sent but not yet received).
+func (p *Pipe[T]) InFlight() int {
+	n := 0
+	for _, occ := range p.occupied {
+		if occ {
+			n++
+		}
+	}
+	return n
+}
+
+// Credit is a unit of credit backflow: the downstream router freed one
+// buffer slot. The baseline backpressured router tracks credits per VC;
+// AFC's lazy VC allocation tracks them per virtual network, so the message
+// carries both identifiers and each receiver reads the one it uses.
+type Credit struct {
+	VC int
+	VN flit.VN
+}
+
+// Ctrl is a control-line notification between adjacent AFC routers
+// (Section III-A: a special control line indicates when to start/stop
+// credit tracking as the sender switches modes).
+type Ctrl uint8
+
+// Control notifications.
+const (
+	// CtrlStartCredits: the sender is switching to backpressured mode;
+	// start counting credits (the sender's buffers are empty, so the
+	// initial credit count is the full buffer capacity).
+	CtrlStartCredits Ctrl = iota + 1
+	// CtrlStopCredits: the sender has switched to backpressureless mode;
+	// stop credit accounting and treat the sender as always-accepting.
+	CtrlStopCredits
+)
+
+// String implements fmt.Stringer.
+func (c Ctrl) String() string {
+	switch c {
+	case CtrlStartCredits:
+		return "start-credits"
+	case CtrlStopCredits:
+		return "stop-credits"
+	}
+	return fmt.Sprintf("Ctrl(%d)", uint8(c))
+}
+
+// Data is a flit-carrying link.
+type Data = Pipe[*flit.Flit]
+
+// CreditLink carries credit backflow.
+type CreditLink = Pipe[Credit]
+
+// CtrlLink carries mode-switch notifications.
+type CtrlLink = Pipe[Ctrl]
+
+// NewData returns a flit link with the given latency.
+func NewData(lat int) *Data { return NewPipe[*flit.Flit](lat) }
+
+// NewCredit returns a credit link with the given latency.
+func NewCredit(lat int) *CreditLink { return NewPipe[Credit](lat) }
+
+// NewCtrl returns a control line with the given latency.
+func NewCtrl(lat int) *CtrlLink { return NewPipe[Ctrl](lat) }

@@ -1,0 +1,368 @@
+// Package network assembles a complete on-chip network: a mesh of routers
+// of a chosen flow-control kind, the links between them, one network
+// interface per node, and per-router energy meters, driven by a
+// synchronous cycle kernel.
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"afcnet/internal/config"
+	"afcnet/internal/core"
+	"afcnet/internal/deflect"
+	"afcnet/internal/energy"
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/ni"
+	"afcnet/internal/router"
+	"afcnet/internal/sim"
+	"afcnet/internal/topology"
+	"afcnet/internal/vcrouter"
+)
+
+// Kind selects the flow-control mechanism of every router in the network
+// (networks are homogeneous in kind; AFC routers adapt their mode
+// individually).
+type Kind int
+
+// Network kinds, matching the configurations compared in Section V.
+const (
+	// Backpressured is the baseline credit-based VC router.
+	Backpressured Kind = iota
+	// BackpressuredIdealBypass is the baseline with all buffer dynamic
+	// energy elided — the lower bound for buffer-bypass techniques.
+	// Timing is identical to Backpressured.
+	BackpressuredIdealBypass
+	// Bless is the backpressureless flit-by-flit deflection router.
+	Bless
+	// BlessDrop is the drop-based backpressureless variant (extension).
+	BlessDrop
+	// AFC is the adaptive flow control router.
+	AFC
+	// AFCAlwaysBuffered pins every AFC router in backpressured mode,
+	// isolating lazy VC allocation from adaptivity.
+	AFCAlwaysBuffered
+
+	NumKinds = 6
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Backpressured:
+		return "backpressured"
+	case BackpressuredIdealBypass:
+		return "backpressured-ideal-bypass"
+	case Bless:
+		return "backpressureless"
+	case BlessDrop:
+		return "backpressureless-drop"
+	case AFC:
+		return "afc"
+	case AFCAlwaysBuffered:
+		return "afc-always-backpressured"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// FlitWidthBits returns the total flit width of the kind (Section IV).
+func (k Kind) FlitWidthBits() int {
+	switch k {
+	case Backpressured, BackpressuredIdealBypass:
+		return flit.WidthBackpressured
+	case Bless, BlessDrop:
+		return flit.WidthBackpressureless
+	default:
+		return flit.WidthAFC
+	}
+}
+
+// Config parameterizes a network build.
+type Config struct {
+	// System is the machine configuration (Table II); config.Default()
+	// if zero-valued fields are detected.
+	System config.System
+	// Kind selects the flow-control mechanism.
+	Kind Kind
+	// Seed roots all randomness (deflection arbitration, traffic).
+	Seed int64
+	// Energy holds the energy-model parameters; energy.DefaultParams()
+	// when zero. MeterEnergy=false disables energy accounting entirely.
+	Energy      energy.Params
+	MeterEnergy bool
+	// Policy selects deflection arbitration (PolicyRandom by default).
+	Policy router.DeflectPolicy
+	// MisrouteThreshold > 0 switches AFC routers with the rejected
+	// cumulative-misroute policy instead of local contention thresholds
+	// (ablation A7; see core.Options.MisrouteThreshold).
+	MisrouteThreshold int
+}
+
+// Network is a fully wired mesh NoC.
+type Network struct {
+	cfg    Config
+	mesh   topology.Mesh
+	kernel *sim.Kernel
+	source *sim.Source
+
+	routers []router.Router
+	nis     []*ni.NI
+	meters  []*energy.Meter
+	links   []*link.Data
+
+	nacks       nackHeap
+	nackPending map[uint64]bool
+
+	resetCycle uint64
+}
+
+// New builds a network. It panics on an invalid system configuration
+// (construction is programmer-facing; experiments validate configs first).
+func New(cfg Config) *Network {
+	if cfg.System.Mesh.Width == 0 {
+		cfg.System = config.Default()
+	}
+	if err := cfg.System.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Energy.RefWidthBits == 0 {
+		cfg.Energy = energy.DefaultParams()
+	}
+
+	n := &Network{
+		cfg:         cfg,
+		mesh:        cfg.System.Mesh,
+		kernel:      sim.NewKernel(),
+		source:      sim.NewSource(cfg.Seed),
+		nackPending: make(map[uint64]bool),
+	}
+	n.build()
+	return n
+}
+
+func (n *Network) build() {
+	sys := n.cfg.System
+	nodes := n.mesh.Nodes()
+	wires := make([]router.Wires, nodes)
+
+	dataLat := sys.LinkLatency + 1 // switch traversal folded into the link
+	sideLat := sys.LinkLatency
+
+	// Create one set of channels per directed edge.
+	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			nb, ok := n.mesh.Neighbor(node, d)
+			if !ok {
+				continue
+			}
+			data := link.NewData(dataLat)
+			credit := link.NewCredit(sideLat)
+			ctrl := link.NewCtrl(sideLat)
+			n.links = append(n.links, data)
+
+			// Sender side at node, direction d.
+			wires[node].Ports[d].Out = data
+			wires[node].Ports[d].CreditIn = credit
+			wires[node].Ports[d].CtrlOut = ctrl
+			// Receiver side at the neighbor, on the opposite port.
+			op := d.Opposite()
+			wires[nb].Ports[op].In = data
+			wires[nb].Ports[op].CreditOut = credit
+			wires[nb].Ports[op].CtrlIn = ctrl
+		}
+	}
+
+	n.nis = make([]*ni.NI, nodes)
+	n.meters = make([]*energy.Meter, nodes)
+	n.routers = make([]router.Router, nodes)
+	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
+		n.nis[node] = ni.New(node)
+		var meter *energy.Meter
+		if n.cfg.MeterEnergy {
+			meter = n.newMeter()
+		}
+		n.meters[node] = meter
+		n.routers[node] = n.newRouter(node, wires[node], meter)
+	}
+	for _, r := range n.routers {
+		n.kernel.Register(r)
+	}
+	n.kernel.Register(sim.TickFunc(n.houseKeep))
+}
+
+func (n *Network) newMeter() *energy.Meter {
+	k := n.cfg.Kind
+	slots := 0
+	dynBuf := true
+	switch k {
+	case Backpressured:
+		slots = n.cfg.System.Baseline.BufferSlotsPerPort()
+	case BackpressuredIdealBypass:
+		slots = n.cfg.System.Baseline.BufferSlotsPerPort()
+		dynBuf = false
+	case AFC, AFCAlwaysBuffered:
+		slots = n.cfg.System.AFC.BufferSlotsPerPort()
+	}
+	return energy.NewMeter(n.cfg.Energy, k.FlitWidthBits(), slots, topology.NumPorts, dynBuf)
+}
+
+func (n *Network) newRouter(node topology.NodeID, w router.Wires, meter *energy.Meter) router.Router {
+	sys := n.cfg.System
+	nif := n.nis[node]
+	switch n.cfg.Kind {
+	case Backpressured, BackpressuredIdealBypass:
+		return vcrouter.New(n.mesh, node, sys.Baseline, sys.EjectWidth, w, nif, nif, meter)
+	case Bless:
+		return deflect.New(n.mesh, node, n.cfg.Policy, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter)
+	case BlessDrop:
+		nif.SetRetain(true)
+		// ACK the source on delivery so it stops retransmitting; the
+		// paper's drop designs carry ACKs on the dedicated NACK fabric.
+		nif.SetAckHook(func(_ uint64, d ni.Delivered) {
+			n.nis[d.Src].ClearRetained(d.ID)
+		})
+		return deflect.NewDrop(n.mesh, node, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			&nodeNacker{net: n, node: node})
+	case AFC:
+		return core.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			core.Options{Policy: n.cfg.Policy, MisrouteThreshold: n.cfg.MisrouteThreshold})
+	case AFCAlwaysBuffered:
+		return core.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			core.Options{AlwaysBuffered: true, Policy: n.cfg.Policy})
+	}
+	panic(fmt.Sprintf("network: unknown kind %v", n.cfg.Kind))
+}
+
+// houseKeep runs once per cycle after the routers: NI queue sampling and
+// due NACK retransmissions.
+func (n *Network) houseKeep(now uint64) {
+	for _, nif := range n.nis {
+		nif.SampleQueues()
+	}
+	for len(n.nacks) > 0 && n.nacks[0].due <= now {
+		e := heap.Pop(&n.nacks).(nackEntry)
+		switch n.nis[e.src].Retransmit(now, e.pkt) {
+		case ni.RetransmitDeferred:
+			// The current copy is still draining out of the source; retry
+			// shortly — dropping this NACK would stall the packet.
+			heap.Push(&n.nacks, nackEntry{due: now + 32, src: e.src, pkt: e.pkt})
+		default:
+			delete(n.nackPending, e.pkt)
+		}
+	}
+}
+
+// Kernel exposes the cycle kernel so traffic generators and the CMP
+// substrate can register their own tickers.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// RandStream mints a deterministic random stream rooted at the network's
+// seed, for traffic generators and workload models.
+func (n *Network) RandStream() *rand.Rand { return n.source.Stream() }
+
+// AddTicker registers an additional per-cycle component (traffic
+// generator, CMP model). It runs after the routers each cycle.
+func (n *Network) AddTicker(t sim.Ticker) { n.kernel.Register(t) }
+
+// Mesh returns the network's mesh.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// Config returns the network's configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current cycle.
+func (n *Network) Now() uint64 { return n.kernel.Now() }
+
+// Step advances one cycle.
+func (n *Network) Step() { n.kernel.Step() }
+
+// Run advances c cycles.
+func (n *Network) Run(c uint64) { n.kernel.Run(c) }
+
+// RunUntil steps until pred holds or limit cycles pass.
+func (n *Network) RunUntil(pred func() bool, limit uint64) bool {
+	return n.kernel.RunUntil(pred, limit)
+}
+
+// NI returns the network interface of node.
+func (n *Network) NI(node topology.NodeID) *ni.NI { return n.nis[node] }
+
+// Router returns the router of node (callers type-assert for
+// kind-specific stats).
+func (n *Network) Router(node topology.NodeID) router.Router { return n.routers[node] }
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.mesh.Nodes() }
+
+// nodeNacker adapts the drop router's NACK port to scheduled source
+// retransmission. The NACK flight time models the paper's dedicated,
+// guaranteed-delivery NACK fabric: proportional to the drop site's
+// distance from the source.
+type nodeNacker struct {
+	net  *Network
+	node topology.NodeID
+}
+
+// Nack implements deflect.Nacker.
+func (nk *nodeNacker) Nack(now uint64, f *flit.Flit) {
+	n := nk.net
+	if n.nackPending[f.PacketID] {
+		return // a retransmission of this packet is already scheduled
+	}
+	epoch := n.nis[f.Src].Epoch(f.PacketID)
+	if f.Retransmits != epoch {
+		return // stale NACK from a superseded or delivered copy
+	}
+	// NACK flight time back to the source plus exponential backoff per
+	// retransmission: without backoff, synchronized retransmitted copies
+	// contend forever (congestion livelock).
+	dist := n.mesh.Distance(nk.node, f.Src)
+	delay := uint64((dist + 1) * (n.cfg.System.LinkLatency + 2))
+	if epoch > 8 {
+		epoch = 8
+	}
+	delay <<= uint(epoch)
+	n.nackPending[f.PacketID] = true
+	heap.Push(&n.nacks, nackEntry{due: now + delay, src: f.Src, pkt: f.PacketID})
+}
+
+type nackEntry struct {
+	due uint64
+	src topology.NodeID
+	pkt uint64
+}
+
+type nackHeap []nackEntry
+
+func (h nackHeap) Len() int            { return len(h) }
+func (h nackHeap) Less(i, j int) bool  { return h[i].due < h[j].due }
+func (h nackHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nackHeap) Push(x interface{}) { *h = append(*h, x.(nackEntry)) }
+func (h *nackHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MarshalJSON encodes the kind as its string name, so exported experiment
+// results are self-describing.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	for i := Kind(0); i < NumKinds; i++ {
+		if i.String() == s {
+			*k = i
+			return nil
+		}
+	}
+	return fmt.Errorf("network: unknown kind %q", s)
+}

@@ -1,0 +1,194 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"afcnet/internal/config"
+	"afcnet/internal/flit"
+	"afcnet/internal/topology"
+)
+
+var allKinds = []Kind{
+	Backpressured, BackpressuredIdealBypass, Bless, BlessDrop, AFC, AFCAlwaysBuffered,
+}
+
+func newTestNet(t *testing.T, kind Kind, seed int64) *Network {
+	t.Helper()
+	return New(Config{System: config.Default(), Kind: kind, Seed: seed, MeterEnergy: true})
+}
+
+// TestAllToAllDelivery sends a control and a data packet from every node
+// to every other node under every flow-control kind and checks complete,
+// loss-free delivery.
+func TestAllToAllDelivery(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := newTestNet(t, kind, 42)
+			nodes := n.Nodes()
+			want := 0
+			for s := 0; s < nodes; s++ {
+				for d := 0; d < nodes; d++ {
+					if s == d {
+						continue
+					}
+					src, dst := topology.NodeID(s), topology.NodeID(d)
+					n.NI(src).SendPacket(n.Now(), dst, flit.VNReq, flit.ControlPacketFlits, 0)
+					n.NI(src).SendPacket(n.Now(), dst, flit.VNData, flit.DataPacketFlits, 0)
+					want += 2
+				}
+			}
+			if !n.RunUntil(n.Drained, 200_000) {
+				t.Fatalf("network did not drain: delivered %d/%d packets",
+					n.DeliveredPackets(), want)
+			}
+			if got := int(n.DeliveredPackets()); got != want {
+				t.Fatalf("delivered %d packets, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestZeroLoadLatency checks the Table I pipeline model: a single-flit
+// packet traversing h hops through an idle network takes h*(2+L) cycles of
+// network latency under every flow-control kind (all routers present the
+// same 2-cycle pipeline; ejection happens at switch-allocation time of the
+// final router).
+func TestZeroLoadLatency(t *testing.T) {
+	sys := config.Default()
+	L := sys.LinkLatency
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, tc := range []struct {
+				src, dst topology.NodeID
+			}{
+				{0, 1}, // 1 hop
+				{0, 2}, // 2 hops
+				{0, 8}, // 4 hops (corner to corner)
+			} {
+				n := newTestNet(t, kind, 7)
+				hops := n.Mesh().Distance(tc.src, tc.dst)
+				n.NI(tc.src).SendPacket(n.Now(), tc.dst, flit.VNReq, 1, 0)
+				if !n.RunUntil(n.Drained, 1000) {
+					t.Fatalf("%d->%d: no delivery", tc.src, tc.dst)
+				}
+				got := n.NI(tc.dst).NetLatency().Mean()
+				// Per hop: one cycle from buffer/latch write to switch
+				// allocation, then L+1 cycles of switch+link traversal;
+				// the final router's ejection consumes its SA stage (+1).
+				want := float64(hops*(L+2) + 1)
+				if got != want {
+					t.Errorf("%d->%d (%d hops): net latency %.0f, want %.0f",
+						tc.src, tc.dst, hops, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFlitConservation checks that every injected flit is eventually
+// delivered exactly once (reassembly counts match).
+func TestFlitConservation(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := newTestNet(t, kind, 99)
+			nodes := n.Nodes()
+			wantFlits := uint64(0)
+			for i := 0; i < 200; i++ {
+				src := topology.NodeID(i % nodes)
+				dst := topology.NodeID((i*7 + 1) % nodes)
+				if src == dst {
+					dst = (dst + 1) % topology.NodeID(nodes)
+				}
+				vn := flit.VN(i % int(flit.NumVNs))
+				l := flit.LenForVN(vn)
+				n.NI(src).SendPacket(n.Now(), dst, vn, l, uint64(i))
+				wantFlits += uint64(l)
+				n.Step()
+			}
+			if !n.RunUntil(n.Drained, 500_000) {
+				t.Fatalf("did not drain; delivered %d packets of %d created",
+					n.DeliveredPackets(), n.CreatedPackets())
+			}
+			var delivered uint64
+			for node := 0; node < nodes; node++ {
+				delivered += n.NI(topology.NodeID(node)).DeliveredFlits()
+			}
+			if kind == BlessDrop {
+				// Retransmissions may deliver duplicate flits; packets are
+				// still exactly once.
+				if n.DeliveredPackets() != n.CreatedPackets() {
+					t.Fatalf("delivered %d packets, want %d", n.DeliveredPackets(), n.CreatedPackets())
+				}
+				return
+			}
+			if delivered != wantFlits {
+				t.Fatalf("delivered %d flits, want %d", delivered, wantFlits)
+			}
+		})
+	}
+}
+
+// TestEnergyAccounted checks that a run accrues energy in the expected
+// components per kind (e.g. no buffer dynamic energy for deflection or
+// ideal-bypass networks; zero static buffer energy only for bufferless).
+func TestEnergyAccounted(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := newTestNet(t, kind, 5)
+			n.NI(0).SendPacket(n.Now(), 8, flit.VNData, flit.DataPacketFlits, 0)
+			if !n.RunUntil(n.Drained, 10_000) {
+				t.Fatal("did not drain")
+			}
+			b := n.TotalEnergy()
+			if b.Link <= 0 {
+				t.Errorf("no link energy accrued: %+v", b)
+			}
+			if b.RouterStatic <= 0 {
+				t.Errorf("no router static energy accrued: %+v", b)
+			}
+			switch kind {
+			case Bless, BlessDrop:
+				if b.BufferDynamic != 0 || b.BufferStatic != 0 {
+					t.Errorf("bufferless kind accrued buffer energy: %+v", b)
+				}
+			case BackpressuredIdealBypass:
+				if b.BufferDynamic != 0 {
+					t.Errorf("ideal bypass accrued buffer dynamic energy: %+v", b)
+				}
+				if b.BufferStatic <= 0 {
+					t.Errorf("ideal bypass lost buffer static energy: %+v", b)
+				}
+			case Backpressured:
+				if b.BufferDynamic <= 0 || b.BufferStatic <= 0 {
+					t.Errorf("backpressured missing buffer energy: %+v", b)
+				}
+			}
+		})
+	}
+}
+
+func ExampleKind_String() {
+	fmt.Println(Backpressured, Bless, AFC)
+	// Output: backpressured backpressureless afc
+}
+
+func TestKindJSON(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("kind %v did not round-trip (%s)", k, b)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"nonesuch"`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/topology"
+)
+
+// TestInjectionRateWindow: the rate metric counts only flits injected
+// since the last ResetStats, over the window length.
+func TestInjectionRateWindow(t *testing.T) {
+	n := newTestNet(t, Backpressured, 71)
+	// 100 single-flit packets from node 0.
+	for i := 0; i < 100; i++ {
+		n.NI(0).SendPacket(n.Now(), 1, flit.VNReq, 1, 0)
+	}
+	n.RunUntil(n.Drained, 10_000)
+	if n.InjectedFlits() != 100 {
+		t.Fatalf("injected = %d", n.InjectedFlits())
+	}
+	n.ResetStats()
+	if n.InjectedFlits() != 0 || n.InjectionRate() != 0 {
+		t.Fatal("ResetStats did not clear injection accounting")
+	}
+	start := n.Now()
+	n.NI(0).SendPacket(n.Now(), 1, flit.VNReq, 1, 0)
+	n.RunUntil(n.Drained, 1_000)
+	wantRate := 1.0 / float64(n.Nodes()) / float64(n.Now()-start)
+	if got := n.InjectionRate(); math.Abs(got-wantRate) > 1e-12 {
+		t.Errorf("rate = %g, want %g", got, wantRate)
+	}
+}
+
+// TestThroughputCountsDeliveredFlits: throughput is delivered flits per
+// node per cycle within the window.
+func TestThroughputCountsDeliveredFlits(t *testing.T) {
+	n := newTestNet(t, Backpressured, 72)
+	n.ResetStats()
+	start := n.Now()
+	n.NI(0).SendPacket(n.Now(), 8, flit.VNData, flit.DataPacketFlits, 0)
+	n.RunUntil(n.Drained, 5_000)
+	want := float64(flit.DataPacketFlits) / float64(n.Nodes()) / float64(n.Now()-start)
+	if got := n.ThroughputFlits(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("throughput = %g, want %g", got, want)
+	}
+}
+
+// TestMeanLatenciesEmptyNetwork: metrics on an idle network are zero, not
+// NaN.
+func TestMeanLatenciesEmptyNetwork(t *testing.T) {
+	n := newTestNet(t, AFC, 73)
+	n.Run(100)
+	if v := n.MeanNetLatency(); v != 0 || math.IsNaN(v) {
+		t.Errorf("net latency on idle network = %g", v)
+	}
+	if v := n.MeanTotalLatency(); v != 0 || math.IsNaN(v) {
+		t.Errorf("total latency on idle network = %g", v)
+	}
+	if n.InjectionRate() != 0 || n.ThroughputFlits() != 0 {
+		t.Error("idle network reports nonzero rates")
+	}
+	if !n.Drained() {
+		t.Error("idle network not drained")
+	}
+}
+
+// TestEnergyResetsWithWindow: ResetStats clears accumulated energy so
+// warmup does not leak into measurements.
+func TestEnergyResetsWithWindow(t *testing.T) {
+	n := newTestNet(t, Backpressured, 74)
+	n.NI(0).SendPacket(n.Now(), 8, flit.VNData, flit.DataPacketFlits, 0)
+	n.RunUntil(n.Drained, 5_000)
+	if n.TotalEnergy().Total() <= 0 {
+		t.Fatal("no energy accrued")
+	}
+	n.ResetStats()
+	if got := n.TotalEnergy().Total(); got != 0 {
+		t.Fatalf("energy after reset = %g", got)
+	}
+	n.Run(10)
+	if n.TotalEnergy().RouterStatic <= 0 {
+		t.Error("static energy not accruing after reset")
+	}
+}
+
+// TestModeStatsZeroForNonAFC: mode statistics are empty on networks
+// without AFC routers.
+func TestModeStatsZeroForNonAFC(t *testing.T) {
+	n := newTestNet(t, Backpressured, 75)
+	n.Run(200)
+	if ms := n.ModeStats(); ms != (ModeStats{}) {
+		t.Errorf("mode stats on backpressured network = %+v", ms)
+	}
+}
+
+// TestRouterAccessors: Router() returns the per-node router and Mesh()
+// the topology.
+func TestRouterAccessors(t *testing.T) {
+	n := newTestNet(t, AFC, 76)
+	if n.Nodes() != 9 || n.Mesh().Width != 3 {
+		t.Fatalf("unexpected topology: %d nodes", n.Nodes())
+	}
+	for i := 0; i < n.Nodes(); i++ {
+		r := n.Router(topology.NodeID(i))
+		if r == nil || r.Node() != topology.NodeID(i) {
+			t.Fatalf("router %d accessor broken", i)
+		}
+	}
+	if n.Config().Kind != AFC {
+		t.Error("Config() lost the kind")
+	}
+}

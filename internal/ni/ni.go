@@ -1,0 +1,394 @@
+// Package ni implements the network interface at each node: packetization
+// of messages into flits, per-virtual-network injection queues, and
+// MSHR-style reassembly of (possibly out-of-order) flits back into
+// packets.
+//
+// Reassembly is receive-side buffering: per the paper it is provisioned by
+// MSHRs, is required for backpressured and backpressureless networks
+// alike, and is excluded from network energy. The NI therefore always
+// accepts ejected flits.
+package ni
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/stats"
+	"afcnet/internal/topology"
+)
+
+// Delivered describes a fully reassembled packet handed to the traffic
+// layer.
+type Delivered struct {
+	ID        uint64
+	Src, Dst  topology.NodeID
+	VN        flit.VN
+	Len       int
+	Payload   uint64
+	CreatedAt uint64
+	// NetLatency is delivery cycle minus first-flit injection cycle.
+	NetLatency uint64
+	// TotalLatency is delivery cycle minus packet creation cycle
+	// (includes source queueing — the saturation signal).
+	TotalLatency uint64
+}
+
+// Handler consumes delivered packets (the closed-loop CMP substrate
+// registers one; open-loop traffic only reads the aggregate stats).
+type Handler func(now uint64, d Delivered)
+
+type pending struct {
+	got         map[int]bool
+	received    int
+	createdAt   uint64
+	firstInject uint64
+	src         topology.NodeID
+	vn          flit.VN
+	length      int
+	payload     uint64
+}
+
+// NI is the network interface of one node. It implements
+// router.LocalSource and router.LocalSink.
+type NI struct {
+	node topology.NodeID
+
+	nextPkt uint64
+	queues  [flit.NumVNs][]*flit.Flit
+
+	reassembly map[uint64]*pending
+	handler    Handler
+	ackHook    Handler // network-internal delivery hook (drop-variant ACKs)
+	createHook func(flit.Packet)
+
+	// retained packets for the drop-based backpressureless variant, and
+	// the set of already-delivered packet IDs (so stray duplicate flits
+	// from retransmitted copies are discarded instead of re-delivered)
+	retain    bool
+	retained  map[uint64]flit.Packet
+	completed map[uint64]struct{}
+	epoch     map[uint64]int // current transmission epoch per retained packet
+	queued    map[uint64]int // flits of the packet still awaiting injection
+
+	// Stats
+	injectedFlits    uint64
+	injectedPackets  uint64
+	createdPackets   uint64
+	deliveredFlits   uint64
+	deliveredPackets uint64
+	netLatency       *stats.Histogram
+	totalLatency     *stats.Histogram
+	deflections      *stats.Histogram
+	queueLenSum      uint64
+	queueLenSamples  uint64
+}
+
+// New returns the network interface for node.
+func New(node topology.NodeID) *NI {
+	return &NI{
+		node:         node,
+		reassembly:   make(map[uint64]*pending),
+		retained:     make(map[uint64]flit.Packet),
+		completed:    make(map[uint64]struct{}),
+		epoch:        make(map[uint64]int),
+		queued:       make(map[uint64]int),
+		netLatency:   stats.NewHistogram(4096),
+		totalLatency: stats.NewHistogram(4096),
+		deflections:  stats.NewHistogram(4096),
+	}
+}
+
+// Node returns the node this NI serves.
+func (n *NI) Node() topology.NodeID { return n.node }
+
+// SetHandler registers the delivered-packet callback.
+func (n *NI) SetHandler(h Handler) { n.handler = h }
+
+// SetAckHook registers a network-internal delivery callback, invoked in
+// addition to the user handler. The drop-based variant uses it to ACK the
+// source so it stops retransmitting (retention is at the source; delivery
+// happens at the destination).
+func (n *NI) SetAckHook(h Handler) { n.ackHook = h }
+
+// SetCreateHook registers a callback invoked for every packet handed to
+// this NI (trace recording).
+func (n *NI) SetCreateHook(h func(flit.Packet)) { n.createHook = h }
+
+// ClearRetained drops the retransmission state of a packet (called on the
+// source NI when the destination ACKs delivery).
+func (n *NI) ClearRetained(packetID uint64) {
+	delete(n.retained, packetID)
+	delete(n.epoch, packetID)
+	delete(n.queued, packetID)
+}
+
+// SetRetain controls whether packets are retained until delivery for
+// retransmission (used by the drop-based backpressureless variant).
+func (n *NI) SetRetain(retain bool) { n.retain = retain }
+
+// SendPacket packetizes and enqueues a packet for injection, returning its
+// ID. length is the flit count; vn selects the virtual network.
+func (n *NI) SendPacket(now uint64, dst topology.NodeID, vn flit.VN, length int, payload uint64) uint64 {
+	if length < 1 {
+		panic(fmt.Sprintf("ni: packet length must be >= 1, got %d", length))
+	}
+	if dst == n.node {
+		panic("ni: self-addressed packet")
+	}
+	n.nextPkt++
+	p := flit.Packet{
+		ID:        uint64(n.node)<<40 | n.nextPkt,
+		Src:       n.node,
+		Dst:       dst,
+		VN:        vn,
+		Len:       length,
+		CreatedAt: now,
+		Payload:   payload,
+	}
+	n.createdPackets++
+	if n.createHook != nil {
+		n.createHook(p)
+	}
+	if n.retain {
+		n.retained[p.ID] = p
+		n.epoch[p.ID] = 0
+		n.queued[p.ID] = p.Len
+	}
+	n.enqueue(p)
+	return p.ID
+}
+
+func (n *NI) enqueue(p flit.Packet) {
+	n.queues[p.VN] = append(n.queues[p.VN], p.Flits()...)
+}
+
+// RetransmitStatus reports the outcome of a Retransmit call.
+type RetransmitStatus uint8
+
+// Retransmit outcomes.
+const (
+	// RetransmitDone: the packet was already delivered; nothing to do.
+	RetransmitDone RetransmitStatus = iota
+	// Retransmitted: a fresh copy (new epoch) was enqueued.
+	Retransmitted
+	// RetransmitDeferred: flits of the current copy are still awaiting
+	// injection; the caller must retry later or the packet can stall
+	// (its drop NACKs were already consumed).
+	RetransmitDeferred
+)
+
+// Retransmit re-enqueues a retained packet after a drop NACK, starting a
+// new transmission epoch. At most one copy per packet is outstanding: the
+// call is deferred while the current copy is still awaiting injection
+// (the source holds the packet until the current transmission resolves).
+// Retransmitted flits keep the original creation time, so total latency
+// reflects the drop penalty.
+func (n *NI) Retransmit(now uint64, packetID uint64) RetransmitStatus {
+	p, ok := n.retained[packetID]
+	if !ok {
+		return RetransmitDone
+	}
+	if n.queued[packetID] > 0 {
+		return RetransmitDeferred
+	}
+	n.epoch[packetID]++
+	e := n.epoch[packetID]
+	fs := p.Flits()
+	for _, f := range fs {
+		f.Retransmits = e
+	}
+	n.queued[packetID] = p.Len
+	n.queues[p.VN] = append(n.queues[p.VN], fs...)
+	return Retransmitted
+}
+
+// Epoch returns the current transmission epoch of a retained packet, or
+// -1 once it has been delivered. NACKs carrying an older epoch are stale
+// (they refer to flits of a superseded copy) and must be ignored.
+func (n *NI) Epoch(packetID uint64) int {
+	if _, ok := n.retained[packetID]; !ok {
+		return -1
+	}
+	return n.epoch[packetID]
+}
+
+// Peek implements router.LocalSource.
+func (n *NI) Peek(vn flit.VN) *flit.Flit {
+	q := n.queues[vn]
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// Pop implements router.LocalSource. The popped flit is stamped with its
+// injection cycle; callers must only pop flits they immediately inject.
+func (n *NI) Pop(vn flit.VN) *flit.Flit {
+	q := n.queues[vn]
+	if len(q) == 0 {
+		return nil
+	}
+	f := q[0]
+	// Slide instead of re-slicing so the backing array is reused.
+	copy(q, q[1:])
+	n.queues[vn] = q[:len(q)-1]
+	if n.retain {
+		if c := n.queued[f.PacketID]; c > 0 {
+			n.queued[f.PacketID] = c - 1
+		}
+	}
+	n.injectedFlits++
+	if f.Head() {
+		n.injectedPackets++
+	}
+	return f
+}
+
+// StampInjection records the flit's entry into the network. Routers call
+// it at the injection cycle (separate from Pop so tests can pop without
+// injecting).
+func (n *NI) StampInjection(now uint64, f *flit.Flit) { f.InjectedAt = now }
+
+// Deliver implements router.LocalSink: accept an ejected flit, reassemble,
+// and hand completed packets to the handler.
+func (n *NI) Deliver(now uint64, f *flit.Flit) {
+	if f.Dst != n.node {
+		panic(fmt.Sprintf("ni: node %d received flit for %d: %v", n.node, f.Dst, f))
+	}
+	if n.retain {
+		if _, done := n.completed[f.PacketID]; done {
+			return // stray flit of a retransmitted, already-delivered packet
+		}
+	}
+	n.deliveredFlits++
+	n.deflections.Add(uint64(f.Deflections))
+	p := n.reassembly[f.PacketID]
+	if p == nil {
+		p = &pending{
+			got:         make(map[int]bool, f.Len),
+			createdAt:   f.CreatedAt,
+			firstInject: f.InjectedAt,
+			src:         f.Src,
+			vn:          f.VN,
+			length:      f.Len,
+			payload:     f.Payload,
+		}
+		n.reassembly[f.PacketID] = p
+	}
+	if p.got[f.Seq] {
+		// Duplicate delivery can only happen with retransmission after a
+		// partially-delivered drop; ignore the duplicate flit.
+		return
+	}
+	p.got[f.Seq] = true
+	p.received++
+	if f.InjectedAt < p.firstInject {
+		p.firstInject = f.InjectedAt
+	}
+	if p.received < p.length {
+		return
+	}
+	delete(n.reassembly, f.PacketID)
+	delete(n.retained, f.PacketID)
+	if n.retain {
+		n.completed[f.PacketID] = struct{}{}
+		delete(n.epoch, f.PacketID)
+		delete(n.queued, f.PacketID)
+	}
+	n.deliveredPackets++
+	d := Delivered{
+		ID:           f.PacketID,
+		Src:          p.src,
+		Dst:          n.node,
+		VN:           p.vn,
+		Len:          p.length,
+		Payload:      p.payload,
+		CreatedAt:    p.createdAt,
+		NetLatency:   now - p.firstInject,
+		TotalLatency: now - p.createdAt,
+	}
+	n.netLatency.Add(d.NetLatency)
+	n.totalLatency.Add(d.TotalLatency)
+	if n.ackHook != nil {
+		n.ackHook(now, d)
+	}
+	if n.handler != nil {
+		n.handler(now, d)
+	}
+}
+
+// SampleQueues records the current injection-queue occupancy (called once
+// per cycle by the network for average-occupancy stats).
+func (n *NI) SampleQueues() {
+	total := 0
+	for vn := range n.queues {
+		total += len(n.queues[vn])
+	}
+	n.queueLenSum += uint64(total)
+	n.queueLenSamples++
+}
+
+// QueueLen returns the flits currently waiting for injection.
+func (n *NI) QueueLen() int {
+	total := 0
+	for vn := range n.queues {
+		total += len(n.queues[vn])
+	}
+	return total
+}
+
+// MeanQueueLen returns the average sampled injection-queue occupancy.
+func (n *NI) MeanQueueLen() float64 {
+	if n.queueLenSamples == 0 {
+		return 0
+	}
+	return float64(n.queueLenSum) / float64(n.queueLenSamples)
+}
+
+// InjectedFlits returns the number of flits injected into the network.
+func (n *NI) InjectedFlits() uint64 { return n.injectedFlits }
+
+// InjectedPackets returns the number of packets whose head flit entered
+// the network.
+func (n *NI) InjectedPackets() uint64 { return n.injectedPackets }
+
+// CreatedPackets returns the number of packets handed to the NI.
+func (n *NI) CreatedPackets() uint64 { return n.createdPackets }
+
+// DeliveredPackets returns the number of fully reassembled packets at this
+// node.
+func (n *NI) DeliveredPackets() uint64 { return n.deliveredPackets }
+
+// DeliveredFlits returns the number of flits ejected at this node.
+func (n *NI) DeliveredFlits() uint64 { return n.deliveredFlits }
+
+// PendingReassembly returns how many packets are partially received.
+func (n *NI) PendingReassembly() int { return len(n.reassembly) }
+
+// NetLatency returns the histogram of network latencies (injection to
+// delivery) of packets delivered at this node.
+func (n *NI) NetLatency() *stats.Histogram { return n.netLatency }
+
+// TotalLatency returns the histogram of total latencies (creation to
+// delivery, source queueing included).
+func (n *NI) TotalLatency() *stats.Histogram { return n.totalLatency }
+
+// Deflections returns the per-delivered-flit misroute histogram — the
+// observable behind the probabilistic livelock-freedom argument
+// (Section III-F): the tail must stay bounded even at high load.
+func (n *NI) Deflections() *stats.Histogram { return n.deflections }
+
+// ResetStats clears counters and histograms (used to discard warmup)
+// without touching in-flight state.
+func (n *NI) ResetStats() {
+	n.injectedFlits = 0
+	n.injectedPackets = 0
+	n.createdPackets = 0
+	n.deliveredFlits = 0
+	n.deliveredPackets = 0
+	n.netLatency = stats.NewHistogram(4096)
+	n.totalLatency = stats.NewHistogram(4096)
+	n.deflections = stats.NewHistogram(4096)
+	n.queueLenSum = 0
+	n.queueLenSamples = 0
+}

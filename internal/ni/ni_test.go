@@ -1,0 +1,217 @@
+package ni
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"afcnet/internal/flit"
+)
+
+func TestPacketizationAndQueues(t *testing.T) {
+	n := New(0)
+	n.SendPacket(10, 3, flit.VNData, 4, 77)
+	if n.QueueLen() != 4 {
+		t.Fatalf("queue len = %d, want 4", n.QueueLen())
+	}
+	for i := 0; i < 4; i++ {
+		f := n.Pop(flit.VNData)
+		if f == nil || f.Seq != i || f.Dst != 3 || f.CreatedAt != 10 || f.Payload != 77 {
+			t.Fatalf("flit %d wrong: %v", i, f)
+		}
+	}
+	if n.Pop(flit.VNData) != nil {
+		t.Error("pop from empty queue should be nil")
+	}
+	if n.InjectedFlits() != 4 || n.InjectedPackets() != 1 {
+		t.Errorf("injected counts: %d flits, %d packets", n.InjectedFlits(), n.InjectedPackets())
+	}
+}
+
+func TestQueuesArePerVN(t *testing.T) {
+	n := New(2)
+	n.SendPacket(0, 0, flit.VNReq, 1, 0)
+	n.SendPacket(0, 0, flit.VNData, 2, 0)
+	if n.Peek(flit.VNResp) != nil {
+		t.Error("VNResp queue should be empty")
+	}
+	if f := n.Peek(flit.VNReq); f == nil || f.VN != flit.VNReq {
+		t.Error("VNReq head missing")
+	}
+	if f := n.Peek(flit.VNData); f == nil || f.VN != flit.VNData {
+		t.Error("VNData head missing")
+	}
+}
+
+func TestSelfAddressedPanics(t *testing.T) {
+	n := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("self-addressed packet did not panic")
+		}
+	}()
+	n.SendPacket(0, 4, flit.VNReq, 1, 0)
+}
+
+// TestReassemblyAnyOrder is the property deflection routing depends on:
+// flits arriving in any permutation reassemble into exactly one delivered
+// packet with correct latency accounting.
+func TestReassemblyAnyOrder(t *testing.T) {
+	f := func(permSeed int64, lenRaw uint8) bool {
+		l := int(lenRaw)%20 + 1
+		src := New(1)
+		dst := New(0)
+		var got []Delivered
+		dst.SetHandler(func(_ uint64, d Delivered) { got = append(got, d) })
+		src.SendPacket(100, 0, flit.VNData, l, 5)
+		flits := make([]*flit.Flit, 0, l)
+		for i := 0; i < l; i++ {
+			fl := src.Pop(flit.VNData)
+			fl.InjectedAt = 100 + uint64(i)
+			flits = append(flits, fl)
+		}
+		rng := rand.New(rand.NewSource(permSeed))
+		rng.Shuffle(len(flits), func(a, b int) { flits[a], flits[b] = flits[b], flits[a] })
+		for i, fl := range flits {
+			dst.Deliver(200+uint64(i), fl)
+		}
+		if len(got) != 1 {
+			return false
+		}
+		d := got[0]
+		deliveredAt := 200 + uint64(l-1)
+		return d.Len == l && d.Src == 1 && d.Payload == 5 &&
+			d.TotalLatency == deliveredAt-100 &&
+			d.NetLatency == deliveredAt-100 && // first flit injected at 100
+			dst.PendingReassembly() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedReassembly(t *testing.T) {
+	src := New(1)
+	dst := New(0)
+	delivered := 0
+	dst.SetHandler(func(_ uint64, d Delivered) { delivered++ })
+	src.SendPacket(0, 0, flit.VNData, 3, 0)
+	src.SendPacket(0, 0, flit.VNData, 3, 0)
+	var a, b []*flit.Flit
+	for i := 0; i < 3; i++ {
+		a = append(a, src.Pop(flit.VNData))
+	}
+	for i := 0; i < 3; i++ {
+		b = append(b, src.Pop(flit.VNData))
+	}
+	// interleave across packets, out of order within packets
+	order := []*flit.Flit{a[2], b[0], a[0], b[2], b[1], a[1]}
+	for i, fl := range order {
+		dst.Deliver(uint64(i), fl)
+	}
+	if delivered != 2 || dst.DeliveredPackets() != 2 {
+		t.Errorf("delivered = %d packets", delivered)
+	}
+}
+
+func TestWrongDestinationPanics(t *testing.T) {
+	src := New(1)
+	dst := New(0)
+	src.SendPacket(0, 3, flit.VNReq, 1, 0)
+	fl := src.Pop(flit.VNReq)
+	defer func() {
+		if recover() == nil {
+			t.Error("misdelivered flit did not panic")
+		}
+	}()
+	dst.Deliver(5, fl)
+}
+
+func TestRetransmitLifecycle(t *testing.T) {
+	src := New(1)
+	dst := New(0)
+	src.SetRetain(true)
+	id := src.SendPacket(0, 0, flit.VNReq, 1, 0)
+
+	if src.Epoch(id) != 0 {
+		t.Fatalf("initial epoch = %d", src.Epoch(id))
+	}
+	// Deferred while the original copy is still queued.
+	if st := src.Retransmit(5, id); st != RetransmitDeferred {
+		t.Fatalf("retransmit while queued = %v, want deferred", st)
+	}
+	f0 := src.Pop(flit.VNReq)
+	if st := src.Retransmit(6, id); st != Retransmitted {
+		t.Fatalf("retransmit after drain = %v", st)
+	}
+	if src.Epoch(id) != 1 {
+		t.Fatalf("epoch after retransmit = %d", src.Epoch(id))
+	}
+	f1 := src.Pop(flit.VNReq)
+	if f1.Retransmits != 1 {
+		t.Fatalf("retransmitted flit epoch = %d", f1.Retransmits)
+	}
+
+	// The new copy delivers; the stale original must be discarded.
+	dst.SetRetain(true)
+	dst.Deliver(10, f1)
+	if dst.DeliveredPackets() != 1 {
+		t.Fatal("packet not delivered")
+	}
+	dst.Deliver(11, f0)
+	if dst.DeliveredPackets() != 1 {
+		t.Error("stale duplicate re-delivered the packet")
+	}
+	// After delivery + ack, retransmission is a no-op.
+	src.ClearRetained(id)
+	if src.Epoch(id) != -1 {
+		t.Errorf("epoch after clear = %d, want -1", src.Epoch(id))
+	}
+	if st := src.Retransmit(20, id); st != RetransmitDone {
+		t.Errorf("retransmit after delivery = %v", st)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	src := New(1)
+	dst := New(0)
+	src.SendPacket(0, 0, flit.VNReq, 1, 0)
+	fl := src.Pop(flit.VNReq)
+	fl.InjectedAt = 2
+	dst.Deliver(9, fl)
+	if dst.NetLatency().Mean() != 7 {
+		t.Errorf("net latency = %g, want 7", dst.NetLatency().Mean())
+	}
+	if dst.TotalLatency().Mean() != 9 {
+		t.Errorf("total latency = %g, want 9", dst.TotalLatency().Mean())
+	}
+	src.SampleQueues()
+	dst.ResetStats()
+	src.ResetStats()
+	if src.InjectedFlits() != 0 || dst.DeliveredPackets() != 0 || src.MeanQueueLen() != 0 {
+		t.Error("ResetStats left residuals")
+	}
+}
+
+func TestQueueSampling(t *testing.T) {
+	n := New(0)
+	n.SendPacket(0, 1, flit.VNData, 4, 0)
+	n.SampleQueues() // 4 queued
+	n.Pop(flit.VNData)
+	n.SampleQueues() // 3 queued
+	if got := n.MeanQueueLen(); got != 3.5 {
+		t.Errorf("mean queue length = %g, want 3.5", got)
+	}
+}
+
+func TestDeflectionHistogram(t *testing.T) {
+	src := New(1)
+	dst := New(0)
+	src.SendPacket(0, 0, flit.VNReq, 1, 0)
+	f := src.Pop(flit.VNReq)
+	f.Deflections = 7
+	dst.Deliver(5, f)
+	if dst.Deflections().Max() != 7 {
+		t.Errorf("deflection histogram max = %d, want 7", dst.Deflections().Max())
+	}
+}

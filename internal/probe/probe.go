@@ -1,0 +1,221 @@
+// Package probe samples time series from a running network — mode duty
+// cycles, buffer occupancy, queue depths, deflection counts — for
+// plotting and for tests that assert on temporal behavior (e.g., "the
+// backpressured region forms within N cycles of the load step").
+package probe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"afcnet/internal/core"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+)
+
+// Series is one sampled metric over time.
+type Series struct {
+	Name string
+	At   []uint64
+	Val  []float64
+}
+
+// Last returns the most recent sample (0 if empty).
+func (s *Series) Last() float64 {
+	if len(s.Val) == 0 {
+		return 0
+	}
+	return s.Val[len(s.Val)-1]
+}
+
+// Max returns the largest sample (0 if empty).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Val {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Metric computes one sample from the network.
+type Metric func(n *network.Network) float64
+
+// Probe samples registered metrics every interval cycles. Register it
+// with net.AddTicker.
+type Probe struct {
+	net      *network.Network
+	interval uint64
+	names    []string
+	metrics  map[string]Metric
+	series   map[string]*Series
+}
+
+// New returns a probe sampling every interval cycles (>= 1).
+func New(net *network.Network, interval uint64) *Probe {
+	if interval < 1 {
+		interval = 1
+	}
+	p := &Probe{
+		net:      net,
+		interval: interval,
+		metrics:  map[string]Metric{},
+		series:   map[string]*Series{},
+	}
+	net.AddTicker(p)
+	return p
+}
+
+// Track registers a metric under name. Tracking the same name twice
+// replaces the metric but keeps the recorded series.
+func (p *Probe) Track(name string, m Metric) {
+	if _, ok := p.metrics[name]; !ok {
+		p.names = append(p.names, name)
+		p.series[name] = &Series{Name: name}
+	}
+	p.metrics[name] = m
+}
+
+// Series returns the recorded series for name (nil if never tracked).
+func (p *Probe) Series(name string) *Series { return p.series[name] }
+
+// Names returns the tracked metric names in registration order.
+func (p *Probe) Names() []string { return append([]string(nil), p.names...) }
+
+// Tick implements sim.Ticker.
+func (p *Probe) Tick(now uint64) {
+	if now%p.interval != 0 {
+		return
+	}
+	for _, name := range p.names {
+		s := p.series[name]
+		s.At = append(s.At, now)
+		s.Val = append(s.Val, p.metrics[name](p.net))
+	}
+}
+
+// WriteCSV emits all series as CSV (cycle column plus one column per
+// metric; series share the sampling grid by construction).
+func (p *Probe) WriteCSV(w io.Writer) error {
+	if len(p.names) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprint(w, "cycle"); err != nil {
+		return err
+	}
+	for _, n := range p.names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	ref := p.series[p.names[0]]
+	for i := range ref.At {
+		if _, err := fmt.Fprintf(w, "%d", ref.At[i]); err != nil {
+			return err
+		}
+		for _, n := range p.names {
+			s := p.series[n]
+			v := 0.0
+			if i < len(s.Val) {
+				v = s.Val[i]
+			}
+			if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BufferedFraction is a Metric: the fraction of AFC routers currently in
+// backpressured mode.
+func BufferedFraction(n *network.Network) float64 {
+	total, buffered := 0, 0
+	for i := 0; i < n.Nodes(); i++ {
+		r, ok := n.Router(topology.NodeID(i)).(*core.Router)
+		if !ok {
+			continue
+		}
+		total++
+		if r.Mode() == core.ModeBuffered {
+			buffered++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(buffered) / float64(total)
+}
+
+// MeanIntensity is a Metric: the mean smoothed traffic intensity across
+// AFC routers.
+func MeanIntensity(n *network.Network) float64 {
+	total, sum := 0, 0.0
+	for i := 0; i < n.Nodes(); i++ {
+		if r, ok := n.Router(topology.NodeID(i)).(*core.Router); ok {
+			total++
+			sum += r.Intensity()
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// BufferedFlits is a Metric: flits currently held in router buffers
+// network-wide.
+func BufferedFlits(n *network.Network) float64 {
+	total := 0
+	for i := 0; i < n.Nodes(); i++ {
+		if r, ok := n.Router(topology.NodeID(i)).(interface{ BufferedFlits() int }); ok {
+			total += r.BufferedFlits()
+		}
+	}
+	return float64(total)
+}
+
+// QueueLen is a Metric: flits waiting in injection queues network-wide.
+func QueueLen(n *network.Network) float64 {
+	total := 0
+	for i := 0; i < n.Nodes(); i++ {
+		total += n.NI(topology.NodeID(i)).QueueLen()
+	}
+	return float64(total)
+}
+
+// CrossedAt returns the first sample time at which the series reached or
+// exceeded threshold, and whether it ever did.
+func (s *Series) CrossedAt(threshold float64) (uint64, bool) {
+	for i, v := range s.Val {
+		if v >= threshold {
+			return s.At[i], true
+		}
+	}
+	return 0, false
+}
+
+// Quantile returns the q-quantile (0..1) of the samples.
+func (s *Series) Quantile(q float64) float64 {
+	if len(s.Val) == 0 {
+		return 0
+	}
+	vals := append([]float64(nil), s.Val...)
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx]
+}

@@ -1,0 +1,173 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"afcnet/internal/network"
+	"afcnet/internal/traffic"
+)
+
+func newNet(kind network.Kind) *network.Network {
+	return network.New(network.Config{Kind: kind, Seed: 23, MeterEnergy: false})
+}
+
+func TestSamplingGridAndSeries(t *testing.T) {
+	n := newNet(network.AFC)
+	p := New(n, 10)
+	p.Track("queue", QueueLen)
+	p.Track("buffered", BufferedFraction)
+	n.Run(101)
+	s := p.Series("queue")
+	if s == nil || len(s.At) != 11 { // cycles 0,10,...,100
+		t.Fatalf("samples = %v", s)
+	}
+	for i, at := range s.At {
+		if at != uint64(i*10) {
+			t.Fatalf("sample grid wrong: %v", s.At)
+		}
+	}
+	if got := p.Names(); len(got) != 2 || got[0] != "queue" {
+		t.Fatalf("names = %v", got)
+	}
+	if p.Series("nonesuch") != nil {
+		t.Error("unknown series should be nil")
+	}
+}
+
+// TestModeFormationTiming uses the probe the way the experiments do:
+// after a heavy load step, the buffered fraction must cross 1/2 within a
+// bounded time, and intensity must rise first.
+func TestModeFormationTiming(t *testing.T) {
+	n := newNet(network.AFC)
+	p := New(n, 25)
+	p.Track("buffered", BufferedFraction)
+	p.Track("intensity", MeanIntensity)
+	gen := traffic.NewGenerator(n, traffic.Config{Rate: 0.7}, n.RandStream)
+	n.AddTicker(gen)
+	n.Run(10_000)
+
+	at, ok := p.Series("buffered").CrossedAt(0.5)
+	if !ok {
+		t.Fatalf("buffered fraction never crossed 0.5 (last %.2f)", p.Series("buffered").Last())
+	}
+	if at > 6_000 {
+		t.Errorf("backpressured region took %d cycles to form", at)
+	}
+	if p.Series("intensity").Max() < 1.7 {
+		t.Errorf("intensity peak %.2f below the center low threshold", p.Series("intensity").Max())
+	}
+}
+
+func TestMetricsOnNonAFCNetwork(t *testing.T) {
+	n := newNet(network.Bless)
+	p := New(n, 50)
+	p.Track("buffered", BufferedFraction)
+	p.Track("bufFlits", BufferedFlits)
+	n.Run(200)
+	if p.Series("buffered").Max() != 0 {
+		t.Error("bless network reported AFC buffered fraction")
+	}
+	if p.Series("bufFlits").Max() != 0 {
+		t.Error("bufferless network reported buffered flits")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	n := newNet(network.AFC)
+	p := New(n, 20)
+	p.Track("queue", QueueLen)
+	n.Run(61)
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,queue" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+4 { // header + samples at 0,20,40,60
+		t.Fatalf("csv rows = %d: %q", len(lines), buf.String())
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := &Series{At: []uint64{0, 10, 20, 30}, Val: []float64{1, 3, 2, 4}}
+	if s.Last() != 4 || s.Max() != 4 {
+		t.Errorf("Last/Max = %g/%g", s.Last(), s.Max())
+	}
+	if at, ok := s.CrossedAt(3); !ok || at != 10 {
+		t.Errorf("CrossedAt(3) = %d,%v", at, ok)
+	}
+	if _, ok := s.CrossedAt(5); ok {
+		t.Error("CrossedAt above max should fail")
+	}
+	if q := s.Quantile(0.5); q != 2 {
+		t.Errorf("median = %g", q)
+	}
+	empty := &Series{}
+	if empty.Last() != 0 || empty.Max() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty series helpers should return zeros")
+	}
+}
+
+type fakeProgress struct {
+	progress uint64
+	pending  bool
+}
+
+func (f *fakeProgress) Progress() uint64 { return f.progress }
+func (f *fakeProgress) Pending() bool    { return f.pending }
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	fp := &fakeProgress{pending: true}
+	w := NewWatchdog(fp, 100)
+	for c := uint64(0); c < 50; c++ {
+		fp.progress++ // making progress
+		w.Tick(c)
+	}
+	if _, fired := w.Stalled(); fired {
+		t.Fatal("fired while progressing")
+	}
+	// Stall with pending work.
+	for c := uint64(50); c < 200; c++ {
+		w.Tick(c)
+	}
+	// Last progress was observed at cycle 49; the window elapses at 149.
+	at, fired := w.Stalled()
+	if !fired || at != 149 {
+		t.Fatalf("fired=%v at=%d, want fired at 149", fired, at)
+	}
+	w.Reset()
+	if _, fired := w.Stalled(); fired {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestWatchdogIgnoresIdleNetwork(t *testing.T) {
+	fp := &fakeProgress{pending: false}
+	w := NewWatchdog(fp, 10)
+	for c := uint64(0); c < 100; c++ {
+		w.Tick(c)
+	}
+	if _, fired := w.Stalled(); fired {
+		t.Fatal("fired with no pending work (idle is not a stall)")
+	}
+}
+
+// TestWatchdogQuietOnRealNetworks: every router kind makes continuous
+// progress under load — the watchdog must stay silent.
+func TestWatchdogQuietOnRealNetworks(t *testing.T) {
+	for _, kind := range []network.Kind{network.Backpressured, network.Bless, network.AFC} {
+		n := newNet(kind)
+		w := NewWatchdog(NetProgress{Net: n}, 3000)
+		n.AddTicker(w)
+		gen := traffic.NewGenerator(n, traffic.Config{Rate: 0.4}, n.RandStream)
+		n.AddTicker(gen)
+		n.Run(15_000)
+		if at, fired := w.Stalled(); fired {
+			t.Errorf("%s: watchdog fired at cycle %d on a healthy network", kind, at)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package probe
+
+import (
+	"afcnet/internal/network"
+)
+
+// Progressor abstracts what the watchdog observes: a monotonically
+// increasing progress counter and whether undelivered work remains.
+// *network.Network satisfies it via the NetProgress adapter.
+type Progressor interface {
+	// Progress returns a counter that increases whenever useful work
+	// happens (e.g., packets delivered).
+	Progress() uint64
+	// Pending reports whether work remains outstanding.
+	Pending() bool
+}
+
+// NetProgress adapts a network to the Progressor interface: progress is
+// delivered packets; pending is any undrained traffic.
+type NetProgress struct{ Net *network.Network }
+
+// Progress implements Progressor.
+func (n NetProgress) Progress() uint64 { return n.Net.DeliveredPackets() }
+
+// Pending implements Progressor.
+func (n NetProgress) Pending() bool { return !n.Net.Drained() }
+
+// Watchdog flags deadlock/livelock suspects: work is pending but the
+// progress counter has not moved for at least Window cycles. The
+// simulator's networks are deadlock-free by construction (DOR +
+// consumption guarantees; deflection never blocks), so a firing watchdog
+// in a test or experiment points at a protocol bug, not an expected
+// state. Register with net.AddTicker.
+type Watchdog struct {
+	p      Progressor
+	window uint64
+
+	last       uint64
+	lastMoveAt uint64
+	fired      bool
+	firedAt    uint64
+}
+
+// NewWatchdog returns a watchdog with the given stall window (cycles).
+// A window below twice the network diameter's worth of hop latency will
+// false-positive on ordinary in-flight gaps; a few thousand cycles is a
+// safe default for the 3x3 mesh.
+func NewWatchdog(p Progressor, window uint64) *Watchdog {
+	if window == 0 {
+		window = 5000
+	}
+	return &Watchdog{p: p, window: window}
+}
+
+// Tick implements sim.Ticker.
+func (w *Watchdog) Tick(now uint64) {
+	cur := w.p.Progress()
+	if cur != w.last || !w.p.Pending() {
+		w.last = cur
+		w.lastMoveAt = now
+		return
+	}
+	if now-w.lastMoveAt >= w.window && !w.fired {
+		w.fired = true
+		w.firedAt = now
+	}
+}
+
+// Stalled reports whether the watchdog has fired, and at which cycle.
+func (w *Watchdog) Stalled() (uint64, bool) { return w.firedAt, w.fired }
+
+// Reset clears a fired watchdog (after the caller has handled it).
+func (w *Watchdog) Reset() {
+	w.fired = false
+}

@@ -1,0 +1,95 @@
+// Package router defines the interfaces and helpers shared by all three
+// router implementations (backpressured baseline, backpressureless
+// deflection, and AFC): the Router interface, the link bundles that wire
+// routers to their neighbors, the local-port interfaces to the network
+// interface, round-robin arbitration, and the deflection port-assignment
+// engine used by the BLESS router and by AFC's backpressureless mode.
+package router
+
+import (
+	"fmt"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/sim"
+	"afcnet/internal/topology"
+)
+
+// Router is one mesh router. Tick performs one cycle of operation:
+// process arrivals latched in previous cycles, arbitrate, transmit, and
+// latch this cycle's arrivals.
+type Router interface {
+	sim.Ticker
+	Node() topology.NodeID
+}
+
+// LocalSink receives flits ejected at this node. The network interface
+// implements it; per the paper, receive-side buffering is provisioned by
+// MSHRs so the sink always accepts.
+type LocalSink interface {
+	Deliver(now uint64, f *flit.Flit)
+}
+
+// LocalSource supplies flits awaiting injection, one FIFO per virtual
+// network. Routers pull from it subject to their own injection policy
+// (buffer space for backpressured routers; a free output port for
+// backpressureless routers, which is the only backpressure they exert).
+type LocalSource interface {
+	// Peek returns the next flit to inject on vn without removing it, or
+	// nil if the vn queue is empty.
+	Peek(vn flit.VN) *flit.Flit
+	// Pop removes and returns the next flit on vn, or nil.
+	Pop(vn flit.VN) *flit.Flit
+}
+
+// PortLinks bundles the channels of one mesh port. For a port facing
+// direction d at node n, Out/CreditIn/CtrlOut connect toward the neighbor
+// in direction d and In/CreditOut/CtrlIn connect from it. Ports at mesh
+// boundaries have all-nil links.
+type PortLinks struct {
+	Out *link.Data // flits we transmit
+	In  *link.Data // flits arriving from the neighbor
+
+	CreditOut *link.CreditLink // credits we return upstream (pairs with In)
+	CreditIn  *link.CreditLink // credits arriving from downstream (pairs with Out)
+
+	CtrlOut *link.CtrlLink // our mode notifications to the neighbor
+	CtrlIn  *link.CtrlLink // the neighbor's mode notifications to us
+}
+
+// Exists reports whether this port is wired (false at mesh boundaries).
+func (p PortLinks) Exists() bool { return p.Out != nil }
+
+// Wires is the full set of mesh-port links of one router, indexed by
+// direction.
+type Wires struct {
+	Ports [topology.NumDirs]PortLinks
+}
+
+// RoundRobin is a stateful round-robin pointer over n slots.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns an arbiter over n slots.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic(fmt.Sprintf("router: round-robin over %d slots", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Pick returns the first index i (scanning round-robin from the pointer)
+// for which ok(i) is true, advancing the pointer past the grant, or -1 if
+// none qualifies.
+func (r *RoundRobin) Pick(ok func(i int) bool) int {
+	for off := 0; off < r.n; off++ {
+		i := (r.next + off) % r.n
+		if ok(i) {
+			r.next = (i + 1) % r.n
+			return i
+		}
+	}
+	return -1
+}

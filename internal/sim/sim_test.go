@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+func TestKernelTickOrderAndTime(t *testing.T) {
+	k := NewKernel()
+	var log []int
+	var times []uint64
+	k.Register(TickFunc(func(now uint64) { log = append(log, 1); times = append(times, now) }))
+	k.Register(TickFunc(func(now uint64) { log = append(log, 2) }))
+	k.Run(3)
+	if k.Now() != 3 {
+		t.Errorf("Now = %d, want 3", k.Now())
+	}
+	want := []int{1, 2, 1, 2, 1, 2}
+	for i, v := range want {
+		if log[i] != v {
+			t.Fatalf("tick order %v, want %v", log, want)
+		}
+	}
+	for i, tm := range times {
+		if tm != uint64(i) {
+			t.Errorf("ticker saw time %d at cycle %d", tm, i)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.Register(TickFunc(func(uint64) { count++ }))
+	if !k.RunUntil(func() bool { return count >= 5 }, 100) {
+		t.Fatal("RunUntil failed")
+	}
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if k.RunUntil(func() bool { return false }, 10) {
+		t.Error("RunUntil should report failure at limit")
+	}
+	// Pre-satisfied predicate runs zero cycles.
+	before := k.Now()
+	if !k.RunUntil(func() bool { return true }, 10) || k.Now() != before {
+		t.Error("pre-satisfied RunUntil should not step")
+	}
+}
+
+func TestSourceStreamsAreDeterministic(t *testing.T) {
+	a, b := NewSource(42), NewSource(42)
+	for i := 0; i < 5; i++ {
+		ra, rb := a.Stream(), b.Stream()
+		for j := 0; j < 20; j++ {
+			if ra.Uint64() != rb.Uint64() {
+				t.Fatalf("stream %d diverged at draw %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSourceStreamsAreIndependent(t *testing.T) {
+	s := NewSource(7)
+	r1, r2 := s.Stream(), s.Stream()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	r1 := NewSource(1).Stream()
+	r2 := NewSource(2).Stream()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() == r2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds correlated: %d/100 equal draws", same)
+	}
+}

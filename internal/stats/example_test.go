@@ -1,0 +1,24 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"afcnet/internal/stats"
+)
+
+func ExampleIntensityMonitor() {
+	// The paper's traffic-intensity metric: 4-cycle window average
+	// smoothed by an EWMA (weight 0.99). A steady load of 3 flits/cycle
+	// converges to 3.
+	m := stats.NewIntensityMonitor(0.99)
+	for i := 0; i < 3000; i++ {
+		m.Observe(3)
+	}
+	fmt.Printf("%.2f\n", m.Value())
+	// Output: 3.00
+}
+
+func ExampleGeoMean() {
+	fmt.Println(stats.GeoMean([]float64{1, 4, 16}))
+	// Output: 4
+}

@@ -1,0 +1,198 @@
+// Package stats provides the measurement utilities used across the
+// simulator: the paper's smoothed traffic-intensity monitor (a 4-cycle
+// window average further smoothed by an exponentially weighted moving
+// average), latency histograms, and across-run aggregation (the paper's
+// variance bars come from repeated runs).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// IntensityMonitor implements AFC's local traffic-intensity metric
+// (Section III-B): the number of network flits traversing the router
+// averaged over the previous 4 cycles, smoothed with an EWMA:
+//
+//	m_new = w*m_old + (1-w)*l
+//
+// with w = 0.99 in the paper.
+type IntensityMonitor struct {
+	weight float64
+	window [4]int
+	idx    int
+	filled int
+	ewma   float64
+}
+
+// NewIntensityMonitor returns a monitor with EWMA weight w (the paper uses
+// 0.99). It panics if w is outside (0, 1).
+func NewIntensityMonitor(w float64) *IntensityMonitor {
+	if w <= 0 || w >= 1 {
+		panic(fmt.Sprintf("stats: EWMA weight must be in (0,1), got %g", w))
+	}
+	return &IntensityMonitor{weight: w}
+}
+
+// Observe records the number of flits that traversed the router this cycle
+// and updates the smoothed intensity.
+func (m *IntensityMonitor) Observe(flits int) {
+	m.window[m.idx] = flits
+	m.idx = (m.idx + 1) % len(m.window)
+	if m.filled < len(m.window) {
+		m.filled++
+	}
+	sum := 0
+	for i := 0; i < m.filled; i++ {
+		sum += m.window[i]
+	}
+	l := float64(sum) / float64(m.filled)
+	m.ewma = m.weight*m.ewma + (1-m.weight)*l
+}
+
+// Value returns the current smoothed traffic intensity in flits/cycle.
+func (m *IntensityMonitor) Value() float64 { return m.ewma }
+
+// Reset clears the monitor back to zero intensity.
+func (m *IntensityMonitor) Reset() {
+	*m = IntensityMonitor{weight: m.weight}
+}
+
+// Histogram is a simple integer-valued histogram with exact small values
+// and power-of-two overflow buckets, adequate for latency distributions.
+type Histogram struct {
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+	values []uint64 // retained samples for percentile queries
+	cap    int
+	stride int
+	seen   int
+}
+
+// NewHistogram returns a histogram that retains up to capacity samples
+// (systematically thinned once full) for percentile queries while keeping
+// exact count/sum/min/max.
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Histogram{min: math.MaxUint64, cap: capacity, stride: 1}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(v uint64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.seen++
+	if h.seen%h.stride == 0 {
+		if len(h.values) >= h.cap {
+			// Thin: keep every other retained sample and double the
+			// stride so memory stays bounded on long runs.
+			kept := h.values[:0]
+			for i := 0; i < len(h.values); i += 2 {
+				kept = append(kept, h.values[i])
+			}
+			h.values = kept
+			h.stride *= 2
+		}
+		h.values = append(h.values, v)
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean sample value, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the retained
+// samples, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if len(h.values) == 0 {
+		return 0
+	}
+	sorted := make([]uint64, len(h.values))
+	copy(sorted, h.values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Running accumulates mean and standard deviation incrementally
+// (Welford's algorithm). It aggregates metrics across repeated runs with
+// different seeds, mirroring the paper's variance bars.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records a sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// StdDev returns the sample standard deviation (0 for fewer than two
+// samples).
+func (r *Running) StdDev() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// GeoMean returns the geometric mean of xs; it panics on non-positive
+// inputs because normalized performance/energy ratios are always positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean requires positive values, got %g", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntensityMonitorWindowAverage(t *testing.T) {
+	m := NewIntensityMonitor(0.5) // strong response for testability
+	// Constant load l: EWMA converges to l.
+	for i := 0; i < 200; i++ {
+		m.Observe(4)
+	}
+	if got := m.Value(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("EWMA under constant load = %g, want 4", got)
+	}
+}
+
+func TestIntensityMonitorSmoothsBursts(t *testing.T) {
+	// The paper smooths with a 4-cycle window and EWMA 0.99 precisely so
+	// a one-cycle burst cannot trigger a mode switch.
+	m := NewIntensityMonitor(0.99)
+	for i := 0; i < 100; i++ {
+		m.Observe(0)
+	}
+	m.Observe(5) // burst
+	if got := m.Value(); got > 0.1 {
+		t.Errorf("one-cycle burst moved EWMA to %g; too reactive", got)
+	}
+}
+
+func TestIntensityMonitorTracksStepLoad(t *testing.T) {
+	m := NewIntensityMonitor(0.99)
+	for i := 0; i < 2000; i++ {
+		m.Observe(3)
+	}
+	if got := m.Value(); math.Abs(got-3) > 0.01 {
+		t.Errorf("EWMA after 2000 cycles of load 3 = %g", got)
+	}
+	m.Reset()
+	if m.Value() != 0 {
+		t.Error("Reset did not zero the monitor")
+	}
+}
+
+func TestIntensityMonitorPanicsOnBadWeight(t *testing.T) {
+	for _, w := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %g did not panic", w)
+				}
+			}()
+			NewIntensityMonitor(w)
+		}()
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(100)
+	for i := uint64(1); i <= 10; i++ {
+		h.Add(i)
+	}
+	if h.Count() != 10 || h.Min() != 1 || h.Max() != 10 {
+		t.Errorf("count/min/max = %d/%d/%d", h.Count(), h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("mean = %g", got)
+	}
+	if p := h.Percentile(50); p < 5 || p > 6 {
+		t.Errorf("p50 = %d", p)
+	}
+	if p := h.Percentile(100); p != 10 {
+		t.Errorf("p100 = %d", p)
+	}
+}
+
+func TestHistogramEmptyIsSafe(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+}
+
+func TestHistogramThinningKeepsExactAggregates(t *testing.T) {
+	h := NewHistogram(64)
+	var sum uint64
+	for i := uint64(0); i < 10_000; i++ {
+		h.Add(i)
+		sum += i
+	}
+	if h.Count() != 10_000 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-float64(sum)/10_000) > 1e-9 {
+		t.Errorf("mean drifted after thinning: %g", got)
+	}
+	// Percentiles stay approximately right after thinning.
+	if p := h.Percentile(50); p < 3_000 || p > 7_000 {
+		t.Errorf("p50 after thinning = %d", p)
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var r Running
+		mean := 0.0
+		for _, x := range raw {
+			// bound magnitudes to keep float comparisons stable
+			x = math.Mod(x, 1000)
+			if math.IsNaN(x) {
+				return true
+			}
+			r.Add(x)
+			mean += x
+		}
+		mean /= float64(len(raw))
+		if math.Abs(r.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		variance := 0.0
+		i := 0
+		for _, x := range raw {
+			x = math.Mod(x, 1000)
+			variance += (x - mean) * (x - mean)
+			i++
+		}
+		variance /= float64(len(raw) - 1)
+		return math.Abs(r.StdDev()-math.Sqrt(variance)) < 1e-6*(1+math.Sqrt(variance))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningFewSamples(t *testing.T) {
+	var r Running
+	if r.StdDev() != 0 || r.Mean() != 0 || r.N() != 0 {
+		t.Error("zero-value Running should be all zeros")
+	}
+	r.Add(7)
+	if r.Mean() != 7 || r.StdDev() != 0 || r.N() != 1 {
+		t.Error("single-sample Running wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4, 16})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean with non-positive value did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

@@ -1,0 +1,34 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"afcnet/internal/topology"
+)
+
+func ExampleMesh_DORNext() {
+	m := topology.NewMesh(3, 3)
+	// Walk the XY route from the top-left corner to the bottom-right.
+	cur := m.Node(0, 0)
+	dst := m.Node(2, 2)
+	for cur != dst {
+		d := m.DORNext(cur, dst)
+		fmt.Print(d, " ")
+		cur, _ = m.Neighbor(cur, d)
+	}
+	fmt.Println(m.DORNext(dst, dst))
+	// Output: E E S S L
+}
+
+func ExampleMesh_Position() {
+	m := topology.NewMesh(3, 3)
+	fmt.Println(m.Position(0), m.Position(1), m.Position(4))
+	// Output: corner edge center
+}
+
+func ExampleMesh_ProductiveDirs() {
+	m := topology.NewMesh(3, 3)
+	dirs := m.ProductiveDirs(m.Node(0, 0), m.Node(2, 1), nil)
+	fmt.Println(dirs)
+	// Output: [E S]
+}

@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordRoundTrip(t *testing.T) {
+	m := NewMesh(5, 3)
+	for n := NodeID(0); n < NodeID(m.Nodes()); n++ {
+		x, y := m.Coord(n)
+		if got := m.Node(x, y); got != n {
+			t.Errorf("Node(Coord(%d)) = %d", n, got)
+		}
+		if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+			t.Errorf("Coord(%d) = (%d,%d) out of range", n, x, y)
+		}
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	m := NewMesh(4, 4)
+	for n := NodeID(0); n < NodeID(m.Nodes()); n++ {
+		for d := Dir(0); d < NumDirs; d++ {
+			nb, ok := m.Neighbor(n, d)
+			if !ok {
+				continue
+			}
+			back, ok2 := m.Neighbor(nb, d.Opposite())
+			if !ok2 || back != n {
+				t.Errorf("Neighbor(%d,%s)=%d but Neighbor(%d,%s)=%d,%v",
+					n, d, nb, nb, d.Opposite(), back, ok2)
+			}
+		}
+	}
+}
+
+func TestNeighborBoundaries(t *testing.T) {
+	m := NewMesh(3, 3)
+	cases := []struct {
+		n  NodeID
+		d  Dir
+		ok bool
+	}{
+		{0, West, false}, {0, North, false}, {0, East, true}, {0, South, true},
+		{8, East, false}, {8, South, false}, {8, West, true}, {8, North, true},
+		{4, East, true}, {4, West, true}, {4, North, true}, {4, South, true},
+	}
+	for _, c := range cases {
+		if _, ok := m.Neighbor(c.n, c.d); ok != c.ok {
+			t.Errorf("Neighbor(%d, %s) ok = %v, want %v", c.n, c.d, ok, c.ok)
+		}
+	}
+	if _, ok := m.Neighbor(4, Local); ok {
+		t.Error("Neighbor(4, Local) should not exist")
+	}
+}
+
+func TestPositionClasses(t *testing.T) {
+	m := NewMesh(3, 3)
+	want := map[NodeID]Position{
+		0: Corner, 2: Corner, 6: Corner, 8: Corner,
+		1: Edge, 3: Edge, 5: Edge, 7: Edge,
+		4: Center,
+	}
+	for n, p := range want {
+		if got := m.Position(n); got != p {
+			t.Errorf("Position(%d) = %s, want %s", n, got, p)
+		}
+	}
+}
+
+func TestDegreeMatchesPosition(t *testing.T) {
+	m := NewMesh(8, 8)
+	for n := NodeID(0); n < NodeID(m.Nodes()); n++ {
+		deg := m.Degree(n)
+		pos := m.Position(n)
+		switch pos {
+		case Corner:
+			if deg != 2 {
+				t.Errorf("corner %d degree %d", n, deg)
+			}
+		case Edge:
+			if deg != 3 {
+				t.Errorf("edge %d degree %d", n, deg)
+			}
+		case Center:
+			if deg != 4 {
+				t.Errorf("center %d degree %d", n, deg)
+			}
+		}
+	}
+}
+
+// TestDORReachesDestination follows DORNext hop by hop and checks it
+// reaches the destination in exactly Distance() hops, moving X-first.
+func TestDORReachesDestination(t *testing.T) {
+	m := NewMesh(4, 5)
+	for s := NodeID(0); s < NodeID(m.Nodes()); s++ {
+		for d := NodeID(0); d < NodeID(m.Nodes()); d++ {
+			cur := s
+			hops := 0
+			movedY := false
+			for cur != d {
+				dir := m.DORNext(cur, d)
+				if dir == Local {
+					t.Fatalf("DORNext(%d,%d) = Local before arrival", cur, d)
+				}
+				if dir == North || dir == South {
+					movedY = true
+				} else if movedY {
+					t.Fatalf("route %d->%d moved X after Y (not DOR)", s, d)
+				}
+				nxt, ok := m.Neighbor(cur, dir)
+				if !ok {
+					t.Fatalf("DORNext(%d,%d) = %s walks off mesh", cur, d, dir)
+				}
+				cur = nxt
+				hops++
+				if hops > m.Width+m.Height {
+					t.Fatalf("route %d->%d does not terminate", s, d)
+				}
+			}
+			if hops != m.Distance(s, d) {
+				t.Errorf("route %d->%d took %d hops, Manhattan %d", s, d, hops, m.Distance(s, d))
+			}
+			if m.DORNext(d, d) != Local {
+				t.Errorf("DORNext(%d,%d) != Local", d, d)
+			}
+		}
+	}
+}
+
+// TestProductiveDirsReduceDistance is a property test: every direction
+// returned by ProductiveDirs strictly reduces the Manhattan distance, and
+// the set is empty only at the destination.
+func TestProductiveDirsReduceDistance(t *testing.T) {
+	m := NewMesh(6, 6)
+	f := func(si, di uint8) bool {
+		s := NodeID(int(si) % m.Nodes())
+		d := NodeID(int(di) % m.Nodes())
+		dirs := m.ProductiveDirs(s, d, nil)
+		if s == d {
+			return len(dirs) == 0
+		}
+		if len(dirs) == 0 {
+			return false
+		}
+		for _, dir := range dirs {
+			nb, ok := m.Neighbor(s, dir)
+			if !ok || m.Distance(nb, d) != m.Distance(s, d)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	m := NewMesh(7, 4)
+	f := func(ai, bi uint8) bool {
+		a := NodeID(int(ai) % m.Nodes())
+		b := NodeID(int(bi) % m.Nodes())
+		// symmetry, identity, triangle via node 0
+		if m.Distance(a, b) != m.Distance(b, a) {
+			return false
+		}
+		if (m.Distance(a, b) == 0) != (a == b) {
+			return false
+		}
+		return m.Distance(a, b) <= m.Distance(a, 0)+m.Distance(0, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	pairs := [][2]Dir{{East, West}, {North, South}}
+	for _, p := range pairs {
+		if p[0].Opposite() != p[1] || p[1].Opposite() != p[0] {
+			t.Errorf("Opposite broken for %s/%s", p[0], p[1])
+		}
+	}
+	if Local.Opposite() != Local {
+		t.Error("Opposite(Local) != Local")
+	}
+}
+
+func TestNewMeshPanicsOnTinyDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMesh(1, 3) did not panic")
+		}
+	}()
+	NewMesh(1, 3)
+}
+
+func TestContains(t *testing.T) {
+	m := NewMesh(3, 3)
+	if !m.Contains(0) || !m.Contains(8) {
+		t.Error("valid nodes rejected")
+	}
+	if m.Contains(-1) || m.Contains(9) {
+		t.Error("invalid nodes accepted")
+	}
+}

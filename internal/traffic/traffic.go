@@ -1,0 +1,254 @@
+// Package traffic provides open-loop synthetic traffic for network
+// characterization: the destination patterns and Bernoulli packet
+// generators used by the latency-throughput sweeps ("Other results" in
+// Section V-A), the hotspot experiment that exercises gossip-induced mode
+// switching, and the Section V-B quadrant-consolidation workload.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"afcnet/internal/flit"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+)
+
+// Pattern maps a source node to a random destination.
+type Pattern interface {
+	// Dest returns a destination for a packet from src; it must never
+	// return src itself.
+	Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform sends to a uniformly random other node.
+type Uniform struct{ Mesh topology.Mesh }
+
+// Dest implements Pattern.
+func (u Uniform) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	n := u.Mesh.Nodes()
+	d := topology.NodeID(rng.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// Transpose sends from (x, y) to (y, x); nodes on the diagonal fall back
+// to uniform. Requires a square mesh.
+type Transpose struct{ Mesh topology.Mesh }
+
+// Dest implements Pattern.
+func (t Transpose) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	x, y := t.Mesh.Coord(src)
+	if x == y {
+		return Uniform{Mesh: t.Mesh}.Dest(src, rng)
+	}
+	return t.Mesh.Node(y, x)
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// BitComplement sends from (x, y) to (W-1-x, H-1-y); the center node of an
+// odd mesh falls back to uniform.
+type BitComplement struct{ Mesh topology.Mesh }
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	x, y := b.Mesh.Coord(src)
+	d := b.Mesh.Node(b.Mesh.Width-1-x, b.Mesh.Height-1-y)
+	if d == src {
+		return Uniform{Mesh: b.Mesh}.Dest(src, rng)
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "bitcomp" }
+
+// Hotspot sends to a single hot node with probability Frac and uniformly
+// otherwise; the hot node itself sends uniformly.
+type Hotspot struct {
+	Mesh topology.Mesh
+	Hot  topology.NodeID
+	Frac float64
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if src != h.Hot && rng.Float64() < h.Frac {
+		return h.Hot
+	}
+	return Uniform{Mesh: h.Mesh}.Dest(src, rng)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.0f%%)", h.Hot, h.Frac*100) }
+
+// NearNeighbor sends to a uniformly random mesh neighbor — the "easy"
+// pattern discussed in Section III-B (high flit throughput without link
+// contention).
+type NearNeighbor struct{ Mesh topology.Mesh }
+
+// Dest implements Pattern.
+func (nn NearNeighbor) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	var opts [topology.NumDirs]topology.NodeID
+	n := 0
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if nb, ok := nn.Mesh.Neighbor(src, d); ok {
+			opts[n] = nb
+			n++
+		}
+	}
+	return opts[rng.Intn(n)]
+}
+
+// Name implements Pattern.
+func (nn NearNeighbor) Name() string { return "neighbor" }
+
+// Quadrant keeps traffic inside the source's quadrant of the mesh
+// (Section V-B: an 8x8 consolidation workload where a different
+// application runs in each quadrant and traffic stays within it, except
+// for misrouting).
+type Quadrant struct{ Mesh topology.Mesh }
+
+// Dest implements Pattern.
+func (q Quadrant) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
+	qw, qh := q.Mesh.Width/2, q.Mesh.Height/2
+	x, y := q.Mesh.Coord(src)
+	x0, y0 := (x/qw)*qw, (y/qh)*qh
+	for {
+		dx := x0 + rng.Intn(qw)
+		dy := y0 + rng.Intn(qh)
+		d := q.Mesh.Node(dx, dy)
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Name implements Pattern.
+func (q Quadrant) Name() string { return "quadrant" }
+
+// QuadrantIndex returns which quadrant (0..3, row-major) a node is in.
+func QuadrantIndex(m topology.Mesh, n topology.NodeID) int {
+	x, y := m.Coord(n)
+	qi := 0
+	if x >= m.Width/2 {
+		qi = 1
+	}
+	if y >= m.Height/2 {
+		qi += 2
+	}
+	return qi
+}
+
+// Config parameterizes an open-loop generator.
+type Config struct {
+	// Pattern picks destinations.
+	Pattern Pattern
+	// Rate is the offered load in flits/node/cycle, used for every node
+	// unless NodeRates overrides it.
+	Rate float64
+	// NodeRates optionally gives a per-node offered load (the quadrant
+	// experiment injects 0.9 in the hot quadrant and 0.1 elsewhere).
+	NodeRates []float64
+	// DataFraction is the fraction of packets that are data packets
+	// (17 flits); the rest are single-flit control packets alternating
+	// between the two control VNs. The default 0.25 approximates the
+	// closed-loop request/response mix.
+	DataFraction float64
+}
+
+// Generator injects open-loop traffic into a network. Register it with
+// net.AddTicker.
+type Generator struct {
+	net  *network.Network
+	cfg  Config
+	rngs []*rand.Rand
+	flip []bool // alternates control packets across the two control VNs
+
+	offered uint64
+	stopped bool
+}
+
+// NewGenerator returns a generator for net. Each node gets an independent
+// random stream derived from the network's seed via seeds.
+func NewGenerator(net *network.Network, cfg Config, seeds func() *rand.Rand) *Generator {
+	if cfg.DataFraction == 0 {
+		cfg.DataFraction = 0.25
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = Uniform{Mesh: net.Mesh()}
+	}
+	g := &Generator{
+		net:  net,
+		cfg:  cfg,
+		rngs: make([]*rand.Rand, net.Nodes()),
+		flip: make([]bool, net.Nodes()),
+	}
+	for i := range g.rngs {
+		g.rngs[i] = seeds()
+	}
+	return g
+}
+
+// MeanPacketLen returns the expected packet length under the configured
+// mix.
+func (g *Generator) MeanPacketLen() float64 {
+	return g.cfg.DataFraction*flit.DataPacketFlits + (1-g.cfg.DataFraction)*flit.ControlPacketFlits
+}
+
+// rate returns the configured flit rate of node i.
+func (g *Generator) rate(i int) float64 {
+	if g.cfg.NodeRates != nil {
+		return g.cfg.NodeRates[i]
+	}
+	return g.cfg.Rate
+}
+
+// OfferedFlits returns the number of flits offered so far.
+func (g *Generator) OfferedFlits() uint64 { return g.offered }
+
+// Stop halts further packet generation (drain phases of experiments).
+func (g *Generator) Stop() { g.stopped = true }
+
+// Tick implements sim.Ticker: per node, create a packet with probability
+// rate/meanLen, so offered load in flits matches the configured rate.
+func (g *Generator) Tick(now uint64) {
+	if g.stopped {
+		return
+	}
+	meanLen := g.MeanPacketLen()
+	for i := 0; i < g.net.Nodes(); i++ {
+		r := g.rate(i)
+		if r <= 0 {
+			continue
+		}
+		rng := g.rngs[i]
+		if rng.Float64() >= r/meanLen {
+			continue
+		}
+		src := topology.NodeID(i)
+		dst := g.cfg.Pattern.Dest(src, rng)
+		vn := flit.VNData
+		length := flit.DataPacketFlits
+		if rng.Float64() >= g.cfg.DataFraction {
+			length = flit.ControlPacketFlits
+			if g.flip[i] {
+				vn = flit.VNReq
+			} else {
+				vn = flit.VNResp
+			}
+			g.flip[i] = !g.flip[i]
+		}
+		g.net.NI(src).SendPacket(now, dst, vn, length, 0)
+		g.offered += uint64(length)
+	}
+}

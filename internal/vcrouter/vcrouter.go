@@ -1,0 +1,447 @@
+// Package vcrouter implements the baseline backpressured router of the
+// paper: an input-queued virtual-channel router with credit-based flow
+// control, dimension-ordered lookahead routing, per-packet VC allocation
+// and separable (input-first) switch allocation.
+//
+// Pipeline (Table I): the paper charitably assumes a 2-stage router with
+// 0-cycle VC allocation — stage 1 performs switch allocation (with
+// lookahead routing in parallel and free VC allocation folded in), stage 2
+// is switch traversal plus link traversal, with the buffer write absorbed
+// into link traversal. The simulator models this as: a flit buffered at
+// cycle t is eligible for switch allocation at t+1, and switch+link
+// traversal deliver it to the next router's buffers L+1 cycles later
+// (per-hop latency 2+L).
+package vcrouter
+
+import (
+	"fmt"
+
+	"afcnet/internal/config"
+	"afcnet/internal/energy"
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/router"
+	"afcnet/internal/topology"
+)
+
+type entry struct {
+	f       *flit.Flit
+	readyAt uint64
+}
+
+// inVC is one input virtual channel: a flit FIFO plus the state of the
+// packet currently occupying it. While pktOpen, route and ovc apply to
+// every flit of the in-flight packet (wormhole: flits of a packet follow
+// the head's VC and route).
+type inVC struct {
+	q       []entry
+	pktOpen bool
+	route   topology.Dir
+	ovc     int
+	// vcaDoneAt is the cycle the packet's VC allocation completes; under
+	// the RealisticVCA option the head flit may not request the switch
+	// before it (0 = no pending VCA stage).
+	vcaDoneAt uint64
+}
+
+// outVC is one output virtual channel's downstream state: whether it is
+// allocated to a packet (rule R1) and the credit count for its downstream
+// buffer slots.
+type outVC struct {
+	busy    bool
+	credits int
+}
+
+// candidate is an input port's switch-allocation request for this cycle.
+type candidate struct {
+	valid bool
+	vc    int
+	out   topology.Dir
+	ovc   int
+}
+
+// Router is the baseline backpressured VC router for one node.
+type Router struct {
+	mesh topology.Mesh
+	node topology.NodeID
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	meter *energy.Meter
+
+	depth        int
+	ejectWidth   int
+	realisticVCA bool
+	numVCs       int
+	vnVCs        [flit.NumVNs][]int // virtual network -> VC indices
+	in           [topology.NumPorts][]inVC
+	out          [topology.NumPorts][]outVC // Local entries unused (infinite)
+	inArb        [topology.NumPorts]*router.RoundRobin
+	outArb       [topology.NumPorts]*router.RoundRobin
+	vcaArb       [topology.NumPorts][flit.NumVNs]*router.RoundRobin
+	injArb       *router.RoundRobin // over VNs
+	injVC        [flit.NumVNs]int
+	injOpen      [flit.NumVNs]bool
+
+	cands [topology.NumPorts]candidate
+
+	// Stats
+	routedFlits   uint64
+	injectedFlits uint64
+	ejectedFlits  uint64
+}
+
+// New returns a baseline router at node with the given configuration,
+// wired to its neighbors and its network interface. The meter may be nil
+// (no energy accounting).
+func New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
+	ejectWidth int, wires router.Wires, src router.LocalSource,
+	sink router.LocalSink, meter *energy.Meter) *Router {
+
+	r := &Router{
+		mesh:         mesh,
+		node:         node,
+		wires:        wires,
+		src:          src,
+		sink:         sink,
+		meter:        meter,
+		depth:        cfg.BufDepth,
+		ejectWidth:   ejectWidth,
+		realisticVCA: cfg.RealisticVCA,
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
+			r.vnVCs[vn] = append(r.vnVCs[vn], r.numVCs)
+			r.numVCs++
+		}
+	}
+	for p := 0; p < topology.NumPorts; p++ {
+		r.in[p] = make([]inVC, r.numVCs)
+		r.out[p] = make([]outVC, r.numVCs)
+		for v := range r.out[p] {
+			r.out[p][v].credits = cfg.BufDepth
+		}
+		r.inArb[p] = router.NewRoundRobin(r.numVCs)
+		r.outArb[p] = router.NewRoundRobin(topology.NumPorts)
+		for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+			n := len(r.vnVCs[vn])
+			r.vcaArb[p][vn] = router.NewRoundRobin(n)
+		}
+	}
+	for vn := range r.injVC {
+		r.injVC[vn] = flit.NoVC
+	}
+	return r
+}
+
+// Node implements router.Router.
+func (r *Router) Node() topology.NodeID { return r.node }
+
+// RoutedFlits returns the number of flits this router has moved through
+// its crossbar (switch traversals).
+func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
+
+// Tick implements one cycle (see the package comment for the pipeline
+// correspondence).
+func (r *Router) Tick(now uint64) {
+	if r.meter != nil {
+		r.meter.StaticTick()
+	}
+	r.receiveCredits(now)
+	r.allocate(now)
+	r.transmit(now)
+	r.inject(now)
+	r.receive(now)
+}
+
+// receiveCredits consumes credit backflow from downstream routers.
+func (r *Router) receiveCredits(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.CreditIn == nil {
+			continue
+		}
+		if c, ok := pl.CreditIn.Recv(now); ok {
+			ov := &r.out[d][c.VC]
+			ov.credits++
+			if ov.credits > r.depth {
+				panic(fmt.Sprintf("vcrouter %d: credit overflow on %s vc %d", r.node, d, c.VC))
+			}
+		}
+	}
+}
+
+// allocate runs lookahead routing, 0-cycle VC allocation and the
+// input-first stage of separable switch allocation, filling r.cands.
+func (r *Router) allocate(now uint64) {
+	for p := 0; p < topology.NumPorts; p++ {
+		r.cands[p] = candidate{}
+		vcs := r.in[p]
+		pick := r.inArb[p].Pick(func(v int) bool {
+			return r.eligible(now, topology.Dir(p), v)
+		})
+		if pick < 0 {
+			continue
+		}
+		vc := &vcs[pick]
+		r.cands[p] = candidate{valid: true, vc: pick, out: vc.route, ovc: vc.ovc}
+	}
+}
+
+// eligible reports whether input VC v at port p can request the switch
+// this cycle, performing route computation and VC allocation for head
+// flits as a side effect (the paper's 0-cycle VCA).
+func (r *Router) eligible(now uint64, p topology.Dir, v int) bool {
+	vc := &r.in[p][v]
+	if len(vc.q) == 0 || vc.q[0].readyAt > now {
+		return false
+	}
+	f := vc.q[0].f
+	if f.Head() {
+		if vc.pktOpen {
+			// Route and VC were allocated on an earlier attempt; the flit
+			// is waiting on VCA completion, credits or switch allocation.
+			if now < vc.vcaDoneAt {
+				return false
+			}
+			if vc.route == topology.Local {
+				return true
+			}
+			return r.out[vc.route][vc.ovc].credits > 0
+		}
+		route := r.mesh.DORNext(r.node, f.Dst)
+		if route == topology.Local {
+			vc.route = route
+			vc.ovc = flit.NoVC
+			vc.pktOpen = f.Len > 1
+			return true
+		}
+		ovc := r.allocVC(route, f.VN)
+		if ovc == flit.NoVC {
+			return false
+		}
+		vc.route = route
+		vc.ovc = ovc
+		// Hold the output VC until the tail departs — for single-flit
+		// packets too: the VC must read busy while allocated-but-unsent,
+		// or a concurrent allocation could hand the same VC to another
+		// packet (rule R2) and interleave flits downstream.
+		vc.pktOpen = true
+		r.out[route][ovc].busy = true
+		if r.meter != nil {
+			r.meter.VCArb()
+		}
+		if r.realisticVCA {
+			// Non-speculative VCA occupies this cycle; the switch request
+			// happens next cycle (3-stage pipeline).
+			vc.vcaDoneAt = now + 1
+			return false
+		}
+		return r.out[route][ovc].credits > 0
+	}
+	// Body/tail flit: the packet must already hold a route and VC.
+	if !vc.pktOpen {
+		panic(fmt.Sprintf("vcrouter %d: body flit %v without open packet at %s/%d", r.node, f, p, v))
+	}
+	if vc.route == topology.Local {
+		return true
+	}
+	return r.out[vc.route][vc.ovc].credits > 0
+}
+
+// allocVC picks a free output VC on port out within vn (round-robin), or
+// NoVC. Rule R2 is preserved because the VC is marked busy as soon as a
+// multi-flit packet claims it.
+func (r *Router) allocVC(out topology.Dir, vn flit.VN) int {
+	ids := r.vnVCs[vn]
+	i := r.vcaArb[out][vn].Pick(func(i int) bool {
+		return !r.out[out][ids[i]].busy
+	})
+	if i < 0 {
+		return flit.NoVC
+	}
+	return ids[i]
+}
+
+// transmit runs the output stage of switch allocation and moves winners
+// through the crossbar onto links (or ejects them). The ejection (local
+// output) port is EjectWidth flits wide: short NI-side wiring makes a
+// wider ejection path cheap, and receive-side buffering always accepts.
+func (r *Router) transmit(now uint64) {
+	for o := 0; o < topology.NumPorts; o++ {
+		out := topology.Dir(o)
+		grants := 1
+		if out == topology.Local {
+			grants = r.ejectWidth
+		}
+		for g := 0; g < grants; g++ {
+			win := r.outArb[o].Pick(func(p int) bool {
+				c := r.cands[p]
+				return c.valid && c.out == out
+			})
+			if win < 0 {
+				break
+			}
+			r.sendWinner(now, topology.Dir(win), out)
+		}
+	}
+}
+
+func (r *Router) sendWinner(now uint64, in, out topology.Dir) {
+	c := &r.cands[in]
+	vc := &r.in[in][c.vc]
+	f := vc.q[0].f
+	copy(vc.q, vc.q[1:])
+	vc.q = vc.q[:len(vc.q)-1]
+	c.valid = false
+	r.routedFlits++
+	if r.meter != nil {
+		r.meter.BufRead()
+		r.meter.SwArb()
+		r.meter.Xbar()
+	}
+
+	// Return a credit upstream for the freed buffer slot.
+	if in != topology.Local {
+		if pl := r.wires.Ports[in]; pl.CreditOut != nil {
+			pl.CreditOut.Send(now, link.Credit{VC: c.vc, VN: f.VN})
+			if r.meter != nil {
+				r.meter.Credit()
+			}
+		}
+	}
+
+	if f.Tail() {
+		if vc.pktOpen {
+			vc.pktOpen = false
+			if vc.route != topology.Local {
+				r.out[vc.route][vc.ovc].busy = false
+			}
+		}
+		vc.ovc = flit.NoVC
+	}
+
+	if out == topology.Local {
+		r.ejectedFlits++
+		r.sink.Deliver(now, f)
+		return
+	}
+
+	ov := &r.out[out][c.ovc]
+	ov.credits--
+	if ov.credits < 0 {
+		panic(fmt.Sprintf("vcrouter %d: negative credits on %s vc %d", r.node, out, c.ovc))
+	}
+	f.VC = c.ovc
+	f.Hops++
+	r.wires.Ports[out].Out.Send(now, f)
+	if r.meter != nil {
+		r.meter.LinkHop()
+	}
+}
+
+// inject pulls up to one flit per virtual network per cycle from the
+// network interface into the local input port — the Garnet-style NI model
+// where each virtual network has its own injection path.
+func (r *Router) inject(now uint64) {
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		f := r.src.Peek(vn)
+		if f == nil {
+			continue
+		}
+		v := r.injectionVC(vn, f)
+		if v == flit.NoVC {
+			continue
+		}
+		f = r.src.Pop(vn)
+		vc := &r.in[topology.Local][v]
+		if len(vc.q) >= r.depth {
+			panic(fmt.Sprintf("vcrouter %d: injection overflow on local vc %d", r.node, v))
+		}
+		if f.Head() {
+			r.injVC[vn] = v
+			r.injOpen[vn] = true
+		}
+		if f.Tail() {
+			r.injOpen[vn] = false
+		}
+		f.VC = v
+		if st, ok := r.src.(interface {
+			StampInjection(uint64, *flit.Flit)
+		}); ok {
+			st.StampInjection(now, f)
+		} else {
+			f.InjectedAt = now
+		}
+		vc.q = append(vc.q, entry{f: f, readyAt: now + 1})
+		r.injectedFlits++
+		if r.meter != nil {
+			r.meter.BufWrite()
+		}
+	}
+}
+
+// injectionVC returns the local input VC the next flit of vn should enter,
+// or NoVC if none is available. Heads claim an idle VC; bodies continue in
+// the packet's VC if it has space.
+func (r *Router) injectionVC(vn flit.VN, f *flit.Flit) int {
+	if !f.Head() {
+		v := r.injVC[vn]
+		if v == flit.NoVC || len(r.in[topology.Local][v].q) >= r.depth {
+			return flit.NoVC
+		}
+		return v
+	}
+	if r.injOpen[vn] {
+		// Previous packet on this VN still mid-injection; its flits come
+		// first in FIFO order so a head here means a logic error.
+		panic(fmt.Sprintf("vcrouter %d: head flit while injection open on vn %s", r.node, vn))
+	}
+	for _, v := range r.vnVCs[vn] {
+		vc := &r.in[topology.Local][v]
+		if len(vc.q) == 0 && !vc.pktOpen {
+			return v
+		}
+	}
+	return flit.NoVC
+}
+
+// receive buffers this cycle's link arrivals. Credits guarantee space; an
+// overflow is an invariant violation.
+func (r *Router) receive(now uint64) {
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := r.wires.Ports[d]
+		if pl.In == nil {
+			continue
+		}
+		f, ok := pl.In.Recv(now)
+		if !ok {
+			continue
+		}
+		vc := &r.in[d][f.VC]
+		if len(vc.q) >= r.depth {
+			panic(fmt.Sprintf("vcrouter %d: buffer overflow on %s vc %d (flit %v)", r.node, d, f.VC, f))
+		}
+		vc.q = append(vc.q, entry{f: f, readyAt: now + 1})
+		if r.meter != nil {
+			r.meter.BufWrite()
+		}
+	}
+}
+
+// BufferedFlits returns the number of flits currently held in this
+// router's input buffers (drain checks and credit-conservation tests).
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p] {
+			n += len(r.in[p][v].q)
+		}
+	}
+	return n
+}
+
+// Credits returns the current credit count for output port d, VC v
+// (exposed for invariant tests).
+func (r *Router) Credits(d topology.Dir, v int) int { return r.out[d][v].credits }

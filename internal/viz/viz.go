@@ -1,0 +1,332 @@
+// Package viz renders the paper's figures as standalone SVG files: the
+// grouped bar charts of Figures 2 and 3 (normalized performance/energy
+// per benchmark and configuration, with variance whiskers and stacked
+// energy components) and the latency-throughput curves of the open-loop
+// sweep. Pure stdlib; cmd/figures -svg writes one file per artifact.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette used for series, in order.
+var Palette = []string{
+	"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c",
+}
+
+const (
+	chartW   = 760
+	chartH   = 420
+	marginL  = 70
+	marginR  = 20
+	marginT  = 48
+	marginB  = 88
+	fontFam  = "Helvetica, Arial, sans-serif"
+	axisGray = "#444444"
+)
+
+func plotW() float64 { return float64(chartW - marginL - marginR) }
+func plotH() float64 { return float64(chartH - marginT - marginB) }
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func newSVG(title string) *svgBuilder {
+	s := &svgBuilder{}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		chartW, chartH, chartW, chartH)
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`, chartW, chartH)
+	s.text(float64(chartW)/2, 24, title, 16, "middle", "bold")
+	return s
+}
+
+func (s *svgBuilder) text(x, y float64, t string, size int, anchor, weight string) {
+	fmt.Fprintf(&s.b,
+		`<text x="%.1f" y="%.1f" font-family="%s" font-size="%d" text-anchor="%s" font-weight="%s" fill="%s">%s</text>`,
+		x, y, fontFam, size, anchor, weight, axisGray, escape(t))
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, color string, width float64) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`,
+		x1, y1, x2, y2, color, width)
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, color string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`,
+		x, y, w, h, color)
+}
+
+func (s *svgBuilder) finish() string {
+	s.b.WriteString(`</svg>`)
+	return s.b.String()
+}
+
+func escape(t string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(t)
+}
+
+// niceMax rounds v up to a pleasant axis maximum.
+func niceMax(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 1.2, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10} {
+		if m*mag >= v {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// yAxis draws the vertical axis with ~5 ticks up to max and returns the
+// value-to-pixel mapping.
+func (s *svgBuilder) yAxis(max float64, label string) func(v float64) float64 {
+	toY := func(v float64) float64 {
+		return float64(marginT) + plotH()*(1-v/max)
+	}
+	s.line(marginL, marginT, marginL, float64(marginT)+plotH(), axisGray, 1)
+	ticks := 5
+	for i := 0; i <= ticks; i++ {
+		v := max * float64(i) / float64(ticks)
+		y := toY(v)
+		s.line(marginL-4, y, marginL, y, axisGray, 1)
+		s.line(marginL, y, float64(chartW-marginR), y, "#e5e5e5", 0.5)
+		s.text(marginL-8, y+4, trimFloat(v), 11, "end", "normal")
+	}
+	// vertical label
+	fmt.Fprintf(&s.b,
+		`<text x="16" y="%.1f" font-family="%s" font-size="12" text-anchor="middle" fill="%s" transform="rotate(-90 16 %.1f)">%s</text>`,
+		float64(marginT)+plotH()/2, fontFam, axisGray, float64(marginT)+plotH()/2, escape(label))
+	return toY
+}
+
+func trimFloat(v float64) string {
+	t := fmt.Sprintf("%.2f", v)
+	t = strings.TrimRight(t, "0")
+	return strings.TrimRight(t, ".")
+}
+
+// legend draws a horizontal legend at the bottom.
+func (s *svgBuilder) legend(names []string) {
+	x := float64(marginL)
+	y := float64(chartH - 16)
+	for i, n := range names {
+		c := Palette[i%len(Palette)]
+		s.rect(x, y-9, 10, 10, c)
+		s.text(x+14, y, n, 11, "start", "normal")
+		x += 14 + float64(len(n))*6.6 + 18
+	}
+}
+
+// BarSeries is one configuration's values across the groups (one value
+// per group; optional Err whiskers, one per group or nil).
+type BarSeries struct {
+	Name string
+	Val  []float64
+	Err  []float64
+}
+
+// BarChart is a grouped bar chart (Figure 2 style).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string // benchmark names along X
+	Series []BarSeries
+	// RefLine draws a horizontal reference (e.g., 1.0 for normalized
+	// plots); 0 disables it.
+	RefLine float64
+}
+
+// SVG renders the chart.
+func (c BarChart) SVG() string {
+	s := newSVG(c.Title)
+	max := c.RefLine
+	for _, sr := range c.Series {
+		for i, v := range sr.Val {
+			e := 0.0
+			if sr.Err != nil && i < len(sr.Err) {
+				e = sr.Err[i]
+			}
+			if v+e > max {
+				max = v + e
+			}
+		}
+	}
+	toY := s.yAxis(niceMax(max*1.05), c.YLabel)
+	groupW := plotW() / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi)
+		s.text(gx+groupW/2, float64(chartH-marginB)+18, g, 12, "middle", "normal")
+		for si, sr := range c.Series {
+			if gi >= len(sr.Val) {
+				continue
+			}
+			v := sr.Val[gi]
+			x := gx + groupW*0.1 + barW*float64(si)
+			y := toY(v)
+			s.rect(x, y, barW-2, float64(marginT)+plotH()-y, Palette[si%len(Palette)])
+			if sr.Err != nil && gi < len(sr.Err) && sr.Err[gi] > 0 {
+				e := sr.Err[gi]
+				cx := x + (barW-2)/2
+				s.line(cx, toY(v+e), cx, toY(v-e), axisGray, 1)
+				s.line(cx-3, toY(v+e), cx+3, toY(v+e), axisGray, 1)
+				s.line(cx-3, toY(v-e), cx+3, toY(v-e), axisGray, 1)
+			}
+		}
+	}
+	if c.RefLine > 0 {
+		y := toY(c.RefLine)
+		fmt.Fprintf(&s.b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="5,3"/>`,
+			marginL, y, chartW-marginR, y, "#888888")
+	}
+	var names []string
+	for _, sr := range c.Series {
+		names = append(names, sr.Name)
+	}
+	s.legend(names)
+	return s.finish()
+}
+
+// StackSeries is one stacked component across the groups (Figure 3
+// style: buffer/link/rest per configuration).
+type StackSeries struct {
+	Name string
+	Val  []float64
+}
+
+// StackedBarChart draws one stacked bar per group.
+type StackedBarChart struct {
+	Title  string
+	YLabel string
+	Groups []string
+	Stacks []StackSeries // bottom-up
+}
+
+// SVG renders the chart.
+func (c StackedBarChart) SVG() string {
+	s := newSVG(c.Title)
+	max := 0.0
+	for gi := range c.Groups {
+		sum := 0.0
+		for _, st := range c.Stacks {
+			if gi < len(st.Val) {
+				sum += st.Val[gi]
+			}
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	toY := s.yAxis(niceMax(max*1.05), c.YLabel)
+	groupW := plotW() / float64(len(c.Groups))
+	barW := groupW * 0.55
+	for gi, g := range c.Groups {
+		gx := float64(marginL) + groupW*float64(gi)
+		// rotate long labels
+		fmt.Fprintf(&s.b,
+			`<text x="%.1f" y="%.1f" font-family="%s" font-size="10" text-anchor="end" fill="%s" transform="rotate(-30 %.1f %.1f)">%s</text>`,
+			gx+groupW/2, float64(chartH-marginB)+16, fontFam, axisGray,
+			gx+groupW/2, float64(chartH-marginB)+16, escape(g))
+		base := 0.0
+		for si, st := range c.Stacks {
+			if gi >= len(st.Val) {
+				continue
+			}
+			v := st.Val[gi]
+			yTop := toY(base + v)
+			yBot := toY(base)
+			s.rect(gx+(groupW-barW)/2, yTop, barW, yBot-yTop, Palette[si%len(Palette)])
+			base += v
+		}
+	}
+	var names []string
+	for _, st := range c.Stacks {
+		names = append(names, st.Name)
+	}
+	s.legend(names)
+	return s.finish()
+}
+
+// LineSeries is one curve of a line chart.
+type LineSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// LineChart draws latency-throughput style curves.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+	// YCap clips the vertical axis (saturated latencies explode); 0 =
+	// auto.
+	YCap float64
+}
+
+// SVG renders the chart.
+func (c LineChart) SVG() string {
+	s := newSVG(c.Title)
+	maxX, maxY := 0.0, 0.0
+	for _, sr := range c.Series {
+		for i := range sr.X {
+			if sr.X[i] > maxX {
+				maxX = sr.X[i]
+			}
+			y := sr.Y[i]
+			if c.YCap > 0 && y > c.YCap {
+				y = c.YCap
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	yMax := niceMax(maxY * 1.05)
+	toY := s.yAxis(yMax, c.YLabel)
+	xMax := niceMax(maxX)
+	toX := func(v float64) float64 { return float64(marginL) + plotW()*v/xMax }
+	// x axis
+	s.line(marginL, float64(marginT)+plotH(), float64(chartW-marginR), float64(marginT)+plotH(), axisGray, 1)
+	for i := 0; i <= 6; i++ {
+		v := xMax * float64(i) / 6
+		x := toX(v)
+		s.line(x, float64(marginT)+plotH(), x, float64(marginT)+plotH()+4, axisGray, 1)
+		s.text(x, float64(marginT)+plotH()+16, trimFloat(v), 11, "middle", "normal")
+	}
+	s.text(float64(marginL)+plotW()/2, float64(chartH-marginB)+36, c.XLabel, 12, "middle", "normal")
+
+	for si, sr := range c.Series {
+		color := Palette[si%len(Palette)]
+		var pts []string
+		for i := range sr.X {
+			y := sr.Y[i]
+			if c.YCap > 0 && y > c.YCap {
+				y = c.YCap
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(sr.X[i]), toY(y)))
+		}
+		fmt.Fprintf(&s.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		for i := range sr.X {
+			y := sr.Y[i]
+			if c.YCap > 0 && y > c.YCap {
+				y = c.YCap
+			}
+			fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`,
+				toX(sr.X[i]), toY(y), color)
+		}
+	}
+	var names []string
+	for _, sr := range c.Series {
+		names = append(names, sr.Name)
+	}
+	s.legend(names)
+	return s.finish()
+}

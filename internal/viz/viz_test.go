@@ -1,0 +1,135 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:  "Figure 2(c)",
+		YLabel: "normalized performance",
+		Groups: []string{"apache", "oltp", "specjbb"},
+		Series: []BarSeries{
+			{Name: "backpressured", Val: []float64{1, 1, 1}},
+			{Name: "backpressureless", Val: []float64{0.73, 0.77, 0.71}, Err: []float64{0.01, 0.01, 0.01}},
+			{Name: "afc", Val: []float64{0.99, 1.0, 0.98}},
+		},
+		RefLine: 1,
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if n := strings.Count(svg, "<rect"); n < 10 {
+		t.Errorf("expected at least 10 rects (bars+bg+legend), got %d", n)
+	}
+	for _, want := range []string{"apache", "backpressureless", "Figure 2(c)", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 3 series x 3 groups of bars + background + 3 legend swatches = 13 rects.
+	if n := strings.Count(svg, "<rect"); n != 13 {
+		t.Errorf("rect count = %d, want 13", n)
+	}
+}
+
+func TestBarChartWhiskers(t *testing.T) {
+	c := BarChart{
+		Groups: []string{"a"},
+		Series: []BarSeries{{Name: "x", Val: []float64{1}, Err: []float64{0.2}}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	// whisker = 3 lines beyond axis/grid lines
+	if n := strings.Count(svg, "<line"); n < 10 {
+		t.Errorf("whiskers missing: %d lines", n)
+	}
+}
+
+func TestStackedBarChartSVG(t *testing.T) {
+	c := StackedBarChart{
+		Title:  "Figure 3(a)",
+		YLabel: "normalized energy",
+		Groups: []string{"bp", "bless", "afc"},
+		Stacks: []StackSeries{
+			{Name: "buffer", Val: []float64{0.37, 0, 0.02}},
+			{Name: "link", Val: []float64{0.06, 0.07, 0.08}},
+			{Name: "rest", Val: []float64{0.57, 0.64, 0.69}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	// 3 groups x up to 3 segments (one zero-height still drawn) + bg + 3 legend.
+	if n := strings.Count(svg, "<rect"); n < 10 {
+		t.Errorf("rect count = %d", n)
+	}
+	if !strings.Contains(svg, "rotate(-30") {
+		t.Error("group labels should be rotated")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "latency vs offered load",
+		XLabel: "offered (flits/node/cycle)",
+		YLabel: "latency (cycles)",
+		YCap:   300,
+		Series: []LineSeries{
+			{Name: "backpressured", X: []float64{0.1, 0.3, 0.5}, Y: []float64{15, 18, 25}},
+			{Name: "bless", X: []float64{0.1, 0.3, 0.5}, Y: []float64{15, 20, 900}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Errorf("polyline count = %d, want 2", n)
+	}
+	if n := strings.Count(svg, "<circle"); n != 6 {
+		t.Errorf("marker count = %d, want 6", n)
+	}
+	// YCap: the 900 point must be clipped, so no y coordinate above the
+	// plot area (y < marginT) may appear on the bless polyline.
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Error("SVG contains invalid coordinates")
+	}
+}
+
+func TestNiceMax(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.9, 1}, {1.1, 1.2}, {1.7, 2}, {37, 40}, {0, 1}, {99, 100},
+	}
+	for _, c := range cases {
+		if got := niceMax(c.in); got != c.want {
+			t.Errorf("niceMax(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b&c>d"); got != "a&lt;b&amp;c&gt;d" {
+		t.Errorf("escape = %q", got)
+	}
+}
