@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration pass over a closed-loop benchmark: catches harness
+# regressions without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=Fig2a -benchtime=1x .
+
+ci: build vet race bench-smoke

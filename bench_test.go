@@ -9,12 +9,14 @@
 package afcnet_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
 	"afcnet/internal/cmp"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/traffic"
 )
 
 func quick() experiments.Options { return experiments.Quick() }
@@ -38,8 +40,35 @@ func reportKind(b *testing.B, ms []experiments.Measurement, metric string, get f
 		a.sum += get(m)
 		a.n++
 	}
-	for k, a := range agg {
+	// Report in a fixed order: map iteration order would otherwise shuffle
+	// the metric lines between runs, which breaks diffing benchstat output.
+	kinds := make([]network.Kind, 0, len(agg))
+	for k := range agg {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].String() < kinds[j].String() })
+	for _, k := range kinds {
+		a := agg[k]
 		b.ReportMetric(a.sum/float64(a.n), metric+"/"+k.String())
+	}
+}
+
+// BenchmarkKernelStep measures the per-cycle cost of the simulation
+// kernel itself: one AFC network under moderate uniform open-loop load,
+// stepped cycle by cycle. This is the inner loop every harness above
+// amplifies; run it with -benchmem to track hot-path allocation cost.
+func BenchmarkKernelStep(b *testing.B) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true})
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.3,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(1000) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
 	}
 }
 

@@ -5,11 +5,19 @@
 //
 //	afcsim [-kind afc] [-bench apache] [-seed 1] [-warmup 2000] [-tx 6000]
 //	afcsim -bench all -kind all          # full cross product
+//
+// The bench × kind matrix runs on a worker pool sized by -parallel (or
+// AFCSIM_PARALLEL; default all CPUs); each run buffers its report and the
+// rows print in matrix order, so output and results are identical to a
+// serial run. Trace recording (-record) forces serial execution because
+// every run writes the same trace file.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -17,6 +25,7 @@ import (
 	"afcnet/internal/config"
 	"afcnet/internal/network"
 	"afcnet/internal/router"
+	"afcnet/internal/runner"
 	"afcnet/internal/topology"
 	"afcnet/internal/trace"
 )
@@ -46,6 +55,7 @@ func main() {
 		meshFlag  = flag.String("mesh", "3x3", "mesh dimensions WxH (the paper uses 3x3; Sec. V-B uses 8x8)")
 		recordTo  = flag.String("record", "", "record the created packet trace to this file")
 		replayOf  = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
+		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -91,20 +101,34 @@ func main() {
 	fmt.Printf("%-8s %-26s %8s %9s %9s %8s %10s %7s %7s %8s %6s\n",
 		"bench", "kind", "inj", "cycles", "tx/cycle", "netlat",
 		"energy", "buf%", "link%", "bufmode", "defl")
-	for _, p := range benches {
-		for _, k := range kinds {
-			pol := router.PolicyRandom
-			if *oldest {
-				pol = router.PolicyOldest
-			}
-			if *prealloc {
-				p.WritebackPreAlloc = true
-			}
-			if err := runOne(p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo); err != nil {
-				log.Print(err)
-				os.Exit(1)
-			}
+	pol := router.PolicyRandom
+	if *oldest {
+		pol = router.PolicyOldest
+	}
+	pool := runner.Options{Parallelism: *parallel}
+	if *recordTo != "" {
+		// Every run writes the same trace file; keep them ordered.
+		pool.Parallelism = 1
+	}
+	nk := len(kinds)
+	reports, err := runner.Map(len(benches)*nk, pool, func(i int) (*bytes.Buffer, error) {
+		p := benches[i/nk]
+		k := kinds[i%nk]
+		if *prealloc {
+			p.WritebackPreAlloc = true
 		}
+		var buf bytes.Buffer
+		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo); err != nil {
+			return nil, err
+		}
+		return &buf, nil
+	})
+	if err != nil {
+		log.Print(err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		os.Stdout.Write(r.Bytes())
 	}
 }
 
@@ -117,7 +141,9 @@ func parseMesh(s string) (topology.Mesh, error) {
 	return topology.NewMesh(w, h), nil
 }
 
-func runOne(p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string) error {
+// runOne executes one bench/kind cell and writes its report rows to w
+// (a per-cell buffer under parallel execution, so rows never interleave).
+func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string) error {
 	sys := config.DefaultWithMesh(mesh)
 	sys.Baseline.RealisticVCA = realVCA
 	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol})
@@ -133,12 +159,12 @@ func runOne(p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.Deflect
 	}
 	e := net.TotalEnergy()
 	ms := net.ModeStats()
-	fmt.Printf("%-8s %-26s %8.3f %9d %9.4f %8.1f %10.0f %6.1f%% %6.1f%% %8.2f %6d\n",
+	fmt.Fprintf(w, "%-8s %-26s %8.3f %9d %9.4f %8.1f %10.0f %6.1f%% %6.1f%% %8.2f %6d\n",
 		p.Name, k, res.InjectionRate, res.Cycles, res.TransactionsPerCycle,
 		res.MeanNetLatency, e.Total(), 100*e.Buffer()/e.Total(),
 		100*e.Link/e.Total(), ms.BufferedFraction(), net.TotalDeflections())
 	if ms.EscapeEvents > 0 {
-		fmt.Printf("  note: %d escape-latch events, %d gossip switches\n",
+		fmt.Fprintf(w, "  note: %d escape-latch events, %d gossip switches\n",
 			ms.EscapeEvents, ms.GossipSwitches)
 	}
 	if tr != nil {
@@ -151,7 +177,7 @@ func runOne(p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.Deflect
 		if err := tr.Write(f); err != nil {
 			return err
 		}
-		fmt.Printf("  recorded %d packets (%d flits) to %s\n",
+		fmt.Fprintf(w, "  recorded %d packets (%d flits) to %s\n",
 			len(tr.Events), tr.Flits(), recordTo)
 	}
 	return nil

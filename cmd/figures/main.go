@@ -7,6 +7,12 @@
 //	figures                      # everything (several minutes)
 //	figures -fig 2a              # one artifact
 //	figures -quick               # reduced runs for smoke checks
+//	figures -parallel 1          # historical serial execution
+//
+// Simulation cells (benchmark × kind × seed) run on a worker pool;
+// results are bit-for-bit independent of the worker count. -parallel
+// (or the AFCSIM_PARALLEL environment variable) sets the pool size,
+// defaulting to all CPUs.
 //
 // Artifacts: 2a 2b 2c 2d 3a 3b duty rates sweep quadrant gossip
 // lazyvca thresholds sizing pipeline metric ejectwidth
@@ -22,16 +28,18 @@ import (
 	"afcnet/internal/cmp"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig     = flag.String("fig", "all", "artifact to regenerate (see command doc)")
-		quick   = flag.Bool("quick", false, "reduced run lengths")
-		svgDir  = flag.String("svg", "", "also render the main figures as SVG into this directory")
-		jsonOut = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
+		fig      = flag.String("fig", "all", "artifact to regenerate (see command doc)")
+		quick    = flag.Bool("quick", false, "reduced run lengths")
+		svgDir   = flag.String("svg", "", "also render the main figures as SVG into this directory")
+		jsonOut  = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
+		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -39,6 +47,7 @@ func main() {
 	if *quick {
 		opt = experiments.Quick()
 	}
+	opt.Parallelism = *parallel
 
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name)

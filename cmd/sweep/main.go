@@ -7,7 +7,11 @@
 //
 //	sweep [-kinds backpressured,backpressureless,afc] [-pattern uniform]
 //	      [-min 0.05] [-max 0.6] [-step 0.05] [-seeds 2]
-//	      [-warmup 10000] [-measure 30000]
+//	      [-warmup 10000] [-measure 30000] [-parallel N]
+//
+// Sweep cells (kind × rate × seed) run on a worker pool sized by
+// -parallel (or AFCSIM_PARALLEL; default all CPUs). Results are
+// bit-for-bit independent of the worker count.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/runner"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
@@ -55,6 +60,7 @@ func main() {
 		seeds    = flag.Int("seeds", 2, "repeated runs per point")
 		warmup   = flag.Uint64("warmup", 10_000, "warmup cycles")
 		measure  = flag.Uint64("measure", 30_000, "measurement cycles")
+		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 	)
 	flag.Parse()
 
@@ -77,6 +83,7 @@ func main() {
 	}
 	opt.OpenLoopWarmup = *warmup
 	opt.OpenLoopMeasure = *measure
+	opt.Parallelism = *parallel
 
 	mk, ok := patterns[*pattern]
 	if !ok {

@@ -16,7 +16,6 @@
 package cmp
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -112,18 +111,49 @@ type bankJob struct {
 	tx   uint64
 }
 
+// jobHeap is a hand-rolled min-heap on due. It mirrors container/heap's
+// sift order exactly (so tie-breaking among equal due times is unchanged)
+// but avoids the interface{} boxing of heap.Push/Pop, which shows up in
+// allocation profiles of closed-loop runs.
 type jobHeap []bankJob
 
-func (h jobHeap) Len() int            { return len(h) }
-func (h jobHeap) Less(i, j int) bool  { return h[i].due < h[j].due }
-func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(bankJob)) }
-func (h *jobHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *jobHeap) push(j bankJob) {
+	*h = append(*h, j)
+	hs := *h
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hs[parent].due <= hs[i].due {
+			break
+		}
+		hs[parent], hs[i] = hs[i], hs[parent]
+		i = parent
+	}
+}
+
+func (h *jobHeap) pop() bankJob {
+	hs := *h
+	n := len(hs) - 1
+	hs[0], hs[n] = hs[n], hs[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && hs[r].due < hs[l].due {
+			j = r
+		}
+		if hs[i].due <= hs[j].due {
+			break
+		}
+		hs[i], hs[j] = hs[j], hs[i]
+		i = j
+	}
+	top := hs[n]
+	*h = hs[:n]
+	return top
 }
 
 // System couples a CMP workload to a network. Construct it after the
@@ -235,7 +265,7 @@ func (s *System) Tick(now uint64) {
 
 func (s *System) completeJobs(now uint64) {
 	for len(s.jobs) > 0 && s.jobs[0].due <= now {
-		j := heap.Pop(&s.jobs).(bankJob)
+		j := s.jobs.pop()
 		s.net.NI(j.bank).SendPacket(now, j.core, flit.VNData,
 			flit.DataPacketFlits, payload(msgResponse, j.tx))
 	}
@@ -267,7 +297,7 @@ func (s *System) onPacket(now uint64, d ni.Delivered) {
 		if s.rngs[d.Dst].Float64() < s.params.MemFraction {
 			lat += uint64(s.params.MemLatency)
 		}
-		heap.Push(&s.jobs, bankJob{due: now + lat, bank: d.Dst, core: d.Src, tx: payloadTx(d.Payload)})
+		s.jobs.push(bankJob{due: now + lat, bank: d.Dst, core: d.Src, tx: payloadTx(d.Payload)})
 	case msgResponse:
 		// The miss completes: the MSHR frees; occasionally the evicted
 		// line is dirty and must be written back to its own home bank.

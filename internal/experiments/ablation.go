@@ -9,6 +9,7 @@ import (
 	"afcnet/internal/config"
 	"afcnet/internal/core"
 	"afcnet/internal/network"
+	"afcnet/internal/runner"
 	"afcnet/internal/stats"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
@@ -31,22 +32,36 @@ type LazyVCARow struct {
 func AblationLazyVCA(opt Options) ([]LazyVCARow, error) {
 	sys := config.Default()
 	ratio := float64(sys.AFC.BufferSlotsPerPort()) / float64(sys.Baseline.BufferSlotsPerPort())
+	benches := cmp.HighLoad()
+	type lazyOut struct{ perf, cut float64 }
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(benches)*ns, opt.pool(), func(i int) (lazyOut, error) {
+		p := benches[i/ns]
+		seed := opt.Seeds[i%ns]
+		base, baseNet, err := runCell(p, network.Backpressured, seed, opt)
+		if err != nil {
+			return lazyOut{}, err
+		}
+		ab, abNet, err := runCell(p, network.AFCAlwaysBuffered, seed, opt)
+		if err != nil {
+			return lazyOut{}, err
+		}
+		be := baseNet.TotalEnergy().Buffer()
+		ae := abNet.TotalEnergy().Buffer()
+		return lazyOut{
+			perf: ab.TransactionsPerCycle / base.TransactionsPerCycle,
+			cut:  1 - ae/be,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []LazyVCARow
-	for _, p := range cmp.HighLoad() {
+	for bi, p := range benches {
 		var perf, cut stats.Running
-		for _, seed := range opt.Seeds {
-			base, baseNet, err := runCell(p, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			ab, abNet, err := runCell(p, network.AFCAlwaysBuffered, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			perf.Add(ab.TransactionsPerCycle / base.TransactionsPerCycle)
-			be := baseNet.TotalEnergy().Buffer()
-			ae := abNet.TotalEnergy().Buffer()
-			cut.Add(1 - ae/be)
+		for si := 0; si < ns; si++ {
+			perf.Add(outs[bi*ns+si].perf)
+			cut.Add(outs[bi*ns+si].cut)
 		}
 		out = append(out, LazyVCARow{
 			Bench:            p.Name,
@@ -90,55 +105,75 @@ type ThresholdRow struct {
 // AblationThresholds sweeps a multiplicative scale over the paper's
 // position-specific thresholds.
 func AblationThresholds(scales []float64, opt Options) ([]ThresholdRow, error) {
-	var out []ThresholdRow
 	low, _ := cmp.ByName("water")
 	high, _ := cmp.ByName("apache")
-	for _, sc := range scales {
+	// One scaled system per scale, shared read-only by that scale's cells.
+	systems := make([]config.System, len(scales))
+	for i, sc := range scales {
 		sys := config.Default()
 		th := map[topology.Position]config.Thresholds{}
 		for pos, t := range sys.AFC.ThresholdsByPosition {
 			th[pos] = config.Thresholds{High: t.High * sc, Low: t.Low * sc}
 		}
 		sys.AFC.ThresholdsByPosition = th
+		systems[i] = sys
+	}
+	type thOut struct{ le, bl, hp, bh float64 }
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(scales)*ns, opt.pool(), func(i int) (thOut, error) {
+		sc := scales[i/ns]
+		sys := systems[i/ns]
+		seed := opt.Seeds[i%ns]
+		var o thOut
 
-		row := ThresholdRow{Scale: sc}
-		var le, hp, bl, bh stats.Running
-		for _, seed := range opt.Seeds {
-			// low load
-			baseRes, baseNet, err := runCell(low, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			_ = baseRes
-			net := network.New(network.Config{System: sys, Kind: network.AFC, Seed: seed, MeterEnergy: true})
-			s := cmp.NewSystem(net, low, net.RandStream)
-			res, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("threshold ablation: %s timed out at scale %g", low.Name, sc)
-			}
-			_ = res
-			le.Add(net.TotalEnergy().Total() / baseNet.TotalEnergy().Total())
-			bl.Add(net.ModeStats().BufferedFraction())
-
-			// high load
-			baseRes2, _, err := runCell(high, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			net2 := network.New(network.Config{System: sys, Kind: network.AFC, Seed: seed, MeterEnergy: true})
-			s2 := cmp.NewSystem(net2, high, net2.RandStream)
-			res2, ok := s2.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("threshold ablation: %s timed out at scale %g", high.Name, sc)
-			}
-			hp.Add(res2.TransactionsPerCycle / baseRes2.TransactionsPerCycle)
-			bh.Add(net2.ModeStats().BufferedFraction())
+		// low load
+		_, baseNet, err := runCell(low, network.Backpressured, seed, opt)
+		if err != nil {
+			return o, err
 		}
-		row.LowLoadEnergy = le.Mean()
-		row.HighLoadPerf = hp.Mean()
-		row.BufferedFracLow = bl.Mean()
-		row.BufferedFracHigh = bh.Mean()
-		out = append(out, row)
+		net := network.New(network.Config{System: sys, Kind: network.AFC, Seed: seed, MeterEnergy: true})
+		s := cmp.NewSystem(net, low, net.RandStream)
+		if _, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit); !ok {
+			return o, fmt.Errorf("threshold ablation: %s timed out at scale %g", low.Name, sc)
+		}
+		o.le = net.TotalEnergy().Total() / baseNet.TotalEnergy().Total()
+		o.bl = net.ModeStats().BufferedFraction()
+
+		// high load
+		baseRes2, _, err := runCell(high, network.Backpressured, seed, opt)
+		if err != nil {
+			return o, err
+		}
+		net2 := network.New(network.Config{System: sys, Kind: network.AFC, Seed: seed, MeterEnergy: true})
+		s2 := cmp.NewSystem(net2, high, net2.RandStream)
+		res2, ok := s2.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+		if !ok {
+			return o, fmt.Errorf("threshold ablation: %s timed out at scale %g", high.Name, sc)
+		}
+		o.hp = res2.TransactionsPerCycle / baseRes2.TransactionsPerCycle
+		o.bh = net2.ModeStats().BufferedFraction()
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []ThresholdRow
+	for sci, sc := range scales {
+		var le, hp, bl, bh stats.Running
+		for si := 0; si < ns; si++ {
+			o := outs[sci*ns+si]
+			le.Add(o.le)
+			bl.Add(o.bl)
+			hp.Add(o.hp)
+			bh.Add(o.bh)
+		}
+		out = append(out, ThresholdRow{
+			Scale:            sc,
+			LowLoadEnergy:    le.Mean(),
+			HighLoadPerf:     hp.Mean(),
+			BufferedFracLow:  bl.Mean(),
+			BufferedFracHigh: bh.Mean(),
+		})
 	}
 	return out, nil
 }
@@ -168,25 +203,34 @@ type EjectRow struct {
 // AblationEjectWidth sweeps the ejection width.
 func AblationEjectWidth(widths []int, opt Options) ([]EjectRow, error) {
 	high, _ := cmp.ByName("apache")
-	var out []EjectRow
-	for _, w := range widths {
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(widths)*ns, opt.pool(), func(i int) (float64, error) {
+		w := widths[i/ns]
+		seed := opt.Seeds[i%ns]
 		sys := config.Default()
 		sys.EjectWidth = w
+		baseNet := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: false})
+		bs := cmp.NewSystem(baseNet, high, baseNet.RandStream)
+		baseRes, ok := bs.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+		if !ok {
+			return 0, fmt.Errorf("eject ablation: baseline timed out at width %d", w)
+		}
+		net := network.New(network.Config{System: sys, Kind: network.Bless, Seed: seed, MeterEnergy: false})
+		s := cmp.NewSystem(net, high, net.RandStream)
+		res, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+		if !ok {
+			return 0, fmt.Errorf("eject ablation: bless timed out at width %d", w)
+		}
+		return res.TransactionsPerCycle / baseRes.TransactionsPerCycle, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []EjectRow
+	for wi, w := range widths {
 		var r stats.Running
-		for _, seed := range opt.Seeds {
-			baseNet := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: false})
-			bs := cmp.NewSystem(baseNet, high, baseNet.RandStream)
-			baseRes, ok := bs.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("eject ablation: baseline timed out at width %d", w)
-			}
-			net := network.New(network.Config{System: sys, Kind: network.Bless, Seed: seed, MeterEnergy: false})
-			s := cmp.NewSystem(net, high, net.RandStream)
-			res, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("eject ablation: bless timed out at width %d", w)
-			}
-			r.Add(res.TransactionsPerCycle / baseRes.TransactionsPerCycle)
+		for si := 0; si < ns; si++ {
+			r.Add(outs[wi*ns+si])
 		}
 		out = append(out, EjectRow{Width: w, BlessPerf: r.Mean()})
 	}
@@ -232,24 +276,34 @@ func AblationBaselineSizing(opt Options) ([]BaselineConfigRow, error) {
 		{"double VCs (4+4+8 x8)", [3]int{4, 4, 8}, 8},
 		{"double depth (2+2+4 x16)", [3]int{2, 2, 4}, 16},
 	}
-	var out []BaselineConfigRow
-	var basePerf, baseEnergy stats.Running
-	for i, v := range variants {
+	type sizeOut struct{ perf, energy float64 }
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(variants)*ns, opt.pool(), func(i int) (sizeOut, error) {
+		v := variants[i/ns]
+		seed := opt.Seeds[i%ns]
 		sys := config.Default()
 		sys.Baseline.VCsPerVN = v.vcs
 		sys.Baseline.BufDepth = v.depth
-		var perf, en stats.Running
-		for _, seed := range opt.Seeds {
-			net := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: true})
-			s := cmp.NewSystem(net, high, net.RandStream)
-			res, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("baseline sizing: %s timed out", v.label)
-			}
-			perf.Add(res.TransactionsPerCycle)
-			en.Add(net.TotalEnergy().Total())
+		net := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: true})
+		s := cmp.NewSystem(net, high, net.RandStream)
+		res, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+		if !ok {
+			return sizeOut{}, fmt.Errorf("baseline sizing: %s timed out", v.label)
 		}
-		if i == 0 {
+		return sizeOut{perf: res.TransactionsPerCycle, energy: net.TotalEnergy().Total()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineConfigRow
+	var basePerf, baseEnergy stats.Running
+	for vi, v := range variants {
+		var perf, en stats.Running
+		for si := 0; si < ns; si++ {
+			perf.Add(outs[vi*ns+si].perf)
+			en.Add(outs[vi*ns+si].energy)
+		}
+		if vi == 0 {
 			basePerf, baseEnergy = perf, en
 		}
 		out = append(out, BaselineConfigRow{
@@ -294,30 +348,46 @@ type PipelineRow struct {
 // AblationPipeline measures the ideal-vs-realistic baseline pipeline on
 // one low-load and one high-load workload.
 func AblationPipeline(opt Options) ([]PipelineRow, error) {
-	var out []PipelineRow
-	for _, name := range []string{"water", "apache"} {
+	names := []string{"water", "apache"}
+	type pipeOut struct{ rp, ai, ar float64 }
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(names)*ns, opt.pool(), func(i int) (pipeOut, error) {
+		name := names[i/ns]
+		seed := opt.Seeds[i%ns]
 		p, _ := cmp.ByName(name)
+		ideal, _, err := runCell(p, network.Backpressured, seed, opt)
+		if err != nil {
+			return pipeOut{}, err
+		}
+		sys := config.Default()
+		sys.Baseline.RealisticVCA = true
+		net := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: false})
+		s := cmp.NewSystem(net, p, net.RandStream)
+		realistic, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
+		if !ok {
+			return pipeOut{}, fmt.Errorf("pipeline ablation: %s timed out", name)
+		}
+		afc, _, err := runCell(p, network.AFC, seed, opt)
+		if err != nil {
+			return pipeOut{}, err
+		}
+		return pipeOut{
+			rp: realistic.TransactionsPerCycle / ideal.TransactionsPerCycle,
+			ai: afc.TransactionsPerCycle / ideal.TransactionsPerCycle,
+			ar: afc.TransactionsPerCycle / realistic.TransactionsPerCycle,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []PipelineRow
+	for ni, name := range names {
 		var rp, ai, ar stats.Running
-		for _, seed := range opt.Seeds {
-			ideal, _, err := runCell(p, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			sys := config.Default()
-			sys.Baseline.RealisticVCA = true
-			net := network.New(network.Config{System: sys, Kind: network.Backpressured, Seed: seed, MeterEnergy: false})
-			s := cmp.NewSystem(net, p, net.RandStream)
-			realistic, ok := s.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-			if !ok {
-				return nil, fmt.Errorf("pipeline ablation: %s timed out", name)
-			}
-			afc, _, err := runCell(p, network.AFC, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			rp.Add(realistic.TransactionsPerCycle / ideal.TransactionsPerCycle)
-			ai.Add(afc.TransactionsPerCycle / ideal.TransactionsPerCycle)
-			ar.Add(afc.TransactionsPerCycle / realistic.TransactionsPerCycle)
+		for si := 0; si < ns; si++ {
+			o := outs[ni*ns+si]
+			rp.Add(o.rp)
+			ai.Add(o.ai)
+			ar.Add(o.ar)
 		}
 		out = append(out, PipelineRow{
 			Bench:          name,
@@ -362,41 +432,52 @@ func AblationContentionMetric(opt Options) []ContentionMetricRow {
 	mesh := topology.NewMesh(8, 8)
 	sys := config.DefaultWithMesh(mesh)
 	hot := mesh.Node(1, 1)
-	run := func(misroute int) (near, total uint64) {
-		for _, seed := range opt.Seeds {
-			net := network.New(network.Config{
-				System: sys, Kind: network.AFC, Seed: seed,
-				MisrouteThreshold: misroute,
-			})
-			gen := traffic.NewGenerator(net, traffic.Config{
-				Pattern: traffic.Hotspot{Mesh: mesh, Hot: hot, Frac: 0.5},
-				Rate:    0.22,
-			}, net.RandStream)
-			net.AddTicker(gen)
-			net.Run(opt.OpenLoopWarmup + opt.OpenLoopMeasure)
-			for i := 0; i < net.Nodes(); i++ {
-				r, ok := net.Router(topology.NodeID(i)).(*core.Router)
-				if !ok {
-					continue
-				}
-				f := r.ForwardSwitches()
-				total += f
-				if mesh.Distance(topology.NodeID(i), hot) <= 2 {
-					near += f
-				}
-			}
-		}
-		return
-	}
-	var out []ContentionMetricRow
-	for _, p := range []struct {
+	policies := []struct {
 		name      string
 		threshold int
 	}{
 		{"local contention thresholds (paper)", 0},
 		{"cumulative misroutes (rejected)", 3},
-	} {
-		near, total := run(p.threshold)
+	}
+	type metricOut struct{ near, total uint64 }
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(policies)*ns, opt.pool(), func(i int) (metricOut, error) {
+		misroute := policies[i/ns].threshold
+		seed := opt.Seeds[i%ns]
+		net := network.New(network.Config{
+			System: sys, Kind: network.AFC, Seed: seed,
+			MisrouteThreshold: misroute,
+		})
+		gen := traffic.NewGenerator(net, traffic.Config{
+			Pattern: traffic.Hotspot{Mesh: mesh, Hot: hot, Frac: 0.5},
+			Rate:    0.22,
+		}, net.RandStream)
+		net.AddTicker(gen)
+		net.Run(opt.OpenLoopWarmup + opt.OpenLoopMeasure)
+		var o metricOut
+		for n := 0; n < net.Nodes(); n++ {
+			r, ok := net.Router(topology.NodeID(n)).(*core.Router)
+			if !ok {
+				continue
+			}
+			f := r.ForwardSwitches()
+			o.total += f
+			if mesh.Distance(topology.NodeID(n), hot) <= 2 {
+				o.near += f
+			}
+		}
+		return o, nil
+	})
+	if err != nil {
+		panic(err) // cells cannot fail; a recovered panic propagates as before
+	}
+	var out []ContentionMetricRow
+	for pi, p := range policies {
+		var near, total uint64
+		for si := 0; si < ns; si++ {
+			near += outs[pi*ns+si].near
+			total += outs[pi*ns+si].total
+		}
 		frac := 0.0
 		if total > 0 {
 			frac = float64(near) / float64(total)

@@ -10,7 +10,9 @@ import (
 	"text/tabwriter"
 
 	"afcnet/internal/cmp"
+	"afcnet/internal/energy"
 	"afcnet/internal/network"
+	"afcnet/internal/runner"
 	"afcnet/internal/stats"
 )
 
@@ -26,6 +28,17 @@ type Options struct {
 	CycleLimit uint64
 	// OpenLoopWarmup / OpenLoopMeasure: cycles for open-loop windows.
 	OpenLoopWarmup, OpenLoopMeasure uint64
+	// Parallelism is the worker count the harnesses fan their
+	// (bench, kind, seed) cells across; <= 0 selects GOMAXPROCS.
+	// Parallelism == 1 reproduces the historical serial execution exactly;
+	// any value produces bit-for-bit identical results (each cell owns its
+	// network and random substreams, and cells are merged in index order).
+	Parallelism int
+}
+
+// pool returns the runner options shared by every harness.
+func (o Options) pool() runner.Options {
+	return runner.Options{Parallelism: o.Parallelism}
 }
 
 // Default returns the options used for the recorded results in
@@ -105,41 +118,86 @@ func runCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (cmp.RunR
 	return res, net, nil
 }
 
+// closedOut is the state a closed-loop cell hands back to the merge step:
+// everything the aggregation reads, so the network itself need not be
+// retained.
+type closedOut struct {
+	res    cmp.RunResult
+	energy energy.Breakdown
+	mode   network.ModeStats
+}
+
+func runClosedCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (closedOut, error) {
+	res, net, err := runCell(p, kind, seed, opt)
+	if err != nil {
+		return closedOut{}, err
+	}
+	return closedOut{res: res, energy: net.TotalEnergy(), mode: net.ModeStats()}, nil
+}
+
 // ClosedLoop runs the Figure 2/3 measurement for the given benchmarks and
 // kinds. The backpressured baseline is always run (it is the
-// normalization target) even if absent from kinds.
+// normalization target) even if absent from kinds. The (bench, kind,
+// seed) cells execute on opt.Parallelism workers; each cell owns its
+// network and random substreams, and cells are merged in the serial
+// iteration order, so results are identical at any parallelism.
 func ClosedLoop(benches []cmp.Params, kinds []network.Kind, opt Options) ([]Measurement, error) {
+	type cellKey struct {
+		bench, seed int
+		kind        network.Kind
+	}
+	var cells []cellKey
+	idx := make(map[cellKey]int)
+	add := func(c cellKey) {
+		idx[c] = len(cells)
+		cells = append(cells, c)
+	}
+	for bi := range benches {
+		for si := range opt.Seeds {
+			// One baseline cell per (bench, seed); non-baseline kinds get
+			// their own cells. A Backpressured entry in kinds reuses the
+			// baseline cell (the serial loop re-ran and discarded it).
+			add(cellKey{bi, si, network.Backpressured})
+			for _, k := range kinds {
+				if k != network.Backpressured {
+					add(cellKey{bi, si, k})
+				}
+			}
+		}
+	}
+	outs, err := runner.Map(len(cells), opt.pool(), func(i int) (closedOut, error) {
+		c := cells[i]
+		return runClosedCell(benches[c.bench], c.kind, opt.Seeds[c.seed], opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var out []Measurement
-	for _, p := range benches {
+	for bi, p := range benches {
 		agg := make(map[network.Kind]*cellAgg, len(kinds))
 		for _, k := range kinds {
 			agg[k] = &cellAgg{}
 		}
-		for _, seed := range opt.Seeds {
-			baseRes, baseNet, err := runCell(p, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			baseEnergy := baseNet.TotalEnergy().Total()
+		for si := range opt.Seeds {
+			base := outs[idx[cellKey{bi, si, network.Backpressured}]]
+			baseEnergy := base.energy.Total()
 			for _, k := range kinds {
-				res, net, err := runCell(p, k, seed, opt)
-				if k == network.Backpressured {
-					res, net, err = baseRes, baseNet, nil
+				co := base
+				if k != network.Backpressured {
+					co = outs[idx[cellKey{bi, si, k}]]
 				}
-				if err != nil {
-					return nil, err
-				}
-				e := net.TotalEnergy()
-				ms := net.ModeStats()
+				e := co.energy
+				ms := co.mode
 				a := agg[k]
-				a.perf.Add(res.TransactionsPerCycle / baseRes.TransactionsPerCycle)
+				a.perf.Add(co.res.TransactionsPerCycle / base.res.TransactionsPerCycle)
 				a.energy.Add(e.Total() / baseEnergy)
 				a.bufferE.Add(e.Buffer() / baseEnergy)
 				a.linkE.Add(e.Link / baseEnergy)
 				a.restE.Add(e.Rest() / baseEnergy)
-				a.tx.Add(res.TransactionsPerCycle)
-				a.inj.Add(res.InjectionRate)
-				a.lat.Add(res.MeanNetLatency)
+				a.tx.Add(co.res.TransactionsPerCycle)
+				a.inj.Add(co.res.InjectionRate)
+				a.lat.Add(co.res.MeanNetLatency)
 				a.bufFrac.Add(ms.BufferedFraction())
 				a.gossip.Add(float64(ms.GossipSwitches))
 				a.escape.Add(float64(ms.EscapeEvents))
@@ -252,15 +310,23 @@ type Table3Row struct {
 // the backpressured baseline (the configuration the paper's Table III
 // reports).
 func Table3(opt Options) ([]Table3Row, error) {
+	benches := cmp.AllBenchmarks()
+	ns := len(opt.Seeds)
+	rates, err := runner.Map(len(benches)*ns, opt.pool(), func(i int) (float64, error) {
+		res, _, err := runCell(benches[i/ns], network.Backpressured, opt.Seeds[i%ns], opt)
+		if err != nil {
+			return 0, err
+		}
+		return res.InjectionRate, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Table3Row
-	for _, p := range cmp.AllBenchmarks() {
+	for bi, p := range benches {
 		var r stats.Running
-		for _, seed := range opt.Seeds {
-			res, _, err := runCell(p, network.Backpressured, seed, opt)
-			if err != nil {
-				return nil, err
-			}
-			r.Add(res.InjectionRate)
+		for si := 0; si < ns; si++ {
+			r.Add(rates[bi*ns+si])
 		}
 		out = append(out, Table3Row{
 			Bench:    p.Name,

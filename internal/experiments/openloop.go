@@ -7,6 +7,7 @@ import (
 
 	"afcnet/internal/config"
 	"afcnet/internal/network"
+	"afcnet/internal/runner"
 	"afcnet/internal/stats"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
@@ -45,30 +46,50 @@ func LatencySweep(kinds []network.Kind, rates []float64, opt Options) []SweepPoi
 // patterns).
 func LatencySweepPattern(kinds []network.Kind, rates []float64,
 	mkPattern func(topology.Mesh) traffic.Pattern, opt Options) []SweepPoint {
+	type sweepOut struct {
+		lat, thr float64
+		sat      bool
+	}
+	ns := len(opt.Seeds)
+	nr := len(rates)
+	outs, err := runner.Map(len(kinds)*nr*ns, opt.pool(), func(i int) (sweepOut, error) {
+		k := kinds[i/(nr*ns)]
+		rate := rates[i/ns%nr]
+		seed := opt.Seeds[i%ns]
+		net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
+		gen := traffic.NewGenerator(net, traffic.Config{
+			Pattern: mkPattern(net.Mesh()),
+			Rate:    rate,
+		}, net.RandStream)
+		net.AddTicker(gen)
+		net.Run(opt.OpenLoopWarmup)
+		net.ResetStats()
+		net.Run(opt.OpenLoopMeasure)
+		o := sweepOut{lat: net.MeanTotalLatency(), thr: net.ThroughputFlits()}
+		if o.lat > saturationLatency {
+			o.sat = true
+		}
+		if c := net.CreatedPackets(); c > 100 &&
+			float64(net.DeliveredPackets()) < 0.85*float64(c) {
+			o.sat = true
+		}
+		return o, nil
+	})
+	if err != nil {
+		// Cells cannot fail; only a recovered panic reaches here, which the
+		// serial loop would have propagated as a panic too.
+		panic(err)
+	}
 	var out []SweepPoint
-	for _, k := range kinds {
-		for _, rate := range rates {
+	for ki, k := range kinds {
+		for ri, rate := range rates {
 			var lat, thr stats.Running
 			sat := false
-			for _, seed := range opt.Seeds {
-				net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
-				gen := traffic.NewGenerator(net, traffic.Config{
-					Pattern: mkPattern(net.Mesh()),
-					Rate:    rate,
-				}, net.RandStream)
-				net.AddTicker(gen)
-				net.Run(opt.OpenLoopWarmup)
-				net.ResetStats()
-				net.Run(opt.OpenLoopMeasure)
-				lat.Add(net.MeanTotalLatency())
-				thr.Add(net.ThroughputFlits())
-				if net.MeanTotalLatency() > saturationLatency {
-					sat = true
-				}
-				if c := net.CreatedPackets(); c > 100 &&
-					float64(net.DeliveredPackets()) < 0.85*float64(c) {
-					sat = true
-				}
+			for si := 0; si < ns; si++ {
+				o := outs[(ki*nr+ri)*ns+si]
+				lat.Add(o.lat)
+				thr.Add(o.thr)
+				sat = sat || o.sat
 			}
 			out = append(out, SweepPoint{
 				Kind:       k,
@@ -133,57 +154,84 @@ type QuadrantResult struct {
 // Quadrant runs the consolidation experiment: hotRate in quadrant 0,
 // coldRate elsewhere (the paper uses 0.9 and 0.1 flits/node/cycle).
 func Quadrant(kinds []network.Kind, hotRate, coldRate float64, opt Options) []QuadrantResult {
-	var out []QuadrantResult
 	mesh := topology.NewMesh(8, 8)
 	sys := config.DefaultWithMesh(mesh)
-	for _, k := range kinds {
+	type quadOut struct {
+		energy, thr, hotLat, coldLat, bufFrac float64
+		hotOK, coldOK                         bool
+		gossip, escape, delHot, delCold       uint64
+	}
+	ns := len(opt.Seeds)
+	outs, err := runner.Map(len(kinds)*ns, opt.pool(), func(i int) (quadOut, error) {
+		k := kinds[i/ns]
+		seed := opt.Seeds[i%ns]
+		net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
+		rates := make([]float64, net.Nodes())
+		for n := range rates {
+			if traffic.QuadrantIndex(mesh, topology.NodeID(n)) == 0 {
+				rates[n] = hotRate
+			} else {
+				rates[n] = coldRate
+			}
+		}
+		gen := traffic.NewGenerator(net, traffic.Config{
+			Pattern:   traffic.Quadrant{Mesh: mesh},
+			NodeRates: rates,
+		}, net.RandStream)
+		net.AddTicker(gen)
+		net.Run(opt.OpenLoopWarmup)
+		net.ResetStats()
+		net.Run(opt.OpenLoopMeasure)
+
+		var o quadOut
+		o.energy = net.TotalEnergy().Total()
+		o.thr = net.ThroughputFlits()
+		var hSum, cSum float64
+		var hN, cN uint64
+		for n := 0; n < net.Nodes(); n++ {
+			h := net.NI(topology.NodeID(n)).NetLatency()
+			if traffic.QuadrantIndex(mesh, topology.NodeID(n)) == 0 {
+				hSum += h.Mean() * float64(h.Count())
+				hN += h.Count()
+			} else {
+				cSum += h.Mean() * float64(h.Count())
+				cN += h.Count()
+			}
+		}
+		if hN > 0 {
+			o.hotLat, o.hotOK = hSum/float64(hN), true
+		}
+		if cN > 0 {
+			o.coldLat, o.coldOK = cSum/float64(cN), true
+		}
+		ms := net.ModeStats()
+		o.bufFrac = ms.BufferedFraction()
+		o.gossip, o.escape = ms.GossipSwitches, ms.EscapeEvents
+		o.delHot, o.delCold = hN, cN
+		return o, nil
+	})
+	if err != nil {
+		panic(err) // cells cannot fail; a recovered panic propagates as before
+	}
+	var out []QuadrantResult
+	for ki, k := range kinds {
 		var energy, hotLat, coldLat, thr, bufFrac stats.Running
 		var gossip, escape, delHot, delCold uint64
-		for _, seed := range opt.Seeds {
-			net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
-			rates := make([]float64, net.Nodes())
-			for i := range rates {
-				if traffic.QuadrantIndex(mesh, topology.NodeID(i)) == 0 {
-					rates[i] = hotRate
-				} else {
-					rates[i] = coldRate
-				}
+		for si := 0; si < ns; si++ {
+			o := outs[ki*ns+si]
+			energy.Add(o.energy)
+			thr.Add(o.thr)
+			if o.hotOK {
+				hotLat.Add(o.hotLat)
 			}
-			gen := traffic.NewGenerator(net, traffic.Config{
-				Pattern:   traffic.Quadrant{Mesh: mesh},
-				NodeRates: rates,
-			}, net.RandStream)
-			net.AddTicker(gen)
-			net.Run(opt.OpenLoopWarmup)
-			net.ResetStats()
-			net.Run(opt.OpenLoopMeasure)
-
-			energy.Add(net.TotalEnergy().Total())
-			thr.Add(net.ThroughputFlits())
-			var hSum, cSum float64
-			var hN, cN uint64
-			for i := 0; i < net.Nodes(); i++ {
-				h := net.NI(topology.NodeID(i)).NetLatency()
-				if traffic.QuadrantIndex(mesh, topology.NodeID(i)) == 0 {
-					hSum += h.Mean() * float64(h.Count())
-					hN += h.Count()
-				} else {
-					cSum += h.Mean() * float64(h.Count())
-					cN += h.Count()
-				}
+			if o.coldOK {
+				coldLat.Add(o.coldLat)
 			}
-			if hN > 0 {
-				hotLat.Add(hSum / float64(hN))
-			}
-			if cN > 0 {
-				coldLat.Add(cSum / float64(cN))
-			}
-			ms := net.ModeStats()
-			bufFrac.Add(ms.BufferedFraction())
-			gossip += ms.GossipSwitches
-			escape += ms.EscapeEvents
-			delHot += hN
-			delCold += cN
+			bufFrac.Add(o.bufFrac)
+			gossip += o.gossip
+			escape += o.escape
+			delHot += o.delHot
+			delCold += o.delCold
 		}
 		out = append(out, QuadrantResult{
 			Kind:            k,

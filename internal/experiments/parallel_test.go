@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+)
+
+// detOpt keeps the determinism runs cheap: the point is bit-for-bit
+// equality, not paper shapes, so very short windows suffice. Two seeds
+// exercise the merge ordering (seed-major aggregation into stats.Running).
+func detOpt(parallelism int) Options {
+	return Options{
+		Seeds:           []int64{1, 2},
+		WarmupTx:        200,
+		MeasureTx:       600,
+		CycleLimit:      5_000_000,
+		OpenLoopWarmup:  500,
+		OpenLoopMeasure: 1500,
+		Parallelism:     parallelism,
+	}
+}
+
+// TestClosedLoopParallelDeterminism: ClosedLoop at Parallelism 1 (the
+// historical serial loop) and Parallelism 8 must produce identical
+// Measurement values field-by-field. Each cell owns its network and
+// random substreams and cells merge in index order, so the float
+// arithmetic happens in the same order regardless of worker count.
+func TestClosedLoopParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop runs are slow")
+	}
+	low, _ := cmp.ByName("water")
+	kinds := []network.Kind{network.Backpressured, network.Bless, network.AFC}
+	serial, err := ClosedLoop([]cmp.Params{low}, kinds, detOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ClosedLoop([]cmp.Params{low}, kinds, detOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ClosedLoop diverged from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestAblationParallelDeterminism: same bit-for-bit requirement for an
+// ablation harness (A4, the cheapest: two runs per cell).
+func TestAblationParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop runs are slow")
+	}
+	widths := []int{1, 2}
+	serial, err := AblationEjectWidth(widths, detOpt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AblationEjectWidth(widths, detOpt(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel AblationEjectWidth diverged from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}
+
+// TestSweepParallelDeterminism covers the open-loop path (no error
+// return, shared read-only pattern constructor).
+func TestSweepParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop runs are slow")
+	}
+	kinds := []network.Kind{network.Bless, network.AFC}
+	rates := []float64{0.2, 0.4}
+	serial := LatencySweep(kinds, rates, detOpt(1))
+	parallel := LatencySweep(kinds, rates, detOpt(8))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel LatencySweep diverged from serial:\nserial:   %+v\nparallel: %+v",
+			serial, parallel)
+	}
+}

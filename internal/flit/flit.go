@@ -113,9 +113,13 @@ type Packet struct {
 // copy of the routing metadata so that backpressureless routers may route
 // them independently.
 func (p Packet) Flits() []*Flit {
+	// One backing allocation for the whole packet: flits travel the
+	// network as pointers, and a 17-flit data packet would otherwise cost
+	// 18 allocations (the dominant allocation site of a closed-loop run).
+	backing := make([]Flit, p.Len)
 	fs := make([]*Flit, p.Len)
 	for i := range fs {
-		fs[i] = &Flit{
+		backing[i] = Flit{
 			PacketID:  p.ID,
 			Seq:       i,
 			Len:       p.Len,
@@ -126,6 +130,7 @@ func (p Packet) Flits() []*Flit {
 			CreatedAt: p.CreatedAt,
 			Payload:   p.Payload,
 		}
+		fs[i] = &backing[i]
 	}
 	return fs
 }

@@ -37,8 +37,13 @@ type Delivered struct {
 // registers one; open-loop traffic only reads the aggregate stats).
 type Handler func(now uint64, d Delivered)
 
+// pending is per-packet reassembly state. It is stored by value and
+// tracks received sequence numbers in a bitmask (packets are at most 17
+// flits; a slice covers the pathological >64 case), so reassembling a
+// packet costs no allocations on the delivery path.
 type pending struct {
-	got         map[int]bool
+	got         uint64 // bitmask of received seqs, Len <= 64
+	gotBig      []bool // fallback for Len > 64
 	received    int
 	createdAt   uint64
 	firstInject uint64
@@ -46,6 +51,23 @@ type pending struct {
 	vn          flit.VN
 	length      int
 	payload     uint64
+}
+
+// mark records seq as received, reporting false for a duplicate.
+func (p *pending) mark(seq int) bool {
+	if p.gotBig != nil {
+		if p.gotBig[seq] {
+			return false
+		}
+		p.gotBig[seq] = true
+		return true
+	}
+	bit := uint64(1) << uint(seq)
+	if p.got&bit != 0 {
+		return false
+	}
+	p.got |= bit
+	return true
 }
 
 // NI is the network interface of one node. It implements
@@ -56,7 +78,7 @@ type NI struct {
 	nextPkt uint64
 	queues  [flit.NumVNs][]*flit.Flit
 
-	reassembly map[uint64]*pending
+	reassembly map[uint64]pending
 	handler    Handler
 	ackHook    Handler // network-internal delivery hook (drop-variant ACKs)
 	createHook func(flit.Packet)
@@ -87,7 +109,7 @@ type NI struct {
 func New(node topology.NodeID) *NI {
 	return &NI{
 		node:         node,
-		reassembly:   make(map[uint64]*pending),
+		reassembly:   make(map[uint64]pending),
 		retained:     make(map[uint64]flit.Packet),
 		completed:    make(map[uint64]struct{}),
 		epoch:        make(map[uint64]int),
@@ -262,10 +284,9 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 	}
 	n.deliveredFlits++
 	n.deflections.Add(uint64(f.Deflections))
-	p := n.reassembly[f.PacketID]
-	if p == nil {
-		p = &pending{
-			got:         make(map[int]bool, f.Len),
+	p, ok := n.reassembly[f.PacketID]
+	if !ok {
+		p = pending{
 			createdAt:   f.CreatedAt,
 			firstInject: f.InjectedAt,
 			src:         f.Src,
@@ -273,19 +294,21 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 			length:      f.Len,
 			payload:     f.Payload,
 		}
-		n.reassembly[f.PacketID] = p
+		if f.Len > 64 {
+			p.gotBig = make([]bool, f.Len)
+		}
 	}
-	if p.got[f.Seq] {
+	if !p.mark(f.Seq) {
 		// Duplicate delivery can only happen with retransmission after a
 		// partially-delivered drop; ignore the duplicate flit.
 		return
 	}
-	p.got[f.Seq] = true
 	p.received++
 	if f.InjectedAt < p.firstInject {
 		p.firstInject = f.InjectedAt
 	}
 	if p.received < p.length {
+		n.reassembly[f.PacketID] = p
 		return
 	}
 	delete(n.reassembly, f.PacketID)

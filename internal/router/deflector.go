@@ -59,6 +59,7 @@ type Deflector struct {
 	order []int
 	prod  []topology.Dir
 	free  []topology.Dir
+	out   []Assignment
 }
 
 // NewDeflector returns a deflector for the router at node.
@@ -82,7 +83,10 @@ func NewDeflector(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy
 // output remained; a caller that never masks outputs can treat that as an
 // invariant violation.
 func (d *Deflector) Assign(flits []*flit.Flit, usable func(f *flit.Flit, dir topology.Dir) bool, ejectSlots int) []Assignment {
-	out := make([]Assignment, len(flits))
+	if cap(d.out) < len(flits) {
+		d.out = make([]Assignment, len(flits))
+	}
+	out := d.out[:len(flits)]
 	if len(flits) == 0 {
 		return out
 	}

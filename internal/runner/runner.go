@@ -1,0 +1,169 @@
+// Package runner provides the deterministic fan-out engine behind every
+// experiment harness: a fixed-size worker pool that executes independent
+// (bench, kind, seed) cells and merges their results in submission order.
+//
+// The engine is deliberately work-stealing-free: cells are claimed from a
+// single atomic cursor in index order, so with Parallelism == 1 the
+// execution order is exactly the serial loop it replaces. Each cell must
+// own all of its mutable state (its own network, its own sim.Source
+// substreams); the engine never shares anything between cells except the
+// read-only descriptor slice, which is what makes parallel output
+// bit-for-bit equal to serial output.
+//
+// Error semantics: the error returned is always the error of the
+// lowest-indexed failing cell, regardless of scheduling. (Cells are
+// claimed in index order, so the lowest-indexed failing cell is claimed —
+// and therefore executed — before any later failure can be observed.)
+// After a failure, in-flight cells run to completion and not-yet-claimed
+// cells are skipped, so the pool drains promptly. Panics inside a cell are
+// recovered and surfaced as errors carrying the cell index.
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a fan-out run.
+type Options struct {
+	// Parallelism is the worker count; <= 0 selects GOMAXPROCS. The pool
+	// never uses more workers than there are cells. Parallelism == 1
+	// reproduces the serial loop exactly (same execution order, stop at
+	// first error).
+	Parallelism int
+
+	// OnCell, if non-nil, is invoked after each executed cell with its
+	// index and error (nil on success). Calls are serialized but arrive in
+	// completion order, not index order. Skipped cells (drained after a
+	// failure) do not invoke it.
+	OnCell func(index int, err error)
+}
+
+// Workers returns the effective worker count for cells cells.
+func (o Options) Workers(cells int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// EnvVar is the environment variable the commands consult for a default
+// worker count (their -parallel flag overrides it).
+const EnvVar = "AFCSIM_PARALLEL"
+
+// FromEnv returns the default worker count: $AFCSIM_PARALLEL when it is a
+// positive integer, GOMAXPROCS otherwise.
+func FromEnv() int {
+	if s := os.Getenv(EnvVar); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes fn(i) for every i in [0, n) on a pool of
+// min(Parallelism, n) workers and returns the lowest-indexed error, or
+// nil if every cell succeeded.
+func Run(n int, opt Options, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := opt.Workers(n)
+
+	var cbMu sync.Mutex
+	report := func(i int, err error) {
+		if opt.OnCell == nil {
+			return
+		}
+		cbMu.Lock()
+		opt.OnCell(i, err)
+		cbMu.Unlock()
+	}
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			err := runCell(i, fn)
+			report(i, err)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		cursor atomic.Int64
+		failed atomic.Bool
+		errMu  sync.Mutex
+		first  error
+		firstI int
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if failed.Load() {
+					continue // drain: skip cells claimed after a failure
+				}
+				err := runCell(i, fn)
+				report(i, err)
+				if err != nil {
+					errMu.Lock()
+					if first == nil || i < firstI {
+						first, firstI = err, i
+					}
+					errMu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// runCell invokes fn(i), converting a panic into an error so one bad cell
+// cannot tear down the whole sweep.
+func runCell(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: cell %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
+}
+
+// Map executes fn over n cells and returns the results in submission
+// (index) order, regardless of which worker finished when. On error the
+// partial results of the cells that did execute are returned alongside
+// the lowest-indexed error.
+func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(n, opt, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"math/rand"
+	"sync/atomic"
 )
 
 // Clock is the global cycle counter. The zero value starts at cycle 0.
@@ -87,9 +88,18 @@ func (k *Kernel) RunUntil(pred func() bool, limit uint64) bool {
 // Source is a deterministic random source that can mint independent
 // substreams, so that (for example) each router's arbitration randomness
 // is independent of each traffic generator's.
+//
+// A Source (and every *rand.Rand it mints) is single-goroutine state: one
+// simulation cell owns it for the cell's whole lifetime. Parallel sweeps
+// must build one network — and therefore one Source — per cell
+// (internal/runner enforces nothing; the per-cell construction in
+// internal/experiments does). Stream carries a cheap concurrent-use check
+// that panics on overlapping calls; determinism of stream numbering is
+// only defined for the single-goroutine contract anyway.
 type Source struct {
 	seed int64
 	next int64
+	busy atomic.Bool // concurrent-misuse detector, not a synchronization
 }
 
 // NewSource returns a Source rooted at seed.
@@ -99,8 +109,13 @@ func NewSource(seed int64) *Source {
 
 // Stream returns a new deterministic *rand.Rand. Streams are numbered in
 // creation order; the i-th stream of two Sources with equal seeds are
-// identical.
+// identical. Stream panics if it observes an overlapping call from
+// another goroutine (which would make stream numbering nondeterministic).
 func (s *Source) Stream() *rand.Rand {
+	if !s.busy.CompareAndSwap(false, true) {
+		panic("sim: Source.Stream called concurrently; a Source is single-goroutine — use one Source per simulation cell")
+	}
+	defer s.busy.Store(false)
 	s.next++
 	// SplitMix-style stream derivation keeps substreams decorrelated.
 	z := uint64(s.seed) + uint64(s.next)*0x9E3779B97F4A7C15

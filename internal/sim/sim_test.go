@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestKernelTickOrderAndTime(t *testing.T) {
 	k := NewKernel()
@@ -82,5 +85,36 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 	}
 	if same > 2 {
 		t.Errorf("different seeds correlated: %d/100 equal draws", same)
+	}
+}
+
+// TestSourcePerCellAcrossGoroutines pins the concurrency contract the
+// parallel experiment engine relies on: one Source per cell, each owned
+// by a single goroutine, is race-free (run under -race) and every cell's
+// streams are identical to a serial run with the same seed.
+func TestSourcePerCellAcrossGoroutines(t *testing.T) {
+	const cells = 16
+	want := make([]uint64, cells)
+	for i := range want {
+		want[i] = NewSource(int64(i)).Stream().Uint64()
+	}
+	got := make([]uint64, cells)
+	var wg sync.WaitGroup
+	for i := 0; i < cells; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := NewSource(int64(i)) // the cell owns its Source
+			for k := 0; k < 100; k++ {
+				s.Stream()
+			}
+			got[i] = NewSource(int64(i)).Stream().Uint64()
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: stream diverged across goroutines", i)
+		}
 	}
 }
