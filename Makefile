@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke ci
+.PHONY: build vet test race bench-smoke fuzz-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -19,4 +19,22 @@ race:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Fig2a -benchtime=1x .
 
-ci: build vet race bench-smoke
+# Short run of every native fuzz target (~10s each). The corpora under
+# testdata/fuzz (checked in as they grow) replay first, so previously
+# found inputs regress loudly.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzKindJSON$$' -fuzztime=10s ./internal/network
+	$(GO) test -run='^$$' -fuzz='^FuzzConfig$$' -fuzztime=10s ./internal/check
+	$(GO) test -run='^$$' -fuzz='^FuzzNetworkStep$$' -fuzztime=10s ./internal/check
+
+# Whole-repo statement coverage, compared against the checked-in
+# baseline (coverage-baseline.txt) with half a point of slack so
+# refactors can't silently shed tests.
+cover:
+	$(GO) test -short -coverprofile=coverage.out -coverpkg=./... ./...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -n 1 | awk '{print $$3}' | tr -d '%'); \
+	base=$$(cat coverage-baseline.txt); \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
+
+ci: build vet race bench-smoke fuzz-smoke cover

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"afcnet/internal/check"
 	"afcnet/internal/cmp"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
@@ -59,6 +60,27 @@ func reportKind(b *testing.B, ms []experiments.Measurement, metric string, get f
 // amplifies; run it with -benchmem to track hot-path allocation cost.
 func BenchmarkKernelStep(b *testing.B) {
 	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true})
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.3,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(1000) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkKernelStepChecked is BenchmarkKernelStep with the
+// internal/check invariant checker attached. The checker is a plain
+// AddTicker client, so the default path (checks off) is untouched;
+// comparing the two benches measures the -check overhead reported in
+// EXPERIMENTS.md.
+func BenchmarkKernelStepChecked(b *testing.B) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true})
+	check.Attach(net)
 	gen := traffic.NewGenerator(net, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: net.Mesh()},
 		Rate:    0.3,

@@ -11,6 +11,10 @@
 // rows print in matrix order, so output and results are identical to a
 // serial run. Trace recording (-record) forces serial execution because
 // every run writes the same trace file.
+//
+// -check (or AFCSIM_CHECK=1) attaches the internal/check invariant
+// checker to every network; results are identical, runs are slower, and
+// any violation aborts with a diagnostic.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"log"
 	"os"
 
+	"afcnet/internal/check"
 	"afcnet/internal/cmp"
 	"afcnet/internal/config"
 	"afcnet/internal/network"
@@ -56,6 +61,7 @@ func main() {
 		recordTo  = flag.String("record", "", "record the created packet trace to this file")
 		replayOf  = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
 		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked   = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker (or set AFCSIM_CHECK=1); identical results, slower")
 	)
 	flag.Parse()
 
@@ -91,7 +97,7 @@ func main() {
 
 	if *replayOf != "" {
 		for _, k := range kinds {
-			if err := replayOne(*replayOf, k, *seed); err != nil {
+			if err := replayOne(*replayOf, k, *seed, *checked); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -118,7 +124,7 @@ func main() {
 			p.WritebackPreAlloc = true
 		}
 		var buf bytes.Buffer
-		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo); err != nil {
+		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked); err != nil {
 			return nil, err
 		}
 		return &buf, nil
@@ -143,10 +149,13 @@ func parseMesh(s string) (topology.Mesh, error) {
 
 // runOne executes one bench/kind cell and writes its report rows to w
 // (a per-cell buffer under parallel execution, so rows never interleave).
-func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string) error {
+func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked bool) error {
 	sys := config.DefaultWithMesh(mesh)
 	sys.Baseline.RealisticVCA = realVCA
 	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol})
+	if checked {
+		check.Attach(net)
+	}
 	var tr *trace.Trace
 	if recordTo != "" {
 		tr = trace.Record(net)
@@ -185,7 +194,7 @@ func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol r
 
 // replayOne feeds a recorded trace open-loop into a fresh network of the
 // given kind and reports the trace-driven (no-feedback) metrics.
-func replayOne(path string, k network.Kind, seed int64) error {
+func replayOne(path string, k network.Kind, seed int64, checked bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -196,6 +205,9 @@ func replayOne(path string, k network.Kind, seed int64) error {
 		return err
 	}
 	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true})
+	if checked {
+		check.Attach(net)
+	}
 	rp := trace.NewReplayer(net, tr)
 	net.AddTicker(rp)
 	limit := tr.Duration() + 500_000

@@ -12,7 +12,8 @@
 // Simulation cells (benchmark × kind × seed) run on a worker pool;
 // results are bit-for-bit independent of the worker count. -parallel
 // (or the AFCSIM_PARALLEL environment variable) sets the pool size,
-// defaulting to all CPUs.
+// defaulting to all CPUs. -check (or AFCSIM_CHECK=1) attaches the
+// internal/check invariant checker to every cell's network.
 //
 // Artifacts: 2a 2b 2c 2d 3a 3b duty rates sweep quadrant gossip
 // lazyvca thresholds sizing pipeline metric ejectwidth
@@ -25,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	invcheck "afcnet/internal/check"
 	"afcnet/internal/cmp"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
@@ -40,6 +42,7 @@ func main() {
 		svgDir   = flag.String("svg", "", "also render the main figures as SVG into this directory")
 		jsonOut  = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
 		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked  = flag.Bool("check", invcheck.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 		opt = experiments.Quick()
 	}
 	opt.Parallelism = *parallel
+	opt.Check = *checked
 
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name)

@@ -11,7 +11,9 @@
 //
 // Sweep cells (kind × rate × seed) run on a worker pool sized by
 // -parallel (or AFCSIM_PARALLEL; default all CPUs). Results are
-// bit-for-bit independent of the worker count.
+// bit-for-bit independent of the worker count. -check (or
+// AFCSIM_CHECK=1) attaches the internal/check invariant checker to
+// every cell's network.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"afcnet/internal/check"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
 	"afcnet/internal/runner"
@@ -61,6 +64,7 @@ func main() {
 		warmup   = flag.Uint64("warmup", 10_000, "warmup cycles")
 		measure  = flag.Uint64("measure", 30_000, "measurement cycles")
 		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked  = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
 	)
 	flag.Parse()
 
@@ -84,6 +88,7 @@ func main() {
 	opt.OpenLoopWarmup = *warmup
 	opt.OpenLoopMeasure = *measure
 	opt.Parallelism = *parallel
+	opt.Check = *checked
 
 	mk, ok := patterns[*pattern]
 	if !ok {

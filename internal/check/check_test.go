@@ -1,0 +1,98 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"afcnet/internal/check"
+	"afcnet/internal/flit"
+	"afcnet/internal/network"
+	"afcnet/internal/traffic"
+)
+
+// kindRate picks an offered load that exercises the kind: AFC kinds run
+// hot enough to switch modes both ways, the drop variant stays below its
+// early saturation so the NACK/retransmission machinery cycles without
+// an unbounded backlog.
+func kindRate(k network.Kind) float64 {
+	if k == network.BlessDrop {
+		return 0.20
+	}
+	return 0.45
+}
+
+// TestAllKindsChecked is the standing CI smoke for the invariant layer:
+// every network kind runs a few thousand cycles of open-loop uniform
+// traffic with the checker attached, then drains, with zero violations.
+func TestAllKindsChecked(t *testing.T) {
+	for k := network.Kind(0); k < network.NumKinds; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			t.Parallel()
+			net := network.New(network.Config{Kind: k, Seed: 11, MeterEnergy: true})
+			c := check.AttachWith(net, check.Config{})
+			gen := traffic.NewGenerator(net, traffic.Config{Rate: kindRate(k)}, net.RandStream)
+			net.AddTicker(gen)
+			net.Run(4000)
+			gen.Stop()
+			if !net.RunUntil(net.Drained, 300_000) {
+				t.Errorf("network did not drain after the generator stopped")
+			}
+			if err := c.Err(); err != nil {
+				for _, v := range c.Violations() {
+					t.Log(v)
+				}
+				t.Fatalf("invariant violations: %v", err)
+			}
+			if c.CheckedCycles() < 4000 {
+				t.Fatalf("checker observed only %d cycles", c.CheckedCycles())
+			}
+		})
+	}
+}
+
+// TestCheckerDetectsConjuredFlit verifies the oracle itself: delivering
+// a flit that was never injected must trip flit conservation.
+func TestCheckerDetectsConjuredFlit(t *testing.T) {
+	net := network.New(network.Config{Kind: network.Bless, Seed: 1})
+	c := check.AttachWith(net, check.Config{})
+	p := flit.Packet{ID: 1, Src: 1, Dst: 0, VN: flit.VNReq, Len: 1, CreatedAt: 0}
+	net.NI(0).Deliver(0, p.Flits()[0])
+	net.Step()
+	err := c.Err()
+	if err == nil {
+		t.Fatal("checker accepted a flit that was never injected")
+	}
+	if !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("expected a conservation violation, got: %v", err)
+	}
+}
+
+// TestCheckerFailFastPanics verifies the fail-fast mode used by the
+// experiment harnesses: the first violation must panic so the worker
+// pool surfaces it as the cell's error.
+func TestCheckerFailFastPanics(t *testing.T) {
+	net := network.New(network.Config{Kind: network.Bless, Seed: 1})
+	check.Attach(net)
+	p := flit.Packet{ID: 1, Src: 1, Dst: 0, VN: flit.VNReq, Len: 1, CreatedAt: 0}
+	net.NI(0).Deliver(0, p.Flits()[0])
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fail-fast checker did not panic on a violation")
+		}
+	}()
+	net.Step()
+}
+
+// TestAttachRequiresCycleZero: the shadow ledgers assume observation
+// from the first cycle, so late attachment must be refused loudly.
+func TestAttachRequiresCycleZero(t *testing.T) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1})
+	net.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attach after the first cycle did not panic")
+		}
+	}()
+	check.Attach(net)
+}

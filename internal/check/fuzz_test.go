@@ -1,0 +1,95 @@
+package check_test
+
+import (
+	"testing"
+
+	"afcnet/internal/check"
+	"afcnet/internal/config"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// FuzzConfig derives a machine configuration from the fuzz input —
+// ranging over and slightly past the Table II bounds — and runs a short
+// checked simulation on every configuration Validate accepts. Invalid
+// configurations must be rejected by Validate (returning an error, not
+// panicking); valid ones must uphold every invariant.
+func FuzzConfig(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint8(1), uint8(9), uint8(3), uint8(1), uint16(600))
+	f.Add(int64(2), uint8(0), uint8(7), uint8(2), uint8(0), uint8(7), uint8(0), uint16(150))
+	f.Add(int64(3), uint8(5), uint8(4), uint8(0), uint8(255), uint8(15), uint8(2), uint16(1200))
+	f.Fuzz(func(t *testing.T, seed int64, kindB, meshB, linkB, vcB, depthB, ejectB uint8, cyclesB uint16) {
+		kind := network.Kind(int(kindB) % network.NumKinds)
+		w := 2 + int(meshB)%3
+		h := 2 + int(meshB/4)%3
+		sys := config.DefaultWithMesh(topology.NewMesh(w, h))
+		sys.LinkLatency = 1 + int(linkB)%3
+		sys.EjectWidth = 1 + int(ejectB)%3
+		// Re-derive the latency-dependent parameters the way
+		// config.Default does, but from ranges that can dip below the
+		// legal minimum (2L slots per VN) so Validate's rejection path is
+		// fuzzed too.
+		sys.AFC.GossipFreeSlots = 2 * sys.LinkLatency
+		for vn := range sys.AFC.VCsPerVN {
+			sys.AFC.VCsPerVN[vn] = 2 + int(vcB>>(2*vn))%8
+		}
+		for vn := range sys.Baseline.VCsPerVN {
+			sys.Baseline.VCsPerVN[vn] = 1 + int(vcB>>vn)%4
+		}
+		sys.Baseline.BufDepth = 1 + int(depthB)%8
+		if err := sys.Validate(); err != nil {
+			t.Skip("not a legal machine")
+		}
+		net := network.New(network.Config{System: sys, Kind: kind, Seed: seed, MeterEnergy: true})
+		c := check.AttachWith(net, check.Config{})
+		gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.3}, net.RandStream)
+		net.AddTicker(gen)
+		net.Run(200 + uint64(cyclesB)%600)
+		gen.Stop()
+		// Best-effort drain: saturated configurations may not finish, and
+		// that is fine — the checker is the oracle, not drainage.
+		net.RunUntil(net.Drained, 50_000)
+		if err := c.Err(); err != nil {
+			t.Fatalf("invariant violations: %v", err)
+		}
+	})
+}
+
+// FuzzNetworkStep steps every kind under fuzz-chosen traffic with the
+// checker attached: a randomized search for schedules that break
+// conservation, credit accounting, mode legality, or reassembly.
+func FuzzNetworkStep(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(0), uint8(120), uint16(900))
+	f.Add(int64(7), uint8(2), uint8(3), uint8(250), uint16(300))
+	f.Add(int64(23), uint8(3), uint8(1), uint8(40), uint16(1700))
+	f.Fuzz(func(t *testing.T, seed int64, kindB, patB, rateB uint8, cyclesB uint16) {
+		kind := network.Kind(int(kindB) % network.NumKinds)
+		rate := 0.05 + float64(rateB)/255*0.55
+		net := network.New(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
+		c := check.AttachWith(net, check.Config{})
+		mesh := net.Mesh()
+		var pat traffic.Pattern
+		switch patB % 4 {
+		case 0:
+			pat = traffic.Uniform{Mesh: mesh}
+		case 1:
+			pat = traffic.Transpose{Mesh: mesh}
+		case 2:
+			pat = traffic.BitComplement{Mesh: mesh}
+		default:
+			pat = traffic.Hotspot{Mesh: mesh, Hot: mesh.Node(1, 1), Frac: 0.4}
+		}
+		gen := traffic.NewGenerator(net, traffic.Config{Pattern: pat, Rate: rate}, net.RandStream)
+		net.AddTicker(gen)
+		cycles := 200 + uint64(cyclesB)%1800
+		for i := uint64(0); i < cycles; i++ {
+			net.Step()
+		}
+		gen.Stop()
+		net.RunUntil(net.Drained, 100_000)
+		if err := c.Err(); err != nil {
+			t.Fatalf("invariant violations: %v", err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package check_test
+
+import (
+	"testing"
+
+	"afcnet/internal/config"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// runSummary condenses every aggregate statistic the experiment
+// harnesses read into one comparable value.
+type runSummary struct {
+	created, delivered uint64
+	injected           uint64
+	deflections        uint64
+	dropped            uint64
+	energy             float64
+	netLat, totalLat   float64
+	mode               network.ModeStats
+}
+
+func summarize(net *network.Network) runSummary {
+	var injected uint64
+	for n := 0; n < net.Nodes(); n++ {
+		injected += net.NI(topology.NodeID(n)).InjectedFlits()
+	}
+	return runSummary{
+		created:     net.CreatedPackets(),
+		delivered:   net.DeliveredPackets(),
+		injected:    injected,
+		deflections: net.TotalDeflections(),
+		dropped:     net.TotalDropped(),
+		energy:      net.TotalEnergy().Total(),
+		netLat:      net.MeanNetLatency(),
+		totalLat:    net.MeanTotalLatency(),
+		mode:        net.ModeStats(),
+	}
+}
+
+// TestSeedDeterminism: two fresh networks with the same Config.Seed
+// must produce identical statistics after N cycles, for every kind —
+// the regression guard behind the parallel runner's bit-for-bit
+// reproducibility and every recorded result in EXPERIMENTS.md.
+func TestSeedDeterminism(t *testing.T) {
+	const cycles = 3000
+	run := func(k network.Kind, seed int64) runSummary {
+		net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true})
+		gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.35}, net.RandStream)
+		net.AddTicker(gen)
+		net.Run(cycles)
+		return summarize(net)
+	}
+	for k := network.Kind(0); k < network.NumKinds; k++ {
+		a, b := run(k, 12), run(k, 12)
+		if a != b {
+			t.Errorf("%v: same seed diverged:\n  %+v\n  %+v", k, a, b)
+		}
+		if c := run(k, 13); a == c {
+			t.Errorf("%v: different seeds produced identical statistics", k)
+		}
+	}
+}
+
+// TestMeshSizeLatencyMonotonic is a metamorphic property needing no
+// golden numbers: at a fixed low offered load, mean network latency must
+// strictly increase with mesh size, because the mean hop count does.
+func TestMeshSizeLatencyMonotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	for _, kind := range []network.Kind{network.Backpressured, network.Bless, network.AFC} {
+		prev := 0.0
+		for _, dim := range []int{3, 5, 7} {
+			sys := config.DefaultWithMesh(topology.NewMesh(dim, dim))
+			net := network.New(network.Config{System: sys, Kind: kind, Seed: 3})
+			gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.08}, net.RandStream)
+			net.AddTicker(gen)
+			net.Run(1000)
+			net.ResetStats()
+			net.Run(4000)
+			lat := net.MeanNetLatency()
+			if lat <= prev {
+				t.Errorf("%v: latency %.2f on %dx%d not above %.2f on the smaller mesh",
+					kind, lat, dim, dim, prev)
+			}
+			prev = lat
+		}
+	}
+}

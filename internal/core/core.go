@@ -305,6 +305,39 @@ func (r *Router) Credits(d topology.Dir, vn flit.VN) (int, bool) {
 	return r.down[d].credits[vn], r.down[d].tracking
 }
 
+// Occupancy returns the occupied SRAM slots of vn at input port p.
+// Escape latches are outside the credited SRAM pool and not counted;
+// the invariant checker reconciles this against the upstream router's
+// tracked credits.
+func (r *Router) Occupancy(p topology.Dir, vn flit.VN) int {
+	n := 0
+	for _, s := range r.vnSlots[vn] {
+		if r.in[p][s].f != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachFlit calls fn for every flit currently held in this router:
+// SRAM slots, escape latches, and bless-mode pipeline latches
+// (invariant checker's conservation and age scans).
+func (r *Router) ForEachFlit(fn func(*flit.Flit)) {
+	for p := range r.in {
+		for s := range r.in[p] {
+			if f := r.in[p][s].f; f != nil {
+				fn(f)
+			}
+		}
+		for _, e := range r.esc[p] {
+			fn(e.f)
+		}
+	}
+	for _, l := range r.latches {
+		fn(l.f)
+	}
+}
+
 // Tick implements one cycle of AFC operation.
 func (r *Router) Tick(now uint64) {
 	if r.meter != nil {

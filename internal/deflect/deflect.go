@@ -248,3 +248,11 @@ func (r *Router) receive(now uint64) {
 // LatchedFlits returns the number of flits currently held in pipeline
 // latches (drain checks).
 func (r *Router) LatchedFlits() int { return len(r.latches) }
+
+// ForEachFlit calls fn for every flit currently latched in this router
+// (invariant checker's conservation and age scans).
+func (r *Router) ForEachFlit(fn func(*flit.Flit)) {
+	for _, l := range r.latches {
+		fn(l.f)
+	}
+}

@@ -79,6 +79,14 @@ func (r *DropRouter) RoutedFlits() uint64 { return r.routedFlits }
 // LatchedFlits returns the number of flits currently in pipeline latches.
 func (r *DropRouter) LatchedFlits() int { return len(r.latches) }
 
+// ForEachFlit calls fn for every flit currently latched in this router
+// (invariant checker's conservation and age scans).
+func (r *DropRouter) ForEachFlit(fn func(*flit.Flit)) {
+	for _, l := range r.latches {
+		fn(l.f)
+	}
+}
+
 // Tick implements one cycle: every latched flit either ejects, advances on
 // a productive port, or is dropped with a NACK; then at most one flit is
 // injected if a productive port remains.

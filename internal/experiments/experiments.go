@@ -9,6 +9,7 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"afcnet/internal/check"
 	"afcnet/internal/cmp"
 	"afcnet/internal/energy"
 	"afcnet/internal/network"
@@ -34,6 +35,23 @@ type Options struct {
 	// any value produces bit-for-bit identical results (each cell owns its
 	// network and random substreams, and cells are merged in index order).
 	Parallelism int
+	// Check attaches an invariant checker (internal/check) to every
+	// network the harnesses build. A violation panics inside the cell;
+	// the worker pool surfaces it as that cell's error. The checker
+	// only observes, so checked results are bit-for-bit identical to
+	// unchecked ones — it just costs wall clock, hence off by default.
+	Check bool
+}
+
+// newNetwork builds one cell's network, attaching an invariant checker
+// when opt.Check is set. Each cell owns its checker, so checked runs
+// parallelize exactly like unchecked ones.
+func (o Options) newNetwork(cfg network.Config) *network.Network {
+	net := network.New(cfg)
+	if o.Check {
+		check.Attach(net)
+	}
+	return net
 }
 
 // pool returns the runner options shared by every harness.
@@ -108,7 +126,7 @@ type Measurement struct {
 
 // runCell runs one (bench, kind, seed) closed-loop measurement.
 func runCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (cmp.RunResult, *network.Network, error) {
-	net := network.New(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
+	net := opt.newNetwork(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
 	sys := cmp.NewSystem(net, p, net.RandStream)
 	res, ok := sys.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
 	if !ok {

@@ -56,7 +56,7 @@ func LatencySweepPattern(kinds []network.Kind, rates []float64,
 		k := kinds[i/(nr*ns)]
 		rate := rates[i/ns%nr]
 		seed := opt.Seeds[i%ns]
-		net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
+		net := opt.newNetwork(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
 		gen := traffic.NewGenerator(net, traffic.Config{
 			Pattern: mkPattern(net.Mesh()),
 			Rate:    rate,
@@ -165,7 +165,7 @@ func Quadrant(kinds []network.Kind, hotRate, coldRate float64, opt Options) []Qu
 	outs, err := runner.Map(len(kinds)*ns, opt.pool(), func(i int) (quadOut, error) {
 		k := kinds[i/ns]
 		seed := opt.Seeds[i%ns]
-		net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
+		net := opt.newNetwork(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
 		rates := make([]float64, net.Nodes())
 		for n := range rates {
 			if traffic.QuadrantIndex(mesh, topology.NodeID(n)) == 0 {
@@ -292,7 +292,7 @@ type GossipResult struct {
 // routers stay backpressureless, then lets it drain and checks no flit
 // was lost.
 func GossipHotspot(seed int64, opt Options) GossipResult {
-	net := network.New(network.Config{Kind: network.AFC, Seed: seed, MeterEnergy: false})
+	net := opt.newNetwork(network.Config{Kind: network.AFC, Seed: seed, MeterEnergy: false})
 	mesh := net.Mesh()
 	gen := traffic.NewGenerator(net, traffic.Config{
 		Pattern: traffic.Hotspot{Mesh: mesh, Hot: mesh.Node(1, 1), Frac: 0.7},

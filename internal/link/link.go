@@ -106,6 +106,18 @@ func (p *Pipe[T]) InFlight() int {
 	return n
 }
 
+// AppendInFlight appends the values currently traveling in the pipe
+// (sent but not yet received) to buf and returns it. Slot order, not
+// send order; the invariant checker only counts, so order is irrelevant.
+func (p *Pipe[T]) AppendInFlight(buf []T) []T {
+	for i, occ := range p.occupied {
+		if occ {
+			buf = append(buf, p.vals[i])
+		}
+	}
+	return buf
+}
+
 // Credit is a unit of credit backflow: the downstream router freed one
 // buffer slot. The baseline backpressured router tracks credits per VC;
 // AFC's lazy VC allocation tracks them per virtual network, so the message

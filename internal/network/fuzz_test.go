@@ -1,0 +1,33 @@
+package network
+
+import "testing"
+
+// FuzzKindJSON checks the Kind JSON codec against arbitrary inputs:
+// anything UnmarshalJSON accepts must be an in-range kind that survives
+// a marshal/unmarshal round trip; everything else must be rejected with
+// an error, never a panic or an out-of-range value.
+func FuzzKindJSON(f *testing.F) {
+	for k := Kind(0); k < NumKinds; k++ {
+		b, _ := k.MarshalJSON()
+		f.Add(string(b))
+	}
+	f.Add(`"nonesuch"`)
+	f.Add(`backpressured`)
+	f.Fuzz(func(t *testing.T, s string) {
+		var k Kind
+		if err := k.UnmarshalJSON([]byte(s)); err != nil {
+			return // rejected input; nothing to round-trip
+		}
+		if k < 0 || k >= NumKinds {
+			t.Fatalf("accepted %q as out-of-range kind %d", s, int(k))
+		}
+		b, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalJSON(b); err != nil || back != k {
+			t.Fatalf("round trip %q -> %v -> %s -> %v (err %v)", s, k, b, back, err)
+		}
+	})
+}

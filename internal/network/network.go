@@ -112,6 +112,7 @@ type Network struct {
 	nis     []*ni.NI
 	meters  []*energy.Meter
 	links   []*link.Data
+	wires   []router.Wires
 
 	nacks       nackHeap
 	nackPending map[uint64]bool
@@ -146,7 +147,8 @@ func New(cfg Config) *Network {
 func (n *Network) build() {
 	sys := n.cfg.System
 	nodes := n.mesh.Nodes()
-	wires := make([]router.Wires, nodes)
+	n.wires = make([]router.Wires, nodes)
+	wires := n.wires
 
 	dataLat := sys.LinkLatency + 1 // switch traversal folded into the link
 	sideLat := sys.LinkLatency
@@ -266,6 +268,10 @@ func (n *Network) RandStream() *rand.Rand { return n.source.Stream() }
 // AddTicker registers an additional per-cycle component (traffic
 // generator, CMP model). It runs after the routers each cycle.
 func (n *Network) AddTicker(t sim.Ticker) { n.kernel.Register(t) }
+
+// Wires returns the link endpoints of node. Routers own the wires;
+// the invariant checker reads link state through this accessor.
+func (n *Network) Wires(node topology.NodeID) router.Wires { return n.wires[node] }
 
 // Mesh returns the network's mesh.
 func (n *Network) Mesh() topology.Mesh { return n.mesh }

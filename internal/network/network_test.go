@@ -174,21 +174,40 @@ func ExampleKind_String() {
 }
 
 func TestKindJSON(t *testing.T) {
-	for k := Kind(0); k < NumKinds; k++ {
-		b, err := k.MarshalJSON()
+	cases := []struct {
+		k    Kind
+		json string
+	}{
+		{Backpressured, `"backpressured"`},
+		{BackpressuredIdealBypass, `"backpressured-ideal-bypass"`},
+		{Bless, `"backpressureless"`},
+		{BlessDrop, `"backpressureless-drop"`},
+		{AFC, `"afc"`},
+		{AFCAlwaysBuffered, `"afc-always-backpressured"`},
+	}
+	if len(cases) != NumKinds {
+		t.Fatalf("table covers %d kinds, NumKinds is %d", len(cases), NumKinds)
+	}
+	for _, tc := range cases {
+		b, err := tc.k.MarshalJSON()
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("marshal %v: %v", tc.k, err)
+		}
+		if string(b) != tc.json {
+			t.Errorf("kind %v marshals to %s, want %s", tc.k, b, tc.json)
 		}
 		var back Kind
-		if err := back.UnmarshalJSON(b); err != nil {
-			t.Fatal(err)
+		if err := back.UnmarshalJSON([]byte(tc.json)); err != nil {
+			t.Fatalf("unmarshal %s: %v", tc.json, err)
 		}
-		if back != k {
-			t.Errorf("kind %v did not round-trip (%s)", k, b)
+		if back != tc.k {
+			t.Errorf("%s unmarshals to %v, want %v", tc.json, back, tc.k)
 		}
 	}
-	var k Kind
-	if err := k.UnmarshalJSON([]byte(`"nonesuch"`)); err == nil {
-		t.Error("unknown kind accepted")
+	for _, bad := range []string{`"nonesuch"`, `""`, `"Kind(17)"`, `"AFC"`, `"6"`, `"backpressured "`} {
+		var k Kind
+		if err := k.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Errorf("unknown kind %s accepted as %v", bad, k)
+		}
 	}
 }

@@ -11,6 +11,7 @@ package ni
 
 import (
 	"fmt"
+	"math/bits"
 
 	"afcnet/internal/flit"
 	"afcnet/internal/stats"
@@ -103,6 +104,14 @@ type NI struct {
 	deflections      *stats.Histogram
 	queueLenSum      uint64
 	queueLenSamples  uint64
+
+	// Lifetime accounting for the invariant checker. Unlike the stats
+	// above these survive ResetStats: conservation must hold over the
+	// whole run, warmup included.
+	totalInjected  uint64 // flits popped into the network
+	totalEjected   uint64 // flits the network handed back via Deliver
+	totalCompleted uint64 // ejected flits consumed by completed packets
+	totalDiscarded uint64 // ejected flits discarded as duplicates/strays
 }
 
 // New returns the network interface for node.
@@ -260,6 +269,7 @@ func (n *NI) Pop(vn flit.VN) *flit.Flit {
 		}
 	}
 	n.injectedFlits++
+	n.totalInjected++
 	if f.Head() {
 		n.injectedPackets++
 	}
@@ -277,8 +287,10 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 	if f.Dst != n.node {
 		panic(fmt.Sprintf("ni: node %d received flit for %d: %v", n.node, f.Dst, f))
 	}
+	n.totalEjected++
 	if n.retain {
 		if _, done := n.completed[f.PacketID]; done {
+			n.totalDiscarded++
 			return // stray flit of a retransmitted, already-delivered packet
 		}
 	}
@@ -301,6 +313,7 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 	if !p.mark(f.Seq) {
 		// Duplicate delivery can only happen with retransmission after a
 		// partially-delivered drop; ignore the duplicate flit.
+		n.totalDiscarded++
 		return
 	}
 	p.received++
@@ -311,6 +324,7 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 		n.reassembly[f.PacketID] = p
 		return
 	}
+	n.totalCompleted += uint64(p.length)
 	delete(n.reassembly, f.PacketID)
 	delete(n.retained, f.PacketID)
 	if n.retain {
@@ -400,6 +414,53 @@ func (n *NI) TotalLatency() *stats.Histogram { return n.totalLatency }
 // observable behind the probabilistic livelock-freedom argument
 // (Section III-F): the tail must stay bounded even at high load.
 func (n *NI) Deflections() *stats.Histogram { return n.deflections }
+
+// TotalInjectedFlits returns the lifetime count of flits popped into the
+// network. Unlike InjectedFlits it is never reset.
+func (n *NI) TotalInjectedFlits() uint64 { return n.totalInjected }
+
+// TotalEjectedFlits returns the lifetime count of flits the network
+// ejected at this node. Unlike DeliveredFlits it is never reset.
+func (n *NI) TotalEjectedFlits() uint64 { return n.totalEjected }
+
+// CheckReassembly verifies the internal consistency of the reassembly
+// state: every pending packet's bitmask agrees with its received count,
+// no out-of-range sequence bit is set, and the lifetime ejected flits are
+// fully accounted as completed, discarded, or still pending. The
+// invariant checker calls it; it returns the first inconsistency found.
+func (n *NI) CheckReassembly() error {
+	var pendingFlits uint64
+	for id, p := range n.reassembly {
+		if p.received < 1 || p.received >= p.length {
+			return fmt.Errorf("packet %#x pending with %d of %d flits", id, p.received, p.length)
+		}
+		got := 0
+		if p.gotBig != nil {
+			for _, b := range p.gotBig {
+				if b {
+					got++
+				}
+			}
+		} else {
+			got = bits.OnesCount64(p.got)
+			if p.length < 64 && p.got>>uint(p.length) != 0 {
+				return fmt.Errorf("packet %#x has sequence bits beyond length %d (mask %#x)", id, p.length, p.got)
+			}
+		}
+		if got != p.received {
+			return fmt.Errorf("packet %#x marked %d sequences but counted %d", id, got, p.received)
+		}
+		pendingFlits += uint64(p.received)
+	}
+	if want := n.totalCompleted + n.totalDiscarded + pendingFlits; n.totalEjected != want {
+		return fmt.Errorf("ejected %d flits but accounted %d (completed %d + discarded %d + pending %d)",
+			n.totalEjected, want, n.totalCompleted, n.totalDiscarded, pendingFlits)
+	}
+	if !n.retain && n.totalDiscarded != 0 {
+		return fmt.Errorf("discarded %d flits without retransmission in play", n.totalDiscarded)
+	}
+	return nil
+}
 
 // ResetStats clears counters and histograms (used to discard warmup)
 // without touching in-flight state.

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"afcnet/internal/core"
 	"afcnet/internal/network"
+	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
 
@@ -57,6 +59,39 @@ func TestModeFormationTiming(t *testing.T) {
 	}
 	if p.Series("intensity").Max() < 1.7 {
 		t.Errorf("intensity peak %.2f below the center low threshold", p.Series("intensity").Max())
+	}
+}
+
+// TestModeDutyCyclesCoverWallClock checks that AFC mode accounting is a
+// partition of time: every router charges exactly one mode per cycle, so
+// per-router mode cycles sum to the wall clock and the network aggregate
+// sums to cycles × routers. Load is heavy enough to force mode switches,
+// so the sum covers bless, switching and backpressured residency.
+func TestModeDutyCyclesCoverWallClock(t *testing.T) {
+	const cycles = 8_000
+	n := newNet(network.AFC)
+	gen := traffic.NewGenerator(n, traffic.Config{Rate: 0.6}, n.RandStream)
+	n.AddTicker(gen)
+	n.Run(cycles)
+
+	for node := 0; node < n.Nodes(); node++ {
+		r, ok := n.Router(topology.NodeID(node)).(*core.Router)
+		if !ok {
+			t.Fatalf("node %d: AFC network has non-AFC router %T", node, n.Router(topology.NodeID(node)))
+		}
+		mc := r.ModeCycles()
+		if sum := mc[core.ModeBless] + mc[core.ModeSwitching] + mc[core.ModeBuffered]; sum != cycles {
+			t.Errorf("node %d: mode cycles %v sum to %d, want %d", node, mc, sum, cycles)
+		}
+	}
+	ms := n.ModeStats()
+	total := ms.BlessCycles + ms.SwitchingCycles + ms.BufferedCycles
+	if want := uint64(cycles) * uint64(n.Nodes()); total != want {
+		t.Errorf("aggregate mode cycles %d, want %d", total, want)
+	}
+	if ms.ForwardSwitches == 0 || ms.BufferedCycles == 0 {
+		t.Errorf("load never forced a forward switch (forward=%d buffered=%d); duty-cycle sum untested under switching",
+			ms.ForwardSwitches, ms.BufferedCycles)
 	}
 }
 

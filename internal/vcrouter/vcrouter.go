@@ -445,3 +445,20 @@ func (r *Router) BufferedFlits() int {
 // Credits returns the current credit count for output port d, VC v
 // (exposed for invariant tests).
 func (r *Router) Credits(d topology.Dir, v int) int { return r.out[d][v].credits }
+
+// Occupancy returns the number of flits queued at input port p, VC v —
+// the downstream side of the credit ledger the invariant checker
+// reconciles against the upstream Credits count.
+func (r *Router) Occupancy(p topology.Dir, v int) int { return len(r.in[p][v].q) }
+
+// ForEachFlit calls fn for every flit currently held in this router
+// (invariant checker's conservation and age scans).
+func (r *Router) ForEachFlit(fn func(*flit.Flit)) {
+	for p := range r.in {
+		for v := range r.in[p] {
+			for _, e := range r.in[p][v].q {
+				fn(e.f)
+			}
+		}
+	}
+}
