@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke fuzz-smoke cover ci
+.PHONY: build vet test race bench-smoke fuzz-smoke obs-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,20 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzConfig$$' -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz='^FuzzNetworkStep$$' -fuzztime=10s ./internal/check
 
+# One tiny sweep with every observability flag on: the run must succeed,
+# leave a heap profile behind, and produce a manifest that records the
+# single executed cell.
+obs-smoke:
+	$(GO) run ./cmd/sweep -kinds afc -min 0.1 -max 0.1 -seeds 1 \
+		-warmup 200 -measure 400 -progress \
+		-manifest obs-manifest.json -memprofile obs-mem.pprof > /dev/null
+	@grep -q '"command": "sweep"' obs-manifest.json
+	@grep -q '"cellsTotal": 1' obs-manifest.json
+	@grep -q '"cellsDone": 1' obs-manifest.json
+	@test -s obs-mem.pprof
+	@rm -f obs-manifest.json obs-mem.pprof
+	@echo "obs smoke ok"
+
 # Whole-repo statement coverage, compared against the checked-in
 # baseline (coverage-baseline.txt) with half a point of slack so
 # refactors can't silently shed tests.
@@ -37,4 +51,4 @@ cover:
 	base=$$(cat coverage-baseline.txt); \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
 
-ci: build vet race bench-smoke fuzz-smoke cover
+ci: build vet race bench-smoke fuzz-smoke obs-smoke cover

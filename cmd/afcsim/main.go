@@ -15,6 +15,13 @@
 // -check (or AFCSIM_CHECK=1) attaches the internal/check invariant
 // checker to every network; results are identical, runs are slower, and
 // any violation aborts with a diagnostic.
+//
+// Observability (internal/obs, all off by default and bit-for-bit
+// invisible to results): -manifest writes a JSON run record (config,
+// per-cell wall times, worker utilization), -progress (or
+// AFCSIM_PROGRESS=1) prints a live stderr progress line,
+// -cpuprofile/-memprofile write pprof profiles, and -debug-addr serves
+// net/http/pprof plus the simulator's counters as expvars.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"afcnet/internal/cmp"
 	"afcnet/internal/config"
 	"afcnet/internal/network"
+	"afcnet/internal/obs"
 	"afcnet/internal/router"
 	"afcnet/internal/runner"
 	"afcnet/internal/topology"
@@ -62,8 +70,27 @@ func main() {
 		replayOf  = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
 		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 		checked   = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker (or set AFCSIM_CHECK=1); identical results, slower")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
+		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics *obs.Metrics
+	if *debugAddr != "" {
+		metrics = &obs.Metrics{}
+		addr, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint at http://%s/debug/vars (pprof under /debug/pprof/)", addr)
+	}
 
 	mesh, err := parseMesh(*meshFlag)
 	if err != nil {
@@ -95,12 +122,40 @@ func main() {
 		benches = []cmp.Params{p}
 	}
 
+	kindNames := make([]string, len(kinds))
+	for i, k := range kinds {
+		kindNames[i] = k.String()
+	}
+	ob := obs.New(obs.Config{
+		Command:  "afcsim",
+		Args:     os.Args[1:],
+		Workers:  *parallel,
+		Kinds:    kindNames,
+		Seeds:    []int64{*seed},
+		Manifest: *manifest != "",
+		Progress: *progress,
+		Metrics:  metrics,
+	})
+	// finish flushes every enabled observer; it must run on the error
+	// paths too, so the manifest of a failed sweep is still written.
+	finish := func() {
+		ob.Finish()
+		if err := ob.WriteManifestFile(*manifest); err != nil {
+			log.Print(err)
+		}
+		if err := obs.WriteHeapProfile(*memprof); err != nil {
+			log.Print(err)
+		}
+		stopCPU()
+	}
+
 	if *replayOf != "" {
 		for _, k := range kinds {
-			if err := replayOne(*replayOf, k, *seed, *checked); err != nil {
+			if err := replayOne(*replayOf, k, *seed, *checked, ob); err != nil {
 				log.Fatal(err)
 			}
 		}
+		finish()
 		return
 	}
 
@@ -116,6 +171,7 @@ func main() {
 		// Every run writes the same trace file; keep them ordered.
 		pool.Parallelism = 1
 	}
+	ob.Hook(&pool)
 	nk := len(kinds)
 	reports, err := runner.Map(len(benches)*nk, pool, func(i int) (*bytes.Buffer, error) {
 		p := benches[i/nk]
@@ -124,11 +180,12 @@ func main() {
 			p.WritebackPreAlloc = true
 		}
 		var buf bytes.Buffer
-		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked); err != nil {
+		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked, ob); err != nil {
 			return nil, err
 		}
 		return &buf, nil
 	})
+	finish()
 	if err != nil {
 		log.Print(err)
 		os.Exit(1)
@@ -149,13 +206,14 @@ func parseMesh(s string) (topology.Mesh, error) {
 
 // runOne executes one bench/kind cell and writes its report rows to w
 // (a per-cell buffer under parallel execution, so rows never interleave).
-func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked bool) error {
+func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked bool, ob *obs.Observer) error {
 	sys := config.DefaultWithMesh(mesh)
 	sys.Baseline.RealisticVCA = realVCA
 	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol})
 	if checked {
 		check.Attach(net)
 	}
+	ob.Sample(net)
 	var tr *trace.Trace
 	if recordTo != "" {
 		tr = trace.Record(net)
@@ -194,7 +252,7 @@ func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol r
 
 // replayOne feeds a recorded trace open-loop into a fresh network of the
 // given kind and reports the trace-driven (no-feedback) metrics.
-func replayOne(path string, k network.Kind, seed int64, checked bool) error {
+func replayOne(path string, k network.Kind, seed int64, checked bool, ob *obs.Observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -208,6 +266,7 @@ func replayOne(path string, k network.Kind, seed int64, checked bool) error {
 	if checked {
 		check.Attach(net)
 	}
+	ob.Sample(net)
 	rp := trace.NewReplayer(net, tr)
 	net.AddTicker(rp)
 	limit := tr.Duration() + 500_000

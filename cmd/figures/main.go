@@ -15,6 +15,13 @@
 // defaulting to all CPUs. -check (or AFCSIM_CHECK=1) attaches the
 // internal/check invariant checker to every cell's network.
 //
+// Observability (internal/obs, all off by default and invisible to
+// results): -manifest writes a JSON run record with one entry per
+// executed cell, -progress (or AFCSIM_PROGRESS=1) prints a live stderr
+// progress line with an ETA, -cpuprofile/-memprofile write pprof
+// profiles, and -debug-addr serves net/http/pprof plus the simulator's
+// counters as expvars — useful to watch a multi-minute full run.
+//
 // Artifacts: 2a 2b 2c 2d 3a 3b duty rates sweep quadrant gossip
 // lazyvca thresholds sizing pipeline metric ejectwidth
 package main
@@ -30,6 +37,7 @@ import (
 	"afcnet/internal/cmp"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/obs"
 	"afcnet/internal/runner"
 )
 
@@ -37,14 +45,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		fig      = flag.String("fig", "all", "artifact to regenerate (see command doc)")
-		quick    = flag.Bool("quick", false, "reduced run lengths")
-		svgDir   = flag.String("svg", "", "also render the main figures as SVG into this directory")
-		jsonOut  = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
-		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
-		checked  = flag.Bool("check", invcheck.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
+		fig       = flag.String("fig", "all", "artifact to regenerate (see command doc)")
+		quick     = flag.Bool("quick", false, "reduced run lengths")
+		svgDir    = flag.String("svg", "", "also render the main figures as SVG into this directory")
+		jsonOut   = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
+		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked   = flag.Bool("check", invcheck.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
+		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics *obs.Metrics
+	if *debugAddr != "" {
+		metrics = &obs.Metrics{}
+		addr, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint at http://%s/debug/vars (pprof under /debug/pprof/)", addr)
+	}
 
 	opt := experiments.Default()
 	if *quick {
@@ -52,6 +79,29 @@ func main() {
 	}
 	opt.Parallelism = *parallel
 	opt.Check = *checked
+	ob := obs.New(obs.Config{
+		Command:  "figures",
+		Args:     os.Args[1:],
+		Workers:  *parallel,
+		Seeds:    opt.Seeds,
+		Manifest: *manifest != "",
+		Progress: *progress,
+		Metrics:  metrics,
+	})
+	opt.Obs = ob
+	// check() runs this before log.Fatal (which skips defers), so a
+	// failed run still leaves its manifest and profiles behind.
+	finishObs = func() {
+		ob.Finish()
+		if err := ob.WriteManifestFile(*manifest); err != nil {
+			log.Print(err)
+		}
+		if err := obs.WriteHeapProfile(*memprof); err != nil {
+			log.Print(err)
+		}
+		stopCPU()
+	}
+	defer finishObs()
 
 	want := func(name string) bool {
 		return *fig == "all" || strings.EqualFold(*fig, name)
@@ -168,18 +218,23 @@ func main() {
 	}
 	if *svgDir != "" {
 		if err := experiments.WriteSVGs(*svgDir, opt); err != nil {
-			log.Fatal(err)
+			check(err)
 		}
 		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
 		ran = true
 	}
 	if !ran {
-		log.Fatalf("unknown artifact %q", *fig)
+		check(fmt.Errorf("unknown artifact %q", *fig))
 	}
 }
 
+// finishObs flushes the observability layer; set in main, called on the
+// fatal-error path because log.Fatal does not run defers.
+var finishObs = func() {}
+
 func check(err error) {
 	if err != nil {
+		finishObs()
 		log.Fatal(err)
 	}
 }

@@ -14,6 +14,13 @@
 // bit-for-bit independent of the worker count. -check (or
 // AFCSIM_CHECK=1) attaches the internal/check invariant checker to
 // every cell's network.
+//
+// Observability (internal/obs, all off by default and invisible to
+// results): -manifest writes a JSON run record (config, per-cell wall
+// times, worker utilization), -progress (or AFCSIM_PROGRESS=1) prints a
+// live stderr progress line, -cpuprofile/-memprofile write pprof
+// profiles, and -debug-addr serves net/http/pprof plus the simulator's
+// counters as expvars.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"afcnet/internal/check"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/obs"
 	"afcnet/internal/runner"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
@@ -55,18 +63,37 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		kindList = flag.String("kinds", "backpressured,backpressureless,drop,afc", "comma-separated router kinds")
-		pattern  = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|bitcomp|neighbor|hotspot")
-		minRate  = flag.Float64("min", 0.05, "minimum offered load (flits/node/cycle)")
-		maxRate  = flag.Float64("max", 0.60, "maximum offered load")
-		step     = flag.Float64("step", 0.05, "offered-load step")
-		seeds    = flag.Int("seeds", 2, "repeated runs per point")
-		warmup   = flag.Uint64("warmup", 10_000, "warmup cycles")
-		measure  = flag.Uint64("measure", 30_000, "measurement cycles")
-		parallel = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
-		checked  = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
+		kindList  = flag.String("kinds", "backpressured,backpressureless,drop,afc", "comma-separated router kinds")
+		pattern   = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|bitcomp|neighbor|hotspot")
+		minRate   = flag.Float64("min", 0.05, "minimum offered load (flits/node/cycle)")
+		maxRate   = flag.Float64("max", 0.60, "maximum offered load")
+		step      = flag.Float64("step", 0.05, "offered-load step")
+		seeds     = flag.Int("seeds", 2, "repeated runs per point")
+		warmup    = flag.Uint64("warmup", 10_000, "warmup cycles")
+		measure   = flag.Uint64("measure", 30_000, "measurement cycles")
+		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked   = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
+		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	stopCPU, err := obs.StartCPUProfile(*cpuprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var metrics *obs.Metrics
+	if *debugAddr != "" {
+		metrics = &obs.Metrics{}
+		addr, err := obs.ServeDebug(*debugAddr, metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoint at http://%s/debug/vars (pprof under /debug/pprof/)", addr)
+	}
 
 	var kinds []network.Kind
 	for _, name := range strings.Split(*kindList, ",") {
@@ -90,11 +117,35 @@ func main() {
 	opt.Parallelism = *parallel
 	opt.Check = *checked
 
+	kindNames := make([]string, len(kinds))
+	for i, k := range kinds {
+		kindNames[i] = k.String()
+	}
+	ob := obs.New(obs.Config{
+		Command:  "sweep",
+		Args:     os.Args[1:],
+		Workers:  *parallel,
+		Kinds:    kindNames,
+		Seeds:    opt.Seeds,
+		Manifest: *manifest != "",
+		Progress: *progress,
+		Metrics:  metrics,
+	})
+	opt.Obs = ob
+
 	mk, ok := patterns[*pattern]
 	if !ok {
 		log.Fatalf("unknown pattern %q", *pattern)
 	}
 	pts := experiments.LatencySweepPattern(kinds, rates, mk, opt)
+	ob.Finish()
+	if err := ob.WriteManifestFile(*manifest); err != nil {
+		log.Fatal(err)
+	}
+	if err := obs.WriteHeapProfile(*memprof); err != nil {
+		log.Fatal(err)
+	}
+	stopCPU()
 	experiments.WriteSweep(os.Stdout, pts)
 	fmt.Println("note: 'saturated' means mean total latency (including source queueing) exceeded the bound; see internal/experiments.")
 }

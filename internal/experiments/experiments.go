@@ -13,6 +13,7 @@ import (
 	"afcnet/internal/cmp"
 	"afcnet/internal/energy"
 	"afcnet/internal/network"
+	"afcnet/internal/obs"
 	"afcnet/internal/runner"
 	"afcnet/internal/stats"
 )
@@ -41,22 +42,33 @@ type Options struct {
 	// only observes, so checked results are bit-for-bit identical to
 	// unchecked ones — it just costs wall clock, hence off by default.
 	Check bool
+	// Obs, if non-nil, observes the run (internal/obs): per-cell
+	// timings and batch progress flow to it through the runner
+	// callbacks, and every network a harness builds gets a read-only
+	// counter sampler when metrics are enabled. Like Check, it is
+	// purely observational — results are bit-for-bit identical with or
+	// without it.
+	Obs *obs.Observer
 }
 
 // newNetwork builds one cell's network, attaching an invariant checker
-// when opt.Check is set. Each cell owns its checker, so checked runs
-// parallelize exactly like unchecked ones.
+// when opt.Check is set and a counter sampler when opt.Obs collects
+// metrics. Each cell owns its attachments, so observed runs parallelize
+// exactly like plain ones.
 func (o Options) newNetwork(cfg network.Config) *network.Network {
 	net := network.New(cfg)
 	if o.Check {
 		check.Attach(net)
 	}
+	o.Obs.Sample(net)
 	return net
 }
 
 // pool returns the runner options shared by every harness.
 func (o Options) pool() runner.Options {
-	return runner.Options{Parallelism: o.Parallelism}
+	ro := runner.Options{Parallelism: o.Parallelism}
+	o.Obs.Hook(&ro)
+	return ro
 }
 
 // Default returns the options used for the recorded results in

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/network"
+	"afcnet/internal/obs"
+)
+
+// obsResults bundles the two harness outputs the observability
+// regression compares.
+type obsResults struct {
+	closed []Measurement
+	sweep  []SweepPoint
+}
+
+// runObserved runs a reduced ClosedLoop (3 cells: baseline + Bless +
+// AFC on one bench/seed) and LatencySweep (2 kinds × 2 rates × 1 seed =
+// 4 cells) with ob threaded through Options — 7 cells over 2 batches.
+func runObserved(t *testing.T, parallelism int, ob *obs.Observer) obsResults {
+	t.Helper()
+	opt := Options{
+		Seeds:           []int64{1},
+		WarmupTx:        100,
+		MeasureTx:       300,
+		CycleLimit:      4_000_000,
+		OpenLoopWarmup:  300,
+		OpenLoopMeasure: 900,
+		Parallelism:     parallelism,
+		Obs:             ob,
+	}
+	var r obsResults
+	water, _ := cmp.ByName("water")
+	var err error
+	r.closed, err = ClosedLoop([]cmp.Params{water},
+		[]network.Kind{network.Bless, network.AFC}, opt)
+	if err != nil {
+		t.Fatalf("ClosedLoop: %v", err)
+	}
+	r.sweep = LatencySweep([]network.Kind{network.Bless, network.AFC},
+		[]float64{0.1, 0.3}, opt)
+	return r
+}
+
+// TestObserverInvisibleToResults is the obs analogue of
+// TestAllHarnessesChecked: with every observer enabled (manifest,
+// progress, metrics sampler) the harness results must be bit-for-bit
+// identical to an unobserved run, serial and on eight workers.
+func TestObserverInvisibleToResults(t *testing.T) {
+	baseline := runObserved(t, 1, nil)
+	for _, workers := range []int{1, 8} {
+		var progressBuf bytes.Buffer
+		ob := obs.New(obs.Config{
+			Command:    "obs_test",
+			Workers:    workers,
+			Manifest:   true,
+			Progress:   true,
+			ProgressTo: &progressBuf,
+			Metrics:    &obs.Metrics{},
+		})
+		observed := runObserved(t, workers, ob)
+		ob.Finish()
+		if !reflect.DeepEqual(baseline, observed) {
+			t.Errorf("observed results diverged from unobserved baseline at parallelism %d", workers)
+		}
+
+		var buf bytes.Buffer
+		if err := ob.WriteManifest(&buf); err != nil {
+			t.Fatalf("WriteManifest: %v", err)
+		}
+		var m obs.Manifest
+		if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+			t.Fatalf("manifest JSON: %v", err)
+		}
+		if m.CellsTotal != 7 || m.CellsDone != 7 || m.CellErrors != 0 {
+			t.Errorf("parallelism %d: cellsTotal/done/errors = %d/%d/%d, want 7/7/0",
+				workers, m.CellsTotal, m.CellsDone, m.CellErrors)
+		}
+		if len(m.Cells) != 7 {
+			t.Errorf("parallelism %d: %d cell records, want one per executed cell (7)",
+				workers, len(m.Cells))
+		}
+		perBatch := map[int]int{}
+		for _, c := range m.Cells {
+			perBatch[c.Batch]++
+		}
+		if perBatch[1] != 3 || perBatch[2] != 4 {
+			t.Errorf("parallelism %d: cells per batch = %v, want map[1:3 2:4]", workers, perBatch)
+		}
+
+		if !strings.Contains(progressBuf.String(), "7/7 cells") {
+			t.Errorf("parallelism %d: progress output %q never reached 7/7 cells",
+				workers, progressBuf.String())
+		}
+		if ob.Metrics().CellsDone.Load() != 7 {
+			t.Errorf("parallelism %d: metrics cellsDone = %d, want 7",
+				workers, ob.Metrics().CellsDone.Load())
+		}
+		if ob.Metrics().InjectedFlits.Load() == 0 {
+			t.Errorf("parallelism %d: sampler recorded no injected flits", workers)
+		}
+	}
+}

@@ -206,6 +206,34 @@ func (m ModeStats) BufferedFraction() float64 {
 	return float64(m.BufferedCycles) / float64(total)
 }
 
+// Counters is a snapshot of the network's headline counters, taken by
+// the observability sampler (internal/obs) to feed the expvar debug
+// endpoint. NI-backed counters (injected/delivered) reset with
+// ResetStats at measurement-window boundaries; deflections and mode
+// cycles are cumulative.
+type Counters struct {
+	InjectedFlits    uint64
+	DeliveredFlits   uint64
+	DeliveredPackets uint64
+	Deflections      uint64
+	Mode             ModeStats
+}
+
+// Counters returns the current counter snapshot. Pure observation: it
+// only reads, so sampling cannot perturb results.
+func (n *Network) Counters() Counters {
+	c := Counters{
+		InjectedFlits:    n.InjectedFlits(),
+		DeliveredPackets: n.DeliveredPackets(),
+		Deflections:      n.TotalDeflections(),
+		Mode:             n.ModeStats(),
+	}
+	for _, nif := range n.nis {
+		c.DeliveredFlits += nif.DeliveredFlits()
+	}
+	return c
+}
+
 // ModeStats returns aggregate AFC mode statistics (zero for non-AFC
 // networks).
 func (n *Network) ModeStats() ModeStats {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Manifest is the JSON run record written by -manifest: what was run
+// (command, args, kinds, seeds), on what (Go version, GOMAXPROCS,
+// worker count), and how it went (per-cell wall times, errors,
+// aggregate worker utilization). The schema below is the documented
+// contract (see README "Observability"); fields are only added, never
+// renamed.
+type Manifest struct {
+	Command    string   `json:"command"`
+	Args       []string `json:"args"`
+	GoVersion  string   `json:"goVersion"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	// Workers is the resolved worker-pool size the run was configured
+	// with (a batch with fewer cells than workers uses fewer).
+	Workers int       `json:"workers"`
+	Kinds   []string  `json:"kinds,omitempty"`
+	Seeds   []int64   `json:"seeds,omitempty"`
+	Start   time.Time `json:"start"`
+	// WallSeconds is observer-construction to manifest-write wall time.
+	WallSeconds float64 `json:"wallSeconds"`
+	// CellsTotal counts cells submitted across all batches; CellsDone
+	// counts cells that executed (they differ when a failure drains a
+	// batch early).
+	CellsTotal int `json:"cellsTotal"`
+	CellsDone  int `json:"cellsDone"`
+	CellErrors int `json:"cellErrors"`
+	// BusySeconds is the sum of per-cell durations; WorkerUtilization
+	// is BusySeconds / (WallSeconds × Workers) — how busy the pool was.
+	BusySeconds       float64 `json:"busySeconds"`
+	WorkerUtilization float64 `json:"workerUtilization"`
+	// Cells has one entry per executed cell, in completion order. Batch
+	// numbers separate the engine's sequential runner invocations (e.g.
+	// cmd/figures runs one batch per harness).
+	Cells []CellRecord `json:"cells"`
+}
+
+// CellRecord is one executed cell's manifest entry.
+type CellRecord struct {
+	Batch   int     `json:"batch"`
+	Index   int     `json:"index"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// finalize stamps the wall-clock aggregates. Idempotent: it recomputes
+// from scratch each call.
+func (m *Manifest) finalize(wall time.Duration) {
+	m.WallSeconds = wall.Seconds()
+	m.WorkerUtilization = 0
+	if m.WallSeconds > 0 && m.Workers > 0 {
+		m.WorkerUtilization = m.BusySeconds / (m.WallSeconds * float64(m.Workers))
+	}
+}
+
+// write emits the manifest as indented JSON.
+func (m *Manifest) write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"afcnet/internal/network"
+)
+
+// SampleInterval is the counter-sampler period in cycles. Sampling is a
+// handful of atomic adds per network, so the interval only bounds how
+// stale the expvar counters can be, not simulation cost.
+const SampleInterval = 1024
+
+// Metrics aggregates simulator counters across every sampled network —
+// all cells of a sweep feed one Metrics — for the -debug-addr expvar
+// endpoint. Counters only grow; consumers diff successive scrapes.
+type Metrics struct {
+	CellsDone        atomic.Uint64
+	InjectedFlits    atomic.Uint64
+	DeliveredFlits   atomic.Uint64
+	DeliveredPackets atomic.Uint64
+	Deflections      atomic.Uint64
+	BlessCycles      atomic.Uint64
+	SwitchingCycles  atomic.Uint64
+	BufferedCycles   atomic.Uint64
+}
+
+// Snapshot returns the current counters as a JSON-friendly map, plus
+// the derived backpressured-mode duty cycle.
+func (m *Metrics) Snapshot() map[string]any {
+	bless := m.BlessCycles.Load()
+	switching := m.SwitchingCycles.Load()
+	buffered := m.BufferedCycles.Load()
+	duty := 0.0
+	if total := bless + switching + buffered; total > 0 {
+		duty = float64(buffered) / float64(total)
+	}
+	return map[string]any{
+		"cellsDone":         m.CellsDone.Load(),
+		"injectedFlits":     m.InjectedFlits.Load(),
+		"deliveredFlits":    m.DeliveredFlits.Load(),
+		"deliveredPackets":  m.DeliveredPackets.Load(),
+		"deflections":       m.Deflections.Load(),
+		"blessCycles":       bless,
+		"switchingCycles":   switching,
+		"bufferedCycles":    buffered,
+		"bufferedDutyCycle": duty,
+	}
+}
+
+// add accumulates a counter delta.
+func (m *Metrics) add(d network.Counters) {
+	m.InjectedFlits.Add(d.InjectedFlits)
+	m.DeliveredFlits.Add(d.DeliveredFlits)
+	m.DeliveredPackets.Add(d.DeliveredPackets)
+	m.Deflections.Add(d.Deflections)
+	m.BlessCycles.Add(d.Mode.BlessCycles)
+	m.SwitchingCycles.Add(d.Mode.SwitchingCycles)
+	m.BufferedCycles.Add(d.Mode.BufferedCycles)
+}
+
+// sampler is a read-only end-of-cycle ticker: every SampleInterval
+// cycles it snapshots the network's counters and feeds the delta since
+// its previous snapshot into the shared Metrics. Per-network last-seen
+// state makes deltas correct with many concurrent cells.
+type sampler struct {
+	net  *network.Network
+	m    *Metrics
+	last network.Counters
+}
+
+func newSampler(net *network.Network, m *Metrics) *sampler {
+	return &sampler{net: net, m: m}
+}
+
+// Tick implements sim.Ticker.
+func (s *sampler) Tick(now uint64) {
+	if now%SampleInterval != 0 {
+		return
+	}
+	cur := s.net.Counters()
+	s.m.add(network.Counters{
+		InjectedFlits:    counterDelta(cur.InjectedFlits, s.last.InjectedFlits),
+		DeliveredFlits:   counterDelta(cur.DeliveredFlits, s.last.DeliveredFlits),
+		DeliveredPackets: counterDelta(cur.DeliveredPackets, s.last.DeliveredPackets),
+		Deflections:      counterDelta(cur.Deflections, s.last.Deflections),
+		Mode: network.ModeStats{
+			BlessCycles:     counterDelta(cur.Mode.BlessCycles, s.last.Mode.BlessCycles),
+			SwitchingCycles: counterDelta(cur.Mode.SwitchingCycles, s.last.Mode.SwitchingCycles),
+			BufferedCycles:  counterDelta(cur.Mode.BufferedCycles, s.last.Mode.BufferedCycles),
+		},
+	})
+	s.last = cur
+}
+
+// counterDelta diffs two observations of a counter, treating a shrink
+// as a reset (ResetStats zeroes the NI-backed counters at measurement
+// boundaries) so the delta never wraps.
+func counterDelta(cur, last uint64) uint64 {
+	if cur < last {
+		return cur
+	}
+	return cur - last
+}
+
+// debugMetrics is what the expvar closure publishes. expvar.Publish is
+// process-global and rejects duplicate names, so the closure registers
+// once and indirects through this pointer.
+var (
+	debugMetrics atomic.Pointer[Metrics]
+	publishOnce  sync.Once
+)
+
+// ServeDebug serves net/http/pprof under /debug/pprof/ and expvar under
+// /debug/vars (m published as the "afcsim" var) on addr, in a
+// background goroutine for the life of the process. It returns the
+// bound address, so addr may use port 0.
+func ServeDebug(addr string, m *Metrics) (string, error) {
+	debugMetrics.Store(m)
+	publishOnce.Do(func() {
+		expvar.Publish("afcsim", expvar.Func(func() any {
+			if cur := debugMetrics.Load(); cur != nil {
+				return cur.Snapshot()
+			}
+			return nil
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go http.Serve(ln, mux) //nolint:errcheck // debug endpoint dies with the process
+	return ln.Addr().String(), nil
+}

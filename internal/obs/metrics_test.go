@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"afcnet/internal/network"
+	"afcnet/internal/traffic"
+)
+
+func TestCounterDelta(t *testing.T) {
+	for _, tc := range []struct {
+		cur, last, want uint64
+	}{
+		{5, 3, 2},
+		{3, 3, 0},
+		{2, 5, 2}, // shrink = reset (ResetStats), not a wrap
+		{0, 0, 0},
+	} {
+		if got := counterDelta(tc.cur, tc.last); got != tc.want {
+			t.Errorf("counterDelta(%d, %d) = %d, want %d", tc.cur, tc.last, got, tc.want)
+		}
+	}
+}
+
+// TestSamplerAccumulates drives real traffic through an AFC network with
+// the sampler attached and checks the shared Metrics converge on the
+// network's own counters once traffic stops.
+func TestSamplerAccumulates(t *testing.T) {
+	m := &Metrics{}
+	ob := New(Config{Metrics: m})
+	if ob.Metrics() != m {
+		t.Fatal("Metrics() did not return the configured sink")
+	}
+	net := network.New(network.Config{Kind: network.AFC, Seed: 7})
+	ob.Sample(net)
+	gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.3}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(4 * SampleInterval)
+	gen.Stop()
+	if !net.RunUntil(net.Drained, 300_000) {
+		t.Fatal("network did not drain")
+	}
+	// Cross one more sample boundary so the final delta lands. The
+	// flit/packet counters are stable after the drain, so the sampler's
+	// running totals must now equal the network's.
+	net.Run(SampleInterval)
+	cur := net.Counters()
+	if got := m.InjectedFlits.Load(); got != cur.InjectedFlits || got == 0 {
+		t.Errorf("sampled injected flits = %d, want %d (> 0)", got, cur.InjectedFlits)
+	}
+	if got := m.DeliveredFlits.Load(); got != cur.DeliveredFlits {
+		t.Errorf("sampled delivered flits = %d, want %d", got, cur.DeliveredFlits)
+	}
+	if got := m.DeliveredPackets.Load(); got != cur.DeliveredPackets {
+		t.Errorf("sampled delivered packets = %d, want %d", got, cur.DeliveredPackets)
+	}
+	if got := m.Deflections.Load(); got != cur.Deflections {
+		t.Errorf("sampled deflections = %d, want %d", got, cur.Deflections)
+	}
+	// Mode cycles keep accruing after the last sample, so only require
+	// that the AFC network reported some.
+	if m.BlessCycles.Load()+m.SwitchingCycles.Load()+m.BufferedCycles.Load() == 0 {
+		t.Error("sampler recorded no mode cycles on an AFC network")
+	}
+}
+
+// TestSamplerSurvivesReset: ResetStats shrinks the NI-backed counters
+// mid-run; the deltas must not wrap into huge values.
+func TestSamplerSurvivesReset(t *testing.T) {
+	m := &Metrics{}
+	ob := New(Config{Metrics: m})
+	net := network.New(network.Config{Kind: network.Bless, Seed: 3})
+	ob.Sample(net)
+	gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.2}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(2 * SampleInterval)
+	net.ResetStats()
+	net.Run(2 * SampleInterval)
+	gen.Stop()
+	net.RunUntil(net.Drained, 300_000)
+	net.Run(SampleInterval)
+	// ~0.2 flits/node/cycle over ~5k cycles on 9 nodes is well under a
+	// million flits; a wrapped delta would be ~2^64.
+	if got := m.InjectedFlits.Load(); got == 0 || got > 10_000_000 {
+		t.Errorf("injected flits = %d, want small and positive (delta wrapped?)", got)
+	}
+}
+
+func TestSnapshotDutyCycle(t *testing.T) {
+	m := &Metrics{}
+	if duty := m.Snapshot()["bufferedDutyCycle"].(float64); duty != 0 {
+		t.Errorf("empty duty cycle = %g, want 0", duty)
+	}
+	m.BlessCycles.Store(75)
+	m.BufferedCycles.Store(25)
+	s := m.Snapshot()
+	if duty := s["bufferedDutyCycle"].(float64); duty != 0.25 {
+		t.Errorf("duty cycle = %g, want 0.25", duty)
+	}
+	if s["blessCycles"].(uint64) != 75 || s["bufferedCycles"].(uint64) != 25 {
+		t.Errorf("snapshot cycles = %v/%v, want 75/25", s["blessCycles"], s["bufferedCycles"])
+	}
+}
+
+// TestServeDebug starts the debug endpoint twice (expvar.Publish is
+// process-global, so the second call must swap the sink, not panic) and
+// scrapes /debug/vars over HTTP each time.
+func TestServeDebug(t *testing.T) {
+	scrape := func(addr string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+		if err != nil {
+			t.Fatalf("GET /debug/vars: %v", err)
+		}
+		defer resp.Body.Close()
+		var vars map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+			t.Fatalf("decode /debug/vars: %v", err)
+		}
+		snap, ok := vars["afcsim"].(map[string]any)
+		if !ok {
+			t.Fatalf("/debug/vars has no afcsim object: %v", vars["afcsim"])
+		}
+		return snap
+	}
+
+	m1 := &Metrics{}
+	m1.CellsDone.Store(3)
+	addr1, err := ServeDebug("127.0.0.1:0", m1)
+	if err != nil {
+		t.Fatalf("ServeDebug: %v", err)
+	}
+	if got := scrape(addr1)["cellsDone"].(float64); got != 3 {
+		t.Errorf("cellsDone = %g, want 3", got)
+	}
+
+	m2 := &Metrics{}
+	m2.CellsDone.Store(9)
+	addr2, err := ServeDebug("127.0.0.1:0", m2)
+	if err != nil {
+		t.Fatalf("second ServeDebug: %v", err)
+	}
+	if got := scrape(addr2)["cellsDone"].(float64); got != 9 {
+		t.Errorf("cellsDone after swap = %g, want 9", got)
+	}
+}

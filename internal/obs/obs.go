@@ -1,0 +1,221 @@
+// Package obs is the simulator's observability layer: run manifests
+// (a JSON record of what a sweep ran and how long every cell took),
+// live progress reporting for long sweeps, counter export for an
+// expvar/pprof debug endpoint, and CPU/heap profiling helpers.
+//
+// Everything here is off by default and purely observational — the same
+// contract as internal/check: an observed run produces bit-for-bit the
+// same results as an unobserved one, it just also tells you what
+// happened. The Observer plugs into the experiment engine through the
+// runner.Options callbacks (OnBatch/OnCellStart/OnCell) and into each
+// cell's network as a read-only end-of-cycle ticker.
+package obs
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"afcnet/internal/network"
+	"afcnet/internal/runner"
+)
+
+// ProgressEnvVar enables -progress in every command that consults
+// ProgressFromEnv (cmd/afcsim, cmd/figures, cmd/sweep).
+const ProgressEnvVar = "AFCSIM_PROGRESS"
+
+// ProgressFromEnv reports whether AFCSIM_PROGRESS requests live
+// progress. Any value other than empty, "0", "false", "no" or "off"
+// enables it (the same semantics as AFCSIM_CHECK).
+func ProgressFromEnv() bool {
+	switch os.Getenv(ProgressEnvVar) {
+	case "", "0", "false", "no", "off":
+		return false
+	}
+	return true
+}
+
+// Config selects which observers New enables and supplies the run
+// metadata recorded in the manifest.
+type Config struct {
+	// Command and Args identify the invocation in the manifest
+	// (typically the command name and os.Args[1:]).
+	Command string
+	Args    []string
+	// Workers is the configured pool parallelism; <= 0 records
+	// GOMAXPROCS, matching runner.Options semantics.
+	Workers int
+	// Kinds and Seeds are optional run metadata for the manifest.
+	Kinds []string
+	Seeds []int64
+
+	// Manifest enables the run-manifest recorder (WriteManifest).
+	Manifest bool
+	// Progress enables the live progress line on ProgressTo.
+	Progress bool
+	// ProgressTo is the progress destination; nil means os.Stderr.
+	ProgressTo io.Writer
+	// Metrics, if non-nil, receives counter samples from every network
+	// passed to Sample (the expvar debug endpoint reads it).
+	Metrics *Metrics
+}
+
+// Observer bundles the enabled observers behind the runner callbacks.
+// A nil *Observer is valid and does nothing, so call sites can thread
+// one unconditionally.
+type Observer struct {
+	mu       sync.Mutex
+	start    time.Time
+	batch    int
+	manifest *Manifest
+	progress *progress
+	metrics  *Metrics
+}
+
+// New returns an Observer with the observers selected by cfg enabled.
+func New(cfg Config) *Observer {
+	o := &Observer{start: time.Now(), metrics: cfg.Metrics}
+	if cfg.Manifest {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		o.manifest = &Manifest{
+			Command:    cfg.Command,
+			Args:       cfg.Args,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workers:    workers,
+			Kinds:      cfg.Kinds,
+			Seeds:      cfg.Seeds,
+			Start:      o.start,
+		}
+	}
+	if cfg.Progress {
+		w := cfg.ProgressTo
+		if w == nil {
+			w = os.Stderr
+		}
+		o.progress = newProgress(w)
+	}
+	return o
+}
+
+// Hook installs the observer's callbacks on a runner.Options. Nil-safe;
+// existing callbacks are overwritten (the engine builds fresh Options
+// per batch).
+func (o *Observer) Hook(ro *runner.Options) {
+	if o == nil {
+		return
+	}
+	ro.OnBatch = o.onBatch
+	ro.OnCellStart = o.onCellStart
+	ro.OnCell = o.onCell
+}
+
+// Sample attaches a read-only counter sampler for net when metrics are
+// enabled. Nil-safe. The sampler is an ordinary end-of-cycle ticker
+// that only reads network stats, so results are unchanged.
+func (o *Observer) Sample(net *network.Network) {
+	if o == nil || o.metrics == nil {
+		return
+	}
+	net.AddTicker(newSampler(net, o.metrics))
+}
+
+// Metrics returns the metrics sink (nil when not enabled).
+func (o *Observer) Metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.metrics
+}
+
+func (o *Observer) onBatch(cells, workers int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.batch++
+	if o.manifest != nil {
+		o.manifest.CellsTotal += cells
+	}
+	if o.progress != nil {
+		o.progress.addBatch(cells, workers)
+	}
+}
+
+func (o *Observer) onCellStart(index int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.progress != nil {
+		o.progress.start(index)
+	}
+}
+
+func (o *Observer) onCell(index int, err error, elapsed time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.manifest != nil {
+		rec := CellRecord{Batch: o.batch, Index: index, Seconds: elapsed.Seconds()}
+		if err != nil {
+			rec.Error = err.Error()
+			o.manifest.CellErrors++
+		}
+		o.manifest.Cells = append(o.manifest.Cells, rec)
+		o.manifest.CellsDone++
+		o.manifest.BusySeconds += elapsed.Seconds()
+	}
+	if o.progress != nil {
+		o.progress.finish(index, err, elapsed)
+	}
+	if o.metrics != nil {
+		o.metrics.CellsDone.Add(1)
+	}
+}
+
+// Finish closes the progress line (if any) and finalizes the manifest's
+// wall-clock fields. Call it once, after the last batch.
+func (o *Observer) Finish() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.progress != nil {
+		o.progress.close()
+	}
+	if o.manifest != nil {
+		o.manifest.finalize(time.Since(o.start))
+	}
+}
+
+// WriteManifest writes the run manifest as indented JSON. It finalizes
+// wall-clock fields first, so calling Finish beforehand is optional.
+// Returns nil without writing when the manifest was not enabled.
+func (o *Observer) WriteManifest(w io.Writer) error {
+	if o == nil || o.manifest == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.manifest.finalize(time.Since(o.start))
+	return o.manifest.write(w)
+}
+
+// WriteManifestFile writes the manifest to path (no-op when the
+// manifest was not enabled or path is empty).
+func (o *Observer) WriteManifestFile(path string) error {
+	if o == nil || o.manifest == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := o.WriteManifest(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileHelpersNoop(t *testing.T) {
+	stop, err := StartCPUProfile("")
+	if err != nil {
+		t.Fatalf("StartCPUProfile(\"\"): %v", err)
+	}
+	stop() // must be callable
+	if err := WriteHeapProfile(""); err != nil {
+		t.Fatalf("WriteHeapProfile(\"\"): %v", err)
+	}
+}
+
+func TestProfileHelpersWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	// A second profile while one is running must fail cleanly.
+	if _, err := StartCPUProfile(filepath.Join(dir, "dup.pprof")); err == nil {
+		t.Error("second concurrent StartCPUProfile did not error")
+	}
+	stop()
+	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
+		t.Errorf("cpu profile missing or empty: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	if fi, err := os.Stat(heap); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile missing or empty: %v", err)
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "no", "such", "dir.pprof")); err == nil {
+		t.Error("StartCPUProfile into a missing directory did not error")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "no", "such", "dir.pprof")); err == nil {
+		t.Error("WriteHeapProfile into a missing directory did not error")
+	}
+}

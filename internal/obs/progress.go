@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"afcnet/internal/stats"
+)
+
+// progress renders a single live status line for a running sweep:
+// cells done/total, an ETA extrapolated from a running mean of cell
+// durations, and the longest-running in-flight cell. The Observer
+// serializes all calls, so no locking here. Lines are rewritten in
+// place with '\r' and padded to cover the previous line, which degrades
+// gracefully to one line per update when the destination is a file.
+type progress struct {
+	w       io.Writer
+	total   int
+	done    int
+	errs    int
+	workers int
+	dur     stats.Running     // completed-cell durations drive the ETA
+	started map[int]time.Time // in-flight cells by index
+	width   int               // widest line written so far, for clearing
+	now     func() time.Time  // injectable clock for tests
+}
+
+func newProgress(w io.Writer) *progress {
+	return &progress{w: w, workers: 1, started: map[int]time.Time{}, now: time.Now}
+}
+
+func (p *progress) addBatch(cells, workers int) {
+	p.total += cells
+	if workers > 0 {
+		p.workers = workers
+	}
+	p.render()
+}
+
+func (p *progress) start(index int) {
+	p.started[index] = p.now()
+}
+
+func (p *progress) finish(index int, err error, elapsed time.Duration) {
+	delete(p.started, index)
+	p.done++
+	if err != nil {
+		p.errs++
+	}
+	p.dur.Add(elapsed.Seconds())
+	p.render()
+}
+
+func (p *progress) render() {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d cells", p.done, p.total)
+	if p.errs > 0 {
+		fmt.Fprintf(&b, " (%d failed)", p.errs)
+	}
+	fmt.Fprintf(&b, "  %dw", p.workers)
+	if p.dur.N() > 0 {
+		mean := p.dur.Mean()
+		fmt.Fprintf(&b, "  mean %s", fmtSeconds(mean))
+		if remaining := p.total - p.done; remaining > 0 {
+			fmt.Fprintf(&b, "  eta %s", fmtSeconds(mean*float64(remaining)/float64(p.workers)))
+		}
+	}
+	if idx, since, ok := p.slowest(); ok {
+		fmt.Fprintf(&b, "  slowest #%d %s", idx, fmtSeconds(since.Seconds()))
+	}
+	line := b.String()
+	pad := p.width - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	if len(line) > p.width {
+		p.width = len(line)
+	}
+	fmt.Fprintf(p.w, "\r%s%s", line, strings.Repeat(" ", pad))
+}
+
+// slowest returns the in-flight cell that has been running longest.
+func (p *progress) slowest() (index int, running time.Duration, ok bool) {
+	var oldest time.Time
+	for i, at := range p.started {
+		if !ok || at.Before(oldest) || (at.Equal(oldest) && i < index) {
+			index, oldest, ok = i, at, true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return index, p.now().Sub(oldest), true
+}
+
+// close terminates the in-place line so subsequent output starts fresh.
+func (p *progress) close() {
+	if p.width > 0 || p.done > 0 {
+		fmt.Fprintln(p.w)
+	}
+}
+
+// fmtSeconds renders a duration in seconds compactly (1.2s, 45s, 3m20s).
+func fmtSeconds(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d < 10*time.Second:
+		return d.Round(100 * time.Millisecond).String()
+	case d < time.Minute:
+		return d.Round(time.Second).String()
+	default:
+		return d.Round(time.Second).String()
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// lastLine returns the most recent '\r'-rewritten progress frame.
+func lastLine(buf *bytes.Buffer) string {
+	frames := strings.Split(buf.String(), "\r")
+	return strings.TrimRight(frames[len(frames)-1], " \n")
+}
+
+func TestProgressLine(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgress(&buf)
+	clock := time.Unix(1000, 0)
+	p.now = func() time.Time { return clock }
+
+	p.addBatch(4, 2)
+	if got := lastLine(&buf); got != "0/4 cells  2w" {
+		t.Errorf("initial line = %q, want %q", got, "0/4 cells  2w")
+	}
+
+	p.start(0)
+	p.start(1)
+	clock = clock.Add(2 * time.Second)
+	p.finish(0, nil, 2*time.Second)
+	got := lastLine(&buf)
+	// mean 2s over 3 remaining cells on 2 workers → eta 3s; cell #1 has
+	// been in flight for the full 2s.
+	for _, want := range []string{"1/4 cells", "2w", "mean 2s", "eta 3s", "slowest #1 2s"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("line %q does not contain %q", got, want)
+		}
+	}
+
+	p.finish(1, errors.New("boom"), time.Second)
+	got = lastLine(&buf)
+	if !strings.Contains(got, "2/4 cells (1 failed)") {
+		t.Errorf("line %q does not report the failure", got)
+	}
+	if strings.Contains(got, "slowest") {
+		t.Errorf("line %q mentions an in-flight cell after all finished", got)
+	}
+
+	p.close()
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("close did not terminate the progress line with a newline")
+	}
+}
+
+// TestProgressPadsShrinkingLines: a shorter frame must blank out the
+// remnants of a longer previous frame.
+func TestProgressPadsShrinkingLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgress(&buf)
+	clock := time.Unix(1000, 0)
+	p.now = func() time.Time { return clock }
+
+	p.addBatch(2, 1)
+	p.start(0)
+	clock = clock.Add(90 * time.Second)
+	p.finish(0, nil, 90*time.Second) // long frame: mean/eta/…
+	long := lastLine(&buf)
+	p.finish(1, nil, time.Second) // shorter frame
+	frames := strings.Split(buf.String(), "\r")
+	last := frames[len(frames)-1]
+	if len(last) < len(long) {
+		t.Errorf("frame %q is not padded to cover previous %q", last, long)
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		s    float64
+		want string
+	}{
+		{1.23, "1.2s"},
+		{45, "45s"},
+		{200, "3m20s"},
+	} {
+		if got := fmtSeconds(tc.s); got != tc.want {
+			t.Errorf("fmtSeconds(%g) = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}

@@ -29,10 +29,15 @@ func (s *Series) Last() float64 {
 	return s.Val[len(s.Val)-1]
 }
 
-// Max returns the largest sample (0 if empty).
+// Max returns the largest sample (0 if empty). The maximum is seeded
+// from the first sample, so an all-negative series (e.g. an energy-delta
+// metric) reports its true maximum rather than 0.
 func (s *Series) Max() float64 {
-	m := 0.0
-	for _, v := range s.Val {
+	if len(s.Val) == 0 {
+		return 0
+	}
+	m := s.Val[0]
+	for _, v := range s.Val[1:] {
 		if v > m {
 			m = v
 		}
@@ -96,8 +101,11 @@ func (p *Probe) Tick(now uint64) {
 	}
 }
 
-// WriteCSV emits all series as CSV (cycle column plus one column per
-// metric; series share the sampling grid by construction).
+// WriteCSV emits all series as CSV: a cycle column plus one column per
+// metric. Rows cover the union of sample stamps across series, and each
+// value is placed on the row matching its own At stamp, so a metric
+// Tracked after sampling began stays aligned with its cycle — the cells
+// before its first sample are simply empty.
 func (p *Probe) WriteCSV(w io.Writer) error {
 	if len(p.names) == 0 {
 		return nil
@@ -113,18 +121,32 @@ func (p *Probe) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w); err != nil {
 		return err
 	}
-	ref := p.series[p.names[0]]
-	for i := range ref.At {
-		if _, err := fmt.Fprintf(w, "%d", ref.At[i]); err != nil {
+	// Merge the per-series stamp streams (each is already sorted): every
+	// row is the smallest not-yet-emitted stamp, and a series contributes
+	// a value only when its cursor sits exactly on that stamp.
+	cursors := make([]int, len(p.names))
+	for {
+		cycle, any := uint64(0), false
+		for ci, n := range p.names {
+			s := p.series[n]
+			if cursors[ci] < len(s.At) && (!any || s.At[cursors[ci]] < cycle) {
+				cycle, any = s.At[cursors[ci]], true
+			}
+		}
+		if !any {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "%d", cycle); err != nil {
 			return err
 		}
-		for _, n := range p.names {
+		for ci, n := range p.names {
 			s := p.series[n]
-			v := 0.0
-			if i < len(s.Val) {
-				v = s.Val[i]
-			}
-			if _, err := fmt.Fprintf(w, ",%g", v); err != nil {
+			if cursors[ci] < len(s.At) && s.At[cursors[ci]] == cycle {
+				if _, err := fmt.Fprintf(w, ",%g", s.Val[cursors[ci]]); err != nil {
+					return err
+				}
+				cursors[ci]++
+			} else if _, err := fmt.Fprint(w, ","); err != nil {
 				return err
 			}
 		}
@@ -132,7 +154,6 @@ func (p *Probe) WriteCSV(w io.Writer) error {
 			return err
 		}
 	}
-	return nil
 }
 
 // BufferedFraction is a Metric: the fraction of AFC routers currently in

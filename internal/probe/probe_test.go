@@ -2,6 +2,8 @@ package probe
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -124,6 +126,79 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if len(lines) != 1+4 { // header + samples at 0,20,40,60
 		t.Fatalf("csv rows = %d: %q", len(lines), buf.String())
+	}
+}
+
+// TestWriteCSVMidRunTrackAligned: a metric registered after sampling has
+// begun yields a shorter series; its CSV column must stay aligned with
+// the cycle column (empty cells before its first sample) instead of
+// being zero-padded from row 0. The parsed CSV must round-trip every
+// series' (At, Val) pairs exactly.
+func TestWriteCSVMidRunTrackAligned(t *testing.T) {
+	n := newNet(network.AFC)
+	p := New(n, 10)
+	p.Track("queue", QueueLen)
+	n.Run(31) // queue sampled at 0,10,20,30
+	p.Track("buffered", BufferedFraction)
+	n.Run(30) // both sampled at 40,50,60
+
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "cycle,queue,buffered" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 1+7 { // cycles 0..60 step 10
+		t.Fatalf("csv rows = %d: %q", len(lines), buf.String())
+	}
+	// Reconstruct each series from the CSV and compare against the probe.
+	got := map[string]*Series{"queue": {}, "buffered": {}}
+	cols := []string{"queue", "buffered"}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			t.Fatalf("row %q has %d fields", line, len(fields))
+		}
+		var cycle uint64
+		if _, err := fmt.Sscanf(fields[0], "%d", &cycle); err != nil {
+			t.Fatalf("bad cycle in row %q: %v", line, err)
+		}
+		for ci, name := range cols {
+			cell := fields[1+ci]
+			if cell == "" {
+				continue // no sample for this series at this cycle
+			}
+			var v float64
+			if _, err := fmt.Sscanf(cell, "%g", &v); err != nil {
+				t.Fatalf("bad value %q in row %q: %v", cell, line, err)
+			}
+			got[name].At = append(got[name].At, cycle)
+			got[name].Val = append(got[name].Val, v)
+		}
+	}
+	for _, name := range cols {
+		want := p.Series(name)
+		if !reflect.DeepEqual(got[name].At, want.At) {
+			t.Errorf("%s stamps: csv %v != series %v", name, got[name].At, want.At)
+		}
+		if !reflect.DeepEqual(got[name].Val, want.Val) {
+			t.Errorf("%s values: csv %v != series %v", name, got[name].Val, want.Val)
+		}
+	}
+	if want := []uint64{40, 50, 60}; !reflect.DeepEqual(p.Series("buffered").At, want) {
+		t.Errorf("mid-run series stamps = %v, want %v", p.Series("buffered").At, want)
+	}
+}
+
+// TestSeriesMaxAllNegative: Max must report the true maximum of an
+// all-negative series (e.g. an energy-delta metric), not the historical
+// zero seed.
+func TestSeriesMaxAllNegative(t *testing.T) {
+	s := &Series{At: []uint64{0, 1, 2}, Val: []float64{-5, -2, -9}}
+	if got := s.Max(); got != -2 {
+		t.Errorf("Max of all-negative series = %g, want -2", got)
 	}
 }
 

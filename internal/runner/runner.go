@@ -21,11 +21,13 @@ package runner
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures a fan-out run.
@@ -36,11 +38,21 @@ type Options struct {
 	// first error).
 	Parallelism int
 
+	// OnBatch, if non-nil, is invoked once per Run call, before any cell
+	// executes, with the cell count and the effective worker count. The
+	// observability layer (internal/obs) uses it to size progress totals.
+	OnBatch func(cells, workers int)
+
+	// OnCellStart, if non-nil, is invoked immediately before a cell
+	// executes. Calls are serialized with OnCell under one mutex, so a
+	// single unsynchronized observer can track in-flight cells.
+	OnCellStart func(index int)
+
 	// OnCell, if non-nil, is invoked after each executed cell with its
-	// index and error (nil on success). Calls are serialized but arrive in
-	// completion order, not index order. Skipped cells (drained after a
-	// failure) do not invoke it.
-	OnCell func(index int, err error)
+	// index, error (nil on success) and wall-clock duration. Calls are
+	// serialized but arrive in completion order, not index order. Skipped
+	// cells (drained after a failure) do not invoke it.
+	OnCell func(index int, err error, elapsed time.Duration)
 }
 
 // Workers returns the effective worker count for cells cells.
@@ -63,14 +75,26 @@ func (o Options) Workers(cells int) int {
 const EnvVar = "AFCSIM_PARALLEL"
 
 // FromEnv returns the default worker count: $AFCSIM_PARALLEL when it is a
-// positive integer, GOMAXPROCS otherwise.
+// positive integer, GOMAXPROCS otherwise. A set-but-unusable value (not
+// an integer, or <= 0) is reported on stderr so a typo does not silently
+// run at full parallelism.
 func FromEnv() int {
-	if s := os.Getenv(EnvVar); s != "" {
-		if v, err := strconv.Atoi(s); err == nil && v > 0 {
-			return v
-		}
+	return fromEnv(os.Getenv(EnvVar), os.Stderr)
+}
+
+// fromEnv is FromEnv with the environment value and warning sink
+// injected for tests.
+func fromEnv(s string, warn io.Writer) int {
+	def := runtime.GOMAXPROCS(0)
+	if s == "" {
+		return def
 	}
-	return runtime.GOMAXPROCS(0)
+	if v, err := strconv.Atoi(s); err == nil && v > 0 {
+		return v
+	}
+	fmt.Fprintf(warn, "runner: ignoring %s=%q (want a positive integer); using GOMAXPROCS=%d\n",
+		EnvVar, s, def)
+	return def
 }
 
 // Run executes fn(i) for every i in [0, n) on a pool of
@@ -81,22 +105,38 @@ func Run(n int, opt Options, fn func(i int) error) error {
 		return nil
 	}
 	workers := opt.Workers(n)
+	if opt.OnBatch != nil {
+		opt.OnBatch(n, workers)
+	}
 
 	var cbMu sync.Mutex
-	report := func(i int, err error) {
+	starting := func(i int) {
+		if opt.OnCellStart == nil {
+			return
+		}
+		cbMu.Lock()
+		opt.OnCellStart(i)
+		cbMu.Unlock()
+	}
+	report := func(i int, err error, elapsed time.Duration) {
 		if opt.OnCell == nil {
 			return
 		}
 		cbMu.Lock()
-		opt.OnCell(i, err)
+		opt.OnCell(i, err, elapsed)
 		cbMu.Unlock()
+	}
+	exec := func(i int) error {
+		starting(i)
+		begin := time.Now()
+		err := runCell(i, fn)
+		report(i, err, time.Since(begin))
+		return err
 	}
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			err := runCell(i, fn)
-			report(i, err)
-			if err != nil {
+			if err := exec(i); err != nil {
 				return err
 			}
 		}
@@ -123,8 +163,7 @@ func Run(n int, opt Options, fn func(i int) error) error {
 				if failed.Load() {
 					continue // drain: skip cells claimed after a failure
 				}
-				err := runCell(i, fn)
-				report(i, err)
+				err := exec(i)
 				if err != nil {
 					errMu.Lock()
 					if first == nil || i < firstI {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdering(t *testing.T) {
@@ -118,18 +119,22 @@ func TestPanicRecovered(t *testing.T) {
 	}
 }
 
-// TestOnCellCallback: every executed cell reports exactly once; calls are
-// serialized (the callback mutates shared state without synchronization
-// of its own, which -race verifies).
+// TestOnCellCallback: every executed cell reports exactly once with a
+// non-negative duration; calls are serialized (the callback mutates
+// shared state without synchronization of its own, which -race
+// verifies).
 func TestOnCellCallback(t *testing.T) {
 	var got []int
 	var errs int
 	_, err := Map(50, Options{
 		Parallelism: 8,
-		OnCell: func(i int, err error) {
+		OnCell: func(i int, err error, elapsed time.Duration) {
 			got = append(got, i)
 			if err != nil {
 				errs++
+			}
+			if elapsed < 0 {
+				t.Errorf("cell %d: negative duration %v", i, elapsed)
 			}
 		},
 	}, func(i int) (int, error) { return i, nil })
@@ -143,6 +148,50 @@ func TestOnCellCallback(t *testing.T) {
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("callback indices %v", got)
+		}
+	}
+}
+
+// TestBatchAndStartHooks: OnBatch fires once with the cell and worker
+// counts before any cell runs; OnCellStart fires once per executed cell,
+// serialized with OnCell so start/finish bookkeeping needs no locks of
+// its own.
+func TestBatchAndStartHooks(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var batches, started, finished int
+		inflight := map[int]bool{}
+		err := Run(30, Options{
+			Parallelism: par,
+			OnBatch: func(cells, workers int) {
+				batches++
+				if cells != 30 {
+					t.Errorf("par=%d: OnBatch cells=%d, want 30", par, cells)
+				}
+				if workers != par {
+					t.Errorf("par=%d: OnBatch workers=%d", par, workers)
+				}
+				if started != 0 {
+					t.Errorf("par=%d: OnBatch after %d starts", par, started)
+				}
+			},
+			OnCellStart: func(i int) {
+				started++
+				inflight[i] = true
+			},
+			OnCell: func(i int, err error, elapsed time.Duration) {
+				finished++
+				if !inflight[i] {
+					t.Errorf("par=%d: cell %d finished without starting", par, i)
+				}
+				delete(inflight, i)
+			},
+		}, func(i int) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batches != 1 || started != 30 || finished != 30 || len(inflight) != 0 {
+			t.Fatalf("par=%d: batches=%d started=%d finished=%d inflight=%d",
+				par, batches, started, finished, len(inflight))
 		}
 	}
 }
@@ -174,6 +223,32 @@ func TestFromEnv(t *testing.T) {
 	t.Setenv(EnvVar, "bogus")
 	if got := FromEnv(); got < 1 {
 		t.Errorf("FromEnv() = %d with bogus env", got)
+	}
+}
+
+// TestFromEnvWarnsOnBadValue: an unusable AFCSIM_PARALLEL falls back to
+// GOMAXPROCS but says so, once, on the warning sink; usable and unset
+// values stay silent.
+func TestFromEnvWarnsOnBadValue(t *testing.T) {
+	for _, bad := range []string{"bogus", "0", "-2", "1.5"} {
+		var buf strings.Builder
+		if got := fromEnv(bad, &buf); got < 1 {
+			t.Errorf("fromEnv(%q) = %d", bad, got)
+		}
+		warning := buf.String()
+		if !strings.Contains(warning, EnvVar) || !strings.Contains(warning, bad) {
+			t.Errorf("fromEnv(%q) warning = %q; want it to name the variable and value", bad, warning)
+		}
+		if strings.Count(warning, "\n") != 1 {
+			t.Errorf("fromEnv(%q) warning is not one line: %q", bad, warning)
+		}
+	}
+	for _, ok := range []string{"", "4"} {
+		var buf strings.Builder
+		fromEnv(ok, &buf)
+		if buf.Len() != 0 {
+			t.Errorf("fromEnv(%q) warned: %q", ok, buf.String())
+		}
 	}
 }
 

@@ -67,6 +67,8 @@ type Histogram struct {
 	min    uint64
 	max    uint64
 	values []uint64 // retained samples for percentile queries
+	sorted []uint64 // cached sort of values; valid while !dirty
+	dirty  bool     // values changed since sorted was built
 	cap    int
 	stride int
 	seen   int
@@ -93,19 +95,27 @@ func (h *Histogram) Add(v uint64) {
 		h.max = v
 	}
 	h.seen++
-	if h.seen%h.stride == 0 {
-		if len(h.values) >= h.cap {
-			// Thin: keep every other retained sample and double the
-			// stride so memory stays bounded on long runs.
-			kept := h.values[:0]
-			for i := 0; i < len(h.values); i += 2 {
-				kept = append(kept, h.values[i])
-			}
-			h.values = kept
-			h.stride *= 2
-		}
-		h.values = append(h.values, v)
+	if h.seen%h.stride != 0 {
+		return
 	}
+	if len(h.values) >= h.cap {
+		// Thin: keep every other retained sample and double the
+		// stride so memory stays bounded on long runs.
+		kept := h.values[:0]
+		for i := 0; i < len(h.values); i += 2 {
+			kept = append(kept, h.values[i])
+		}
+		h.values = kept
+		h.stride *= 2
+		h.dirty = true
+		if h.seen%h.stride != 0 {
+			// The triggering sample is off the doubled stride's grid;
+			// retaining it anyway would over-represent thin boundaries.
+			return
+		}
+	}
+	h.values = append(h.values, v)
+	h.dirty = true
 }
 
 // Count returns the number of samples.
@@ -136,17 +146,19 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	if len(h.values) == 0 {
 		return 0
 	}
-	sorted := make([]uint64, len(h.values))
-	copy(sorted, h.values)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if h.dirty || len(h.sorted) != len(h.values) {
+		h.sorted = append(h.sorted[:0], h.values...)
+		sort.Slice(h.sorted, func(i, j int) bool { return h.sorted[i] < h.sorted[j] })
+		h.dirty = false
+	}
+	idx := int(math.Ceil(p/100*float64(len(h.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(h.sorted) {
+		idx = len(h.sorted) - 1
 	}
-	return sorted[idx]
+	return h.sorted[idx]
 }
 
 // Running accumulates mean and standard deviation incrementally

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -100,6 +101,69 @@ func TestHistogramThinningKeepsExactAggregates(t *testing.T) {
 	// Percentiles stay approximately right after thinning.
 	if p := h.Percentile(50); p < 3_000 || p > 7_000 {
 		t.Errorf("p50 after thinning = %d", p)
+	}
+}
+
+// TestHistogramThinBoundaryStride: the sample that triggers a thin must
+// obey the doubled stride like every other sample. Historically it was
+// appended unconditionally, so thin-boundary samples were systematically
+// over-represented in the retained set. With capacity 4 and sequential
+// input the whole retention schedule is small enough to pin exactly.
+func TestHistogramThinBoundaryStride(t *testing.T) {
+	h := NewHistogram(4)
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	// Thins at seen = 5, 10, 20, 40, 80; each doubles the stride, and the
+	// triggers (5, 10, 20, 40, 80) all fall off the doubled grid.
+	if h.stride != 32 {
+		t.Errorf("stride = %d, want 32", h.stride)
+	}
+	if want := []uint64{1, 48, 96}; !reflect.DeepEqual(h.values, want) {
+		t.Errorf("retained samples = %v, want %v", h.values, want)
+	}
+	if h.Count() != 100 || h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("exact aggregates drifted: count/min/max = %d/%d/%d",
+			h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestHistogramThinnedPercentilesUniform: after heavy thinning, the
+// retained set still represents a uniform input stream — every decile
+// lands near its true value.
+func TestHistogramThinnedPercentilesUniform(t *testing.T) {
+	h := NewHistogram(64)
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		h.Add(i)
+	}
+	for _, p := range []float64{10, 25, 50, 75, 90} {
+		got := float64(h.Percentile(p))
+		want := p / 100 * n
+		if math.Abs(got-want) > 0.12*n {
+			t.Errorf("p%.0f after thinning = %g, want ~%g", p, got, want)
+		}
+	}
+}
+
+// TestHistogramPercentileCacheInvalidation: Percentile caches its sorted
+// slice; the cache must be rebuilt after further Adds (including thins).
+func TestHistogramPercentileCacheInvalidation(t *testing.T) {
+	h := NewHistogram(1000)
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(50); p != 50 {
+		t.Errorf("p50 of 1..100 = %d, want 50", p)
+	}
+	for i := uint64(1000); i < 1100; i++ {
+		h.Add(i)
+	}
+	if p := h.Percentile(50); p != 100 {
+		t.Errorf("p50 after second batch = %d, want 100", p)
+	}
+	if p := h.Percentile(100); p != 1099 {
+		t.Errorf("p100 after second batch = %d, want 1099", p)
 	}
 }
 
