@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-smoke fuzz-smoke obs-smoke cover ci
+.PHONY: build vet test race bench-json bench-smoke fuzz-smoke obs-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One-iteration pass over a closed-loop benchmark: catches harness
-# regressions without paying for a full measurement run.
+# Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
+# and allocs/op plus low-load vs saturation cell wall times (minimum of
+# -runs repetitions). The checked-in snapshots are the repo's perf
+# trajectory; bench-smoke compares against the newest one.
+bench-json:
+	$(GO) run ./cmd/benchjson
+
+# One-iteration pass over a closed-loop benchmark (catches harness
+# regressions without paying for a full measurement run), then a
+# reduced benchjson measurement compared warn-only against the newest
+# recorded BENCH_<n>.json snapshot.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Fig2a -benchtime=1x .
+	$(GO) run ./cmd/benchjson -smoke
 
 # Short run of every native fuzz target (~10s each). The corpora under
 # testdata/fuzz (checked in as they grow) replay first, so previously

@@ -73,6 +73,37 @@ func BenchmarkKernelStep(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelStepLowLoad is BenchmarkKernelStep at a near-idle
+// injection rate — the regime where active-set scheduling pays: most
+// routers are quiescent most cycles, so the per-cycle cost should be a
+// small fraction of the dense kernel's (compare against
+// BenchmarkKernelStepLowLoadDense).
+func BenchmarkKernelStepLowLoad(b *testing.B) {
+	benchKernelStepLowLoad(b, false)
+}
+
+// BenchmarkKernelStepLowLoadDense is the same workload on the dense
+// reference kernel (every ticker every cycle) — the baseline the
+// active-set speedup is measured against.
+func BenchmarkKernelStepLowLoadDense(b *testing.B) {
+	benchKernelStepLowLoad(b, true)
+}
+
+func benchKernelStepLowLoad(b *testing.B, dense bool) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true, DenseKernel: dense})
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.02,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(1000) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
 // BenchmarkKernelStepChecked is BenchmarkKernelStep with the
 // internal/check invariant checker attached. The checker is a plain
 // AddTicker client, so the default path (checks off) is untouched;

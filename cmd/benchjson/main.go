@@ -1,0 +1,266 @@
+// Command benchjson measures the simulator's performance envelope and
+// records it as a numbered BENCH_<n>.json snapshot, so the perf
+// trajectory of the repo is tracked in-tree alongside the results it
+// produces (EXPERIMENTS.md).
+//
+// Two kinds of numbers are captured:
+//
+//   - kernel microbenchmarks: ns/op and allocs/op of Network.Step under
+//     moderate (0.3 flits/node/cycle) and near-idle (0.02) open-loop
+//     load — the latter is the regime active-set scheduling targets;
+//   - cell wall times: end-to-end wall-clock seconds of representative
+//     closed-loop cells (the low-load Fig. 2a set, its single
+//     lowest-load benchmark, and a saturation benchmark), each run
+//     -runs times with the minimum recorded, since the minimum is the
+//     least noisy wall-clock statistic.
+//
+// Usage:
+//
+//	benchjson                    # measure, write BENCH_<n>.json (next free n)
+//	benchjson -dense             # measure the dense reference kernel
+//	benchjson -o my.json         # explicit output path
+//	benchjson -smoke             # reduced run, warn-only compare vs the
+//	                             # newest BENCH_*.json (CI bench-smoke gate)
+//
+// -smoke performs a benchstat-style threshold comparison against the
+// recorded baseline: each metric's delta is printed, regressions beyond
+// the threshold are flagged as warnings, and the exit status stays zero
+// (warn-only) — only harness errors fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"afcnet/internal/cmp"
+	"afcnet/internal/experiments"
+	"afcnet/internal/network"
+	"afcnet/internal/traffic"
+)
+
+// Snapshot is the recorded BENCH_<n>.json schema.
+type Snapshot struct {
+	Schema    string `json:"schema"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"goVersion"`
+	Dense     bool   `json:"denseKernel"`
+	Runs      int    `json:"runs"`
+
+	Kernel struct {
+		StepNsPerOp            float64 `json:"stepNsPerOp"`
+		StepAllocsPerOp        float64 `json:"stepAllocsPerOp"`
+		StepLowLoadNsPerOp     float64 `json:"stepLowLoadNsPerOp"`
+		StepLowLoadAllocsPerOp float64 `json:"stepLowLoadAllocsPerOp"`
+	} `json:"kernel"`
+
+	Cells struct {
+		LowLoadWallSeconds    float64 `json:"lowLoadWallSeconds"`
+		LowLoadCellWallSecs   float64 `json:"lowLoadCellWallSeconds"`
+		SaturationWallSeconds float64 `json:"saturationWallSeconds"`
+	} `json:"cells"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		dense    = flag.Bool("dense", network.DenseFromEnv(), "measure the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1)")
+		out      = flag.String("o", "", "output path (default: next free BENCH_<n>.json in the current directory)")
+		runs     = flag.Int("runs", 5, "repetitions per wall-time cell; the minimum is recorded")
+		label    = flag.String("label", "", "free-text label recorded in the snapshot")
+		smoke    = flag.Bool("smoke", false, "reduced measurement compared warn-only against -baseline; writes no file")
+		baseline = flag.String("baseline", "", "baseline snapshot for -smoke (default: the highest-numbered BENCH_*.json)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(*dense, *baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	snap := measure(*dense, *runs, *label, false)
+	path := *out
+	if path == "" {
+		path = nextBenchPath(".")
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// measure runs the benchmark suite. In smoke mode the wall cells drop to
+// the single low-load cell and fewer repetitions, so CI stays fast.
+func measure(dense bool, runs int, label string, smoke bool) Snapshot {
+	var s Snapshot
+	s.Schema = "afcnet-bench/v1"
+	s.Label = label
+	s.GoVersion = runtime.Version()
+	s.Dense = dense
+	s.Runs = runs
+
+	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, dense) })
+	s.Kernel.StepNsPerOp = float64(r.NsPerOp())
+	s.Kernel.StepAllocsPerOp = float64(r.AllocsPerOp())
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, dense) })
+	s.Kernel.StepLowLoadNsPerOp = float64(r.NsPerOp())
+	s.Kernel.StepLowLoadAllocsPerOp = float64(r.AllocsPerOp())
+
+	opt := experiments.Quick()
+	opt.Parallelism = 1 // wall times must not depend on machine width
+	opt.Dense = dense
+	s.Cells.LowLoadCellWallSecs = minWall(runs, func() {
+		mustClosedLoop(cmp.LowLoad()[:1], opt)
+	})
+	if !smoke {
+		s.Cells.LowLoadWallSeconds = minWall(runs, func() {
+			mustClosedLoop(cmp.LowLoad(), opt)
+		})
+		s.Cells.SaturationWallSeconds = minWall(runs, func() {
+			mustClosedLoop(cmp.HighLoad()[:1], opt)
+		})
+	}
+	return s
+}
+
+// benchStep is the cmd-side mirror of BenchmarkKernelStep in
+// bench_test.go (test files cannot be imported from a command).
+func benchStep(b *testing.B, rate float64, dense bool) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true, DenseKernel: dense})
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    rate,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+func mustClosedLoop(benches []cmp.Params, opt experiments.Options) {
+	if _, err := experiments.ClosedLoop(benches, experiments.Fig2Kinds, opt); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// minWall runs f n times and returns the fastest wall time in seconds.
+func minWall(n int, f func()) float64 {
+	best := time.Duration(0)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// nextBenchPath returns BENCH_<n>.json for the smallest n above every
+// existing snapshot in dir.
+func nextBenchPath(dir string) string {
+	next := 0
+	for _, p := range benchFiles(dir) {
+		n, _ := strconv.Atoi(benchName.FindStringSubmatch(filepath.Base(p))[1])
+		if n >= next {
+			next = n + 1
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+}
+
+// benchFiles lists the BENCH_<n>.json snapshots in dir, ordered by n.
+func benchFiles(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if benchName.MatchString(e.Name()) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := strconv.Atoi(benchName.FindStringSubmatch(filepath.Base(out[i]))[1])
+		b, _ := strconv.Atoi(benchName.FindStringSubmatch(filepath.Base(out[j]))[1])
+		return a < b
+	})
+	return out
+}
+
+// runSmoke measures the reduced suite and prints a benchstat-style
+// warn-only comparison against the baseline snapshot.
+func runSmoke(dense bool, baselinePath string) error {
+	if baselinePath == "" {
+		files := benchFiles(".")
+		if len(files) == 0 {
+			fmt.Println("bench-smoke: no BENCH_*.json baseline recorded yet; measuring only")
+		} else {
+			baselinePath = files[len(files)-1]
+		}
+	}
+	cur := measure(dense, 2, "", true)
+
+	if baselinePath == "" {
+		fmt.Printf("kernel step: %.0f ns/op (%.0f allocs); low load: %.0f ns/op; low-load cell: %.3fs\n",
+			cur.Kernel.StepNsPerOp, cur.Kernel.StepAllocsPerOp,
+			cur.Kernel.StepLowLoadNsPerOp, cur.Cells.LowLoadCellWallSecs)
+		return nil
+	}
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Snapshot
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("%s: %v", baselinePath, err)
+	}
+	fmt.Printf("bench-smoke vs %s (warn-only)\n", baselinePath)
+	warned := false
+	// Wall-clock numbers swing far more than ns/op on shared machines,
+	// so each metric carries its own threshold.
+	compare := func(name string, baseV, curV, threshold float64) {
+		if baseV == 0 {
+			return
+		}
+		delta := (curV - baseV) / baseV * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  <-- WARN: exceeds +" + strconv.FormatFloat(threshold, 'f', -1, 64) + "% threshold"
+			warned = true
+		}
+		fmt.Printf("  %-24s %12.1f -> %12.1f  (%+.1f%%)%s\n", name, baseV, curV, delta, mark)
+	}
+	compare("step ns/op", base.Kernel.StepNsPerOp, cur.Kernel.StepNsPerOp, 25)
+	compare("step allocs/op", base.Kernel.StepAllocsPerOp, cur.Kernel.StepAllocsPerOp, 0)
+	compare("step lowload ns/op", base.Kernel.StepLowLoadNsPerOp, cur.Kernel.StepLowLoadNsPerOp, 25)
+	compare("lowload cell wall ms", base.Cells.LowLoadCellWallSecs*1000, cur.Cells.LowLoadCellWallSecs*1000, 50)
+	if warned {
+		fmt.Println("bench-smoke: perf regression warnings above (warn-only; not failing the build)")
+	} else {
+		fmt.Println("bench-smoke: within thresholds")
+	}
+	return nil
+}

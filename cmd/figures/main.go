@@ -51,6 +51,7 @@ func main() {
 		jsonOut   = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
 		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 		checked   = flag.Bool("check", invcheck.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
+		dense     = flag.Bool("dense", network.DenseFromEnv(), "run the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1); identical results, slower at low load")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
 		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,6 +80,7 @@ func main() {
 	}
 	opt.Parallelism = *parallel
 	opt.Check = *checked
+	opt.Dense = *dense
 	ob := obs.New(obs.Config{
 		Command:  "figures",
 		Args:     os.Args[1:],

@@ -168,6 +168,7 @@ type System struct {
 	totalCompleted uint64
 	writebacksSent uint64
 	stopped        bool
+	fullCores      int // cores with every MSHR occupied (issue loop is RNG-free for them)
 
 	// writeback pre-allocation state (WritebackPreAlloc variant)
 	wbEntries  []int               // per-bank receive-buffer entries in use
@@ -235,6 +236,34 @@ func (s *System) Outstanding() int {
 // transactions and the writeback protocol continue to completion.
 func (s *System) StopIssuing() { s.stopped = true }
 
+// Quiescent implements sim.Quiescer: the issue loop draws randomness only
+// for cores with a free MSHR, so Tick is a provable no-op exactly when
+// issuing is off (stopped, or every core MSHR-saturated) and no bank job
+// is due. Responses arriving through the network update fullCores via the
+// NI handler before this entry's slot in the tick order, so the check
+// always sees this cycle's state.
+func (s *System) Quiescent(now uint64) bool {
+	if !s.stopped && s.fullCores != len(s.cores) {
+		return false
+	}
+	return len(s.jobs) == 0 || s.jobs[0].due > now
+}
+
+// FastForward implements sim.Quiescer: a quiescent Tick touches no
+// per-cycle state (no RNG draws, no heap pops), so there is nothing to
+// batch-advance.
+func (s *System) FastForward(cycles uint64) {}
+
+// NextWake implements sim.Sleeper: the next bank-job completion. While the
+// rest of the system is frozen no new requests arrive, so the heap head is
+// the only future state change.
+func (s *System) NextWake(now uint64) (uint64, bool) {
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	return s.jobs[0].due, true
+}
+
 // Tick implements sim.Ticker: issue new misses and complete due bank jobs.
 func (s *System) Tick(now uint64) {
 	if s.stopped {
@@ -255,6 +284,9 @@ func (s *System) Tick(now uint64) {
 		c.nextTx++
 		tx := uint64(i)<<32 | c.nextTx
 		c.outstanding++
+		if c.outstanding == s.params.MSHRs {
+			s.fullCores++
+		}
 		c.issued++
 		s.net.NI(node).SendPacket(now, home, flit.VNReq,
 			flit.ControlPacketFlits, payload(msgRequest, tx))
@@ -302,6 +334,9 @@ func (s *System) onPacket(now uint64, d ni.Delivered) {
 		// The miss completes: the MSHR frees; occasionally the evicted
 		// line is dirty and must be written back to its own home bank.
 		c := &s.cores[d.Dst]
+		if c.outstanding == s.params.MSHRs {
+			s.fullCores--
+		}
 		c.outstanding--
 		c.completed++
 		s.totalCompleted++

@@ -147,6 +147,7 @@ func (r *Router) escapeBuffer(now uint64, port topology.Dir, f *flit.Flit) {
 		panic(fmt.Sprintf("afc %d: escape latch overflow on port %s", r.node, port))
 	}
 	r.esc[port] = append(r.esc[port], escape{f: f, readyAt: now + 1})
+	r.held++
 	r.escapeEvents++
 	if r.meter != nil {
 		r.meter.Latch()

@@ -14,16 +14,34 @@ import (
 // winners depart with no VC assignment — the downstream buffer write picks
 // a free slot.
 func (r *Router) bufferedCycle(now uint64) {
+	// Fast path: with no buffered flit and no escape entry there is no
+	// switch candidate, so neither allocation stage can grant — and a
+	// grantless RoundRobin.Pick leaves the pointer untouched, so skipping
+	// both stages is bit-for-bit identical to scanning every empty slot.
+	// This is the dominant cycle for buffered-mode routers at low load
+	// (arrivals in flight on the pipes keep them from full quiescence).
+	if r.held == 0 {
+		r.bufferedInject(now)
+		return
+	}
+
 	// Input stage of separable switch allocation: one candidate per input
 	// port. Escape latches drain with priority (they are the oldest
-	// uncredited flits; see the package comment).
+	// uncredited flits; see the package comment). wantOut records which
+	// output ports have at least one requester, so the output stage can
+	// skip the rest (their grantless picks would not move the arbiters).
+	var wantOut [topology.NumPorts]bool
 	for p := 0; p < topology.NumPorts; p++ {
 		r.cands[p] = cand{}
+		if r.heldAt[p] == 0 && len(r.esc[p]) == 0 {
+			continue
+		}
 		if e := r.esc[p]; len(e) > 0 && e[0].readyAt <= now {
 			f := e[0].f
 			out := r.mesh.DORNext(r.node, f.Dst)
 			if out == topology.Local || r.usableOut(f, out) {
 				r.cands[p] = cand{valid: true, escape: true, out: out}
+				wantOut[out] = true
 				continue
 			}
 			// Escape head blocked on credits; regular slots may still
@@ -39,7 +57,9 @@ func (r *Router) bufferedCycle(now uint64) {
 		})
 		if pick >= 0 {
 			f := r.in[p][pick].f
-			r.cands[p] = cand{valid: true, slot: pick, out: r.mesh.DORNext(r.node, f.Dst)}
+			out := r.mesh.DORNext(r.node, f.Dst)
+			r.cands[p] = cand{valid: true, slot: pick, out: out}
+			wantOut[out] = true
 		}
 	}
 
@@ -47,6 +67,9 @@ func (r *Router) bufferedCycle(now uint64) {
 	// ejection port, like every router kind).
 	for o := 0; o < topology.NumPorts; o++ {
 		out := topology.Dir(o)
+		if !wantOut[out] {
+			continue
+		}
 		grants := 1
 		if out == topology.Local {
 			grants = r.ejectWidth
@@ -74,12 +97,15 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 		f = r.esc[in][0].f
 		copy(r.esc[in], r.esc[in][1:])
 		r.esc[in] = r.esc[in][:len(r.esc[in])-1]
+		r.held--
 		// Escape entries are outside the credited SRAM: no credit is
 		// returned upstream for them.
 	} else {
 		sl := &r.in[in][c.slot]
 		f = sl.f
 		sl.f = nil
+		r.held--
+		r.heldAt[in]--
 		if r.meter != nil {
 			r.meter.BufRead()
 		}
@@ -138,6 +164,8 @@ func (r *Router) bufferedInject(now uint64) {
 		r.injectedFlits++
 		f.VC = s
 		r.in[topology.Local][s] = slot{f: f, readyAt: now + 1}
+		r.held++
+		r.heldAt[topology.Local]++
 		if r.meter != nil {
 			r.meter.BufWrite()
 		}

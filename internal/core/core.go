@@ -159,6 +159,17 @@ type Router struct {
 
 	cands [topology.NumPorts]cand
 
+	// held counts flits currently in SRAM slots and escape latches
+	// (maintained at the enqueue/dequeue sites) so quiescence, drain and
+	// reverse-switch buffer-empty checks are O(1).
+	held int
+	// heldAt counts the occupied SRAM slots per input port, letting the
+	// buffered-cycle input stage skip the slot scan of empty ports (a
+	// grantless arbitration pick would not have moved the pointer).
+	heldAt [topology.NumPorts]int
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
+
 	dispatched int // flits dispatched this cycle (intensity metric)
 	// misrouteTripped records that a flit crossed the misroute threshold
 	// this cycle (rejected-policy ablation only).
@@ -233,6 +244,7 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 		r.outArb[p] = router.NewRoundRobin(topology.NumPorts)
 	}
 	r.injArb = router.NewRoundRobin(flit.NumVNs)
+	r.srcCount, _ = src.(router.QueuedCounter)
 
 	if opts.AlwaysBuffered {
 		r.mode = ModeBuffered
@@ -283,21 +295,89 @@ func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
 func (r *Router) Intensity() float64 { return r.monitor.Value() }
 
 // BufferedFlits returns flits currently in SRAM slots and escape latches.
-func (r *Router) BufferedFlits() int {
-	n := 0
-	for p := range r.in {
-		for s := range r.in[p] {
-			if r.in[p][s].f != nil {
-				n++
-			}
-		}
-		n += len(r.esc[p])
-	}
-	return n
-}
+func (r *Router) BufferedFlits() int { return r.held }
 
 // LatchedFlits returns flits currently in bless-mode pipeline latches.
 func (r *Router) LatchedFlits() int { return len(r.latches) }
+
+// Quiescent implements the kernel's active-set contract (sim.Quiescer).
+// An AFC router may be skipped only when ticking is a provable no-op
+// beyond the per-cycle bookkeeping FastForward replays:
+//
+//   - No flit is held (SRAM, escape latches, pipeline latches), in
+//     flight toward this router, or awaiting injection, and no credit or
+//     control notification is in flight either — any of those is a wake
+//     edge the pipe counters expose.
+//   - The mode cannot change on its own. ModeSwitching always ticks (a
+//     transition is completing). An adaptive ModeBuffered router always
+//     ticks too: its EWMA decay is what triggers the reverse switch.
+//   - An adaptive ModeBless router additionally requires its 4-cycle
+//     window to be all-zero: Observe(0) moves the EWMA toward the window
+//     average, so with stale nonzero window entries the EWMA could still
+//     climb across the forward-switch threshold during idle cycles. With
+//     a clear window the EWMA decays monotonically, and the last
+//     decideMode already proved it at or below the threshold (under the
+//     misroute-threshold ablation policy the EWMA is not consulted at
+//     all, and neither the misroute trip nor gossip can fire without
+//     traffic). Gossip state is frozen while no credits or control
+//     notifications arrive.
+func (r *Router) Quiescent(now uint64) bool {
+	if r.held != 0 || len(r.latches) != 0 {
+		return false
+	}
+	switch r.mode {
+	case ModeSwitching:
+		return false
+	case ModeBuffered:
+		if !r.alwaysBuffered {
+			return false
+		}
+	case ModeBless:
+		if r.misrouteThreshold == 0 && !r.monitor.WindowClear() {
+			return false
+		}
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := &r.wires.Ports[d]
+		if pl.In != nil && pl.In.InFlight() != 0 {
+			return false
+		}
+		if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
+			return false
+		}
+		if pl.CtrlIn != nil && pl.CtrlIn.InFlight() != 0 {
+			return false
+		}
+	}
+	if r.srcCount != nil {
+		return r.srcCount.QueuedFlits() == 0
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		if r.src.Peek(vn) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForward applies k skipped idle cycles (sim.Quiescer): static
+// energy, mode duty-cycle accounting, and the intensity monitor's
+// Observe(0) sequence, replayed bit-for-bit. On the backpressureless
+// datapath each idle tick also rotates the injection arbiter by one (its
+// Pick predicate is always true) and zeroes the idle injection registers
+// via armInjection's empty-queue branch; the buffered datapath's
+// injection touches neither.
+func (r *Router) FastForward(k uint64) {
+	if r.meter != nil {
+		r.meter.StaticTicks(k)
+	}
+	r.modeCycles[r.mode] += k
+	r.monitor.ObserveIdle(k)
+	if r.mode != ModeBuffered {
+		r.injArb.Advance(k)
+		r.injArmedAt = [flit.NumVNs]uint64{}
+	}
+}
 
 // Credits exposes the tracked free-slot count of the neighbor on d for vn
 // (invariant tests).
@@ -449,6 +529,8 @@ func (r *Router) receive(now uint64) {
 			// Lazy VC allocation: the buffer write assigns the VC.
 			f.VC = s
 			r.in[d][s] = slot{f: f, readyAt: now + 1}
+			r.held++
+			r.heldAt[d]++
 			if r.meter != nil {
 				r.meter.BufWrite()
 			}

@@ -99,16 +99,4 @@ func (r *Router) notifyNeighbors(now uint64, c link.Ctrl) {
 }
 
 // buffersEmpty reports whether every SRAM slot and escape latch is free.
-func (r *Router) buffersEmpty() bool {
-	for p := range r.in {
-		if len(r.esc[p]) > 0 {
-			return false
-		}
-		for s := range r.in[p] {
-			if r.in[p][s].f != nil {
-				return false
-			}
-		}
-	}
-	return true
-}
+func (r *Router) buffersEmpty() bool { return r.held == 0 }

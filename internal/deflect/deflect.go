@@ -60,6 +60,9 @@ type Router struct {
 	// 2-cycle router pipeline as network flits.
 	injArmedAt [flit.NumVNs]uint64
 
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
+
 	// Stats
 	routedFlits  uint64
 	deflections  uint64
@@ -73,7 +76,7 @@ func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
 	ejectWidth int, rng *rand.Rand, wires router.Wires, src router.LocalSource,
 	sink router.LocalSink, meter *energy.Meter) *Router {
 
-	return &Router{
+	r := &Router{
 		mesh:       mesh,
 		node:       node,
 		wires:      wires,
@@ -84,6 +87,8 @@ func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
 		injArb:     router.NewRoundRobin(flit.NumVNs),
 		ejectWidth: ejectWidth,
 	}
+	r.srcCount, _ = src.(router.QueuedCounter)
+	return r
 }
 
 // Node implements router.Router.
@@ -243,6 +248,48 @@ func (r *Router) receive(now uint64) {
 			}
 		}
 	}
+}
+
+// Quiescent implements the kernel's active-set contract (sim.Quiescer):
+// ticking is a provable no-op when no flit is latched, in flight toward
+// this router, or awaiting injection. Deflection routers use neither
+// credits nor the control line, so data pipes are the only wake source.
+// An idle tick draws no randomness (Assign returns early on an empty
+// flit set) and mutates only the meter, the injection round-robin
+// pointer, and the idle injection registers — all replayed exactly by
+// FastForward.
+func (r *Router) Quiescent(now uint64) bool {
+	if len(r.latches) != 0 {
+		return false
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := &r.wires.Ports[d]
+		if pl.In != nil && pl.In.InFlight() != 0 {
+			return false
+		}
+	}
+	if r.srcCount != nil {
+		return r.srcCount.QueuedFlits() == 0
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		if r.src.Peek(vn) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForward applies k skipped idle cycles (sim.Quiescer). Each idle
+// tick accrues static energy, rotates the injection arbiter by one (its
+// Pick predicate is always true), and zeroes every idle VN's injection
+// register via armInjection's empty-queue branch — the register is
+// already zero after the first idle cycle, so zeroing now is exact.
+func (r *Router) FastForward(k uint64) {
+	if r.meter != nil {
+		r.meter.StaticTicks(k)
+	}
+	r.injArb.Advance(k)
+	r.injArmedAt = [flit.NumVNs]uint64{}
 }
 
 // LatchedFlits returns the number of flits currently held in pipeline

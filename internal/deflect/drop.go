@@ -42,6 +42,9 @@ type DropRouter struct {
 	prod       []topology.Dir
 	injArmedAt [flit.NumVNs]uint64
 
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
+
 	// Stats
 	routedFlits  uint64
 	droppedFlits uint64
@@ -53,7 +56,7 @@ func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand
 	wires router.Wires, src router.LocalSource, sink router.LocalSink,
 	meter *energy.Meter, nack Nacker) *DropRouter {
 
-	return &DropRouter{
+	r := &DropRouter{
 		mesh:       mesh,
 		node:       node,
 		wires:      wires,
@@ -65,6 +68,8 @@ func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand
 		injArb:     router.NewRoundRobin(flit.NumVNs),
 		ejectWidth: ejectWidth,
 	}
+	r.srcCount, _ = src.(router.QueuedCounter)
+	return r
 }
 
 // Node implements router.Router.
@@ -78,6 +83,43 @@ func (r *DropRouter) RoutedFlits() uint64 { return r.routedFlits }
 
 // LatchedFlits returns the number of flits currently in pipeline latches.
 func (r *DropRouter) LatchedFlits() int { return len(r.latches) }
+
+// Quiescent implements the kernel's active-set contract (sim.Quiescer);
+// see Router.Quiescent — the drop variant has the same wake sources
+// (data pipes and the injection queue; retransmissions enqueue into the
+// NI queue, so NACK wakeups arrive through the source check). An idle
+// tick draws no randomness: rand.Shuffle over zero latched flits makes
+// no swaps and no calls into the generator.
+func (r *DropRouter) Quiescent(now uint64) bool {
+	if len(r.latches) != 0 {
+		return false
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := &r.wires.Ports[d]
+		if pl.In != nil && pl.In.InFlight() != 0 {
+			return false
+		}
+	}
+	if r.srcCount != nil {
+		return r.srcCount.QueuedFlits() == 0
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		if r.src.Peek(vn) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForward applies k skipped idle cycles (sim.Quiescer); see
+// Router.FastForward — identical idle-tick side effects.
+func (r *DropRouter) FastForward(k uint64) {
+	if r.meter != nil {
+		r.meter.StaticTicks(k)
+	}
+	r.injArb.Advance(k)
+	r.injArmedAt = [flit.NumVNs]uint64{}
+}
 
 // ForEachFlit calls fn for every flit currently latched in this router
 // (invariant checker's conservation and age scans).

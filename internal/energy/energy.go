@@ -211,6 +211,16 @@ func (m *Meter) StaticTick() {
 	m.acc.RouterStatic += m.p.RouterLeakPerCycle * m.widthScale
 }
 
+// StaticTicks accrues k cycles of leakage, bit-for-bit identical to k
+// StaticTick calls (a literal loop, not closed-form multiplication, so
+// float rounding matches the dense reference kernel exactly). Used by
+// the active-set kernel to fast-forward skipped idle cycles.
+func (m *Meter) StaticTicks(k uint64) {
+	for ; k > 0; k-- {
+		m.StaticTick()
+	}
+}
+
 // Breakdown returns the accumulated energy.
 func (m *Meter) Breakdown() Breakdown { return m.acc }
 

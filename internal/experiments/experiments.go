@@ -49,6 +49,11 @@ type Options struct {
 	// purely observational — results are bit-for-bit identical with or
 	// without it.
 	Obs *obs.Observer
+	// Dense builds every network with the dense reference kernel
+	// (network.Config.DenseKernel): every ticker runs every cycle instead
+	// of active-set scheduling. Results are bit-for-bit identical either
+	// way; the flag exists for equivalence tests and benchmark baselines.
+	Dense bool
 }
 
 // newNetwork builds one cell's network, attaching an invariant checker
@@ -56,6 +61,7 @@ type Options struct {
 // metrics. Each cell owns its attachments, so observed runs parallelize
 // exactly like plain ones.
 func (o Options) newNetwork(cfg network.Config) *network.Network {
+	cfg.DenseKernel = cfg.DenseKernel || o.Dense
 	net := network.New(cfg)
 	if o.Check {
 		check.Attach(net)

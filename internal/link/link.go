@@ -19,9 +19,14 @@ import (
 // Pipe is a single-value-per-cycle channel with a fixed latency of at
 // least one cycle.
 type Pipe[T any] struct {
-	lat      int
+	lat int
+	// mask is len(vals)-1 when the ring size is a power of two (every
+	// latency-1 pipe), letting slot() avoid a hardware divide on the
+	// hottest call in the simulator; -1 otherwise.
+	mask     int
 	vals     []T
 	occupied []bool
+	inflight int
 	sends    uint64
 }
 
@@ -31,10 +36,16 @@ func NewPipe[T any](lat int) *Pipe[T] {
 	if lat < 1 {
 		panic(fmt.Sprintf("link: pipe latency must be >= 1, got %d", lat))
 	}
+	n := lat + 1
+	mask := -1
+	if n&(n-1) == 0 {
+		mask = n - 1
+	}
 	return &Pipe[T]{
 		lat:      lat,
-		vals:     make([]T, lat+1),
-		occupied: make([]bool, lat+1),
+		mask:     mask,
+		vals:     make([]T, n),
+		occupied: make([]bool, n),
 	}
 }
 
@@ -46,6 +57,9 @@ func (p *Pipe[T]) Latency() int { return p.lat }
 func (p *Pipe[T]) Sends() uint64 { return p.sends }
 
 func (p *Pipe[T]) slot(cycle uint64) int {
+	if p.mask >= 0 {
+		return int(cycle) & p.mask
+	}
 	return int(cycle % uint64(len(p.vals)))
 }
 
@@ -65,6 +79,7 @@ func (p *Pipe[T]) Send(now uint64, v T) {
 	}
 	p.vals[s] = v
 	p.occupied[s] = true
+	p.inflight++
 	p.sends++
 }
 
@@ -81,6 +96,7 @@ func (p *Pipe[T]) Recv(now uint64) (T, bool) {
 	var zero T
 	p.vals[s] = zero
 	p.occupied[s] = false
+	p.inflight--
 	return v, true
 }
 
@@ -94,17 +110,13 @@ func (p *Pipe[T]) Peek(now uint64) (T, bool) {
 	return p.vals[s], true
 }
 
-// InFlight counts values currently traveling in the pipe at cycle now
-// (sent but not yet received).
-func (p *Pipe[T]) InFlight() int {
-	n := 0
-	for _, occ := range p.occupied {
-		if occ {
-			n++
-		}
-	}
-	return n
-}
+// InFlight counts values currently traveling in the pipe (sent but not
+// yet received). O(1): routers consult it every cycle to decide
+// quiescence. A value that is never received stays counted — receivers
+// must poll every cycle while the pipe is occupied (all routers do; the
+// quiescence contract itself guarantees a router with occupied input
+// pipes keeps ticking).
+func (p *Pipe[T]) InFlight() int { return p.inflight }
 
 // AppendInFlight appends the values currently traveling in the pipe
 // (sent but not yet received) to buf and returns it. Slot order, not

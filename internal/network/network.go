@@ -99,6 +99,11 @@ type Config struct {
 	// cumulative-misroute policy instead of local contention thresholds
 	// (ablation A7; see core.Options.MisrouteThreshold).
 	MisrouteThreshold int
+	// DenseKernel disables active-set scheduling: every ticker runs every
+	// cycle, as the original reference kernel did. Results are bit-for-bit
+	// identical either way; the dense path exists as the baseline for
+	// equivalence tests and benchmarks (see also DenseEnvVar).
+	DenseKernel bool
 }
 
 // Network is a fully wired mesh NoC.
@@ -189,10 +194,12 @@ func (n *Network) build() {
 		n.meters[node] = meter
 		n.routers[node] = n.newRouter(node, wires[node], meter)
 	}
-	for _, r := range n.routers {
-		n.kernel.Register(r)
-	}
-	n.kernel.Register(sim.TickFunc(n.houseKeep))
+	// One bank entry + housekeeping + a handful of AddTicker clients
+	// (generator or CMP, probe, checker, observer).
+	n.kernel.Reserve(8)
+	n.kernel.SetDense(n.cfg.DenseKernel)
+	n.registerRouterBank()
+	n.kernel.Register(&houseKeeper{n: n})
 }
 
 func (n *Network) newMeter() *energy.Meter {

@@ -76,8 +76,9 @@ func (p *pending) mark(seq int) bool {
 type NI struct {
 	node topology.NodeID
 
-	nextPkt uint64
-	queues  [flit.NumVNs][]*flit.Flit
+	nextPkt     uint64
+	queues      [flit.NumVNs][]*flit.Flit
+	queuedFlits int // total across all VN queues, maintained O(1)
 
 	reassembly map[uint64]pending
 	handler    Handler
@@ -190,7 +191,9 @@ func (n *NI) SendPacket(now uint64, dst topology.NodeID, vn flit.VN, length int,
 }
 
 func (n *NI) enqueue(p flit.Packet) {
-	n.queues[p.VN] = append(n.queues[p.VN], p.Flits()...)
+	fs := p.Flits()
+	n.queues[p.VN] = append(n.queues[p.VN], fs...)
+	n.queuedFlits += len(fs)
 }
 
 // RetransmitStatus reports the outcome of a Retransmit call.
@@ -230,6 +233,7 @@ func (n *NI) Retransmit(now uint64, packetID uint64) RetransmitStatus {
 	}
 	n.queued[packetID] = p.Len
 	n.queues[p.VN] = append(n.queues[p.VN], fs...)
+	n.queuedFlits += len(fs)
 	return Retransmitted
 }
 
@@ -263,6 +267,7 @@ func (n *NI) Pop(vn flit.VN) *flit.Flit {
 	// Slide instead of re-slicing so the backing array is reused.
 	copy(q, q[1:])
 	n.queues[vn] = q[:len(q)-1]
+	n.queuedFlits--
 	if n.retain {
 		if c := n.queued[f.PacketID]; c > 0 {
 			n.queued[f.PacketID] = c - 1
@@ -357,22 +362,23 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 // SampleQueues records the current injection-queue occupancy (called once
 // per cycle by the network for average-occupancy stats).
 func (n *NI) SampleQueues() {
-	total := 0
-	for vn := range n.queues {
-		total += len(n.queues[vn])
-	}
-	n.queueLenSum += uint64(total)
+	n.queueLenSum += uint64(n.queuedFlits)
 	n.queueLenSamples++
 }
 
-// QueueLen returns the flits currently waiting for injection.
-func (n *NI) QueueLen() int {
-	total := 0
-	for vn := range n.queues {
-		total += len(n.queues[vn])
-	}
-	return total
+// SampleQueuesIdle records k consecutive empty-queue samples, identical
+// to k SampleQueues calls with nothing queued. The active-set kernel
+// uses it to fast-forward skipped housekeeping cycles.
+func (n *NI) SampleQueuesIdle(k uint64) {
+	n.queueLenSamples += k
 }
+
+// QueueLen returns the flits currently waiting for injection.
+func (n *NI) QueueLen() int { return n.queuedFlits }
+
+// QueuedFlits implements router.QueuedCounter: the O(1) total of flits
+// waiting for injection across all virtual networks.
+func (n *NI) QueuedFlits() int { return n.queuedFlits }
 
 // MeanQueueLen returns the average sampled injection-queue occupancy.
 func (n *NI) MeanQueueLen() float64 {

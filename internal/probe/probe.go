@@ -101,6 +101,21 @@ func (p *Probe) Tick(now uint64) {
 	}
 }
 
+// Quiescent implements sim.Quiescer: ticking between sample stamps is a
+// pure no-op. Sample cycles themselves must run Tick — metrics read live
+// network state and the kernel only fast-forwards across cycles where the
+// whole system is provably frozen, so the sampled values are identical to
+// the dense kernel's.
+func (p *Probe) Quiescent(now uint64) bool { return now%p.interval != 0 }
+
+// FastForward implements sim.Quiescer (no state to advance).
+func (p *Probe) FastForward(cycles uint64) {}
+
+// NextWake implements sim.Sleeper: the next sample stamp.
+func (p *Probe) NextWake(now uint64) (uint64, bool) {
+	return now + (p.interval - now%p.interval), true
+}
+
 // WriteCSV emits all series as CSV: a cycle column plus one column per
 // metric. Rows cover the union of sample stamps across series, and each
 // value is placed on the row matching its own At stamp, so a metric

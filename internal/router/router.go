@@ -93,3 +93,20 @@ func (r *RoundRobin) Pick(ok func(i int) bool) int {
 	}
 	return -1
 }
+
+// Advance rotates the pointer as if k consecutive always-granting Pick
+// calls had run — each grants the slot at the pointer and moves it one
+// position. The deflection routers arbitrate injection with an
+// always-true predicate every cycle, so the active-set kernel replays k
+// skipped idle cycles with Advance(k).
+func (r *RoundRobin) Advance(k uint64) {
+	r.next = int((uint64(r.next) + k%uint64(r.n)) % uint64(r.n))
+}
+
+// QueuedCounter is implemented by local sources that can report their
+// total queued flits in O(1) (the network interface does). Routers use
+// it to cheapen the per-cycle quiescence check; they fall back to
+// per-VN Peek calls for sources that do not implement it.
+type QueuedCounter interface {
+	QueuedFlits() int
+}

@@ -5,6 +5,25 @@
 // All inter-component communication in the simulator flows through latched
 // links (package link), so components registered with a Kernel may be
 // ticked in any order within a cycle without changing results.
+//
+// # Active-set scheduling
+//
+// The kernel understands an optional Quiescent contract: a Ticker that
+// also implements Quiescer tells the kernel when ticking it would be a
+// provable no-op, and the kernel skips it, calling FastForward instead to
+// apply whatever per-cycle bookkeeping an idle tick still performs
+// (static-energy accrual, EWMA decay, sample counters). Skipped
+// components re-arm through wake edges: quiescence is defined over the
+// component's observable inputs (link pipes, injection queues), so any
+// write into those inputs makes the next Quiescent call return false.
+// When every registered ticker is quiescent at once the simulation state
+// is provably frozen, and Run/RunUntil jump the clock to the next wake
+// time (Sleeper) or the end of the run in one step.
+//
+// The contract is exact, not approximate: a skipped cycle must leave the
+// component in the bit-identical state a real Tick would have, so active-
+// set runs produce bit-for-bit the same results as dense runs. SetDense
+// keeps the dense reference kernel available behind a flag.
 package sim
 
 import (
@@ -37,50 +56,195 @@ type TickFunc func(now uint64)
 // Tick implements Ticker.
 func (f TickFunc) Tick(now uint64) { f(now) }
 
+// Quiescer is an optional refinement of Ticker for components that can
+// prove a tick would be a no-op. The contract is strict:
+//
+//   - Quiescent(now) may return true only when Tick(now) would leave the
+//     component bit-identical to FastForward(1) — no flits anywhere, no
+//     pending input (link pipes, credits, control lines, injection
+//     queues), no mode or smoothing state about to change on its own,
+//     and no random-number draws.
+//   - FastForward(k) applies exactly the state k consecutive idle ticks
+//     would have produced (static energy, EWMA decay, idle counters,
+//     arbiter rotation). It must compose: FastForward(a) then
+//     FastForward(b) equals FastForward(a+b), and both equal k idle
+//     Ticks bit for bit.
+//
+// A component whose quiescence can expire with time alone (scheduled
+// retransmissions, periodic sampling) must also implement Sleeper, or
+// the whole-simulation fast-forward could jump past its wake cycle.
+type Quiescer interface {
+	Ticker
+	Quiescent(now uint64) bool
+	FastForward(cycles uint64)
+}
+
+// Sleeper is an optional refinement of Quiescer for components that are
+// quiescent now but know the future cycle at which they next need to
+// tick (a due retransmission, the next probe sample, the next trace
+// event). NextWake returns that cycle; ok=false means the component
+// stays quiescent until an external wake edge. The contract: while the
+// component's inputs stay frozen, Quiescent(t) must hold for every
+// t < wake.
+type Sleeper interface {
+	Quiescer
+	NextWake(now uint64) (wake uint64, ok bool)
+}
+
+// entry is one registered ticker with its cached capability assertions
+// (done once at Register so Step performs no per-cycle type asserts).
+type entry struct {
+	t Ticker
+	q Quiescer // nil if t does not implement Quiescer
+	s Sleeper  // nil if t does not implement Sleeper
+}
+
 // Kernel owns the clock and the ordered set of tickers making up a
 // simulation. Components are ticked in registration order; determinism is
 // guaranteed because all cross-component state is latched in links.
 type Kernel struct {
 	clock   Clock
-	tickers []Ticker
+	entries []entry
+	dense   bool
 }
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel { return &Kernel{} }
 
 // Register adds a ticker to the kernel. Registration order is the tick
-// order within a cycle.
-func (k *Kernel) Register(t Ticker) { k.tickers = append(k.tickers, t) }
+// order within a cycle. Quiescer/Sleeper implementations are detected
+// here, once, so the per-cycle loop is assertion-free.
+func (k *Kernel) Register(t Ticker) {
+	e := entry{t: t}
+	if q, ok := t.(Quiescer); ok {
+		e.q = q
+	}
+	if s, ok := t.(Sleeper); ok {
+		e.s = s
+	}
+	k.entries = append(k.entries, e)
+}
+
+// Reserve pre-sizes the ticker registry for n registrations, avoiding
+// append growth during network construction.
+func (k *Kernel) Reserve(n int) {
+	if cap(k.entries)-len(k.entries) >= n {
+		return
+	}
+	grown := make([]entry, len(k.entries), len(k.entries)+n)
+	copy(grown, k.entries)
+	k.entries = grown
+}
+
+// SetDense selects the dense reference kernel: every ticker runs every
+// cycle and Quiescent is never consulted. Results are bit-for-bit
+// identical either way; dense mode exists as the trusted baseline the
+// active-set path is regression-tested against.
+func (k *Kernel) SetDense(dense bool) { k.dense = dense }
+
+// Dense reports whether the dense reference kernel is selected.
+func (k *Kernel) Dense() bool { return k.dense }
 
 // Now returns the current cycle.
 func (k *Kernel) Now() uint64 { return k.clock.Now() }
 
 // Step runs one cycle: every registered ticker runs at the current time,
-// then the clock advances.
-func (k *Kernel) Step() {
+// then the clock advances. Quiescent tickers are skipped (fast-forwarded
+// by one cycle) unless the kernel is in dense mode.
+func (k *Kernel) Step() { k.step() }
+
+// step is Step, additionally reporting whether every ticker was skipped
+// as quiescent — in which case no component performed any work, so the
+// simulation state is provably frozen and the caller may jump the clock.
+func (k *Kernel) step() bool {
 	now := k.clock.Now()
-	for _, t := range k.tickers {
-		t.Tick(now)
+	idle := true
+	for i := range k.entries {
+		e := &k.entries[i]
+		if e.q != nil && !k.dense && e.q.Quiescent(now) {
+			// FastForward eagerly (per cycle, not batched) so that any
+			// state read between steps — predicates, probes, stats —
+			// always sees fully up-to-date counters.
+			e.q.FastForward(1)
+			continue
+		}
+		idle = false
+		e.t.Tick(now)
 	}
 	k.clock.Tick()
+	return idle
+}
+
+// nextWake returns the earliest future cycle any Sleeper reports needing
+// to tick, if one exists. Only meaningful while all tickers are
+// quiescent (otherwise wake edges can occur at any cycle).
+func (k *Kernel) nextWake(now uint64) (uint64, bool) {
+	var wake uint64
+	have := false
+	for i := range k.entries {
+		s := k.entries[i].s
+		if s == nil {
+			continue
+		}
+		if w, ok := s.NextWake(now); ok && (!have || w < wake) {
+			wake, have = w, true
+		}
+	}
+	return wake, have
+}
+
+// coast jumps the clock toward end while the simulation is frozen: the
+// caller just observed a fully quiescent step, so no state can change
+// until the earliest Sleeper wake. Every entry's FastForward covers the
+// jumped cycles, keeping per-cycle accounting exact.
+func (k *Kernel) coast(end uint64) {
+	now := k.clock.Now()
+	target := end
+	if w, ok := k.nextWake(now); ok && w < target {
+		target = w
+	}
+	if target <= now {
+		return
+	}
+	j := target - now
+	for i := range k.entries {
+		k.entries[i].q.FastForward(j)
+	}
+	k.clock.now += j
 }
 
 // Run executes n cycles.
 func (k *Kernel) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		k.Step()
+	end := k.clock.Now() + n
+	for k.clock.Now() < end {
+		if k.step() && !k.dense && k.clock.Now() < end {
+			k.coast(end)
+		}
 	}
 }
 
 // RunUntil steps the kernel until pred returns true or limit cycles have
 // elapsed, and reports whether pred was satisfied. pred is evaluated
 // before each step so a pre-satisfied predicate runs zero cycles.
+//
+// When every ticker is quiescent the simulation state is frozen, so pred
+// cannot change until the next wake edge; RunUntil then evaluates pred
+// once and jumps the clock to that wake (or the limit) instead of
+// re-evaluating an unchangeable predicate every cycle. Cycle-count
+// semantics are exact — the clock advances by precisely the cycles an
+// unsatisfied predicate would have run. pred must therefore be a
+// function of simulation state (packets, flits, queues, drain status),
+// not of the raw clock value or of per-cycle accrual counters such as
+// accumulated energy; every predicate in this repository qualifies.
 func (k *Kernel) RunUntil(pred func() bool, limit uint64) bool {
-	for i := uint64(0); i < limit; i++ {
+	end := k.clock.Now() + limit
+	for k.clock.Now() < end {
 		if pred() {
 			return true
 		}
-		k.Step()
+		if k.step() && !k.dense && k.clock.Now() < end {
+			k.coast(end)
+		}
 	}
 	return pred()
 }

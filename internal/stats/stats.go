@@ -51,6 +51,24 @@ func (m *IntensityMonitor) Observe(flits int) {
 	m.ewma = m.weight*m.ewma + (1-m.weight)*l
 }
 
+// ObserveIdle records k consecutive zero-flit cycles, bit-for-bit
+// identical to k Observe(0) calls (a literal replay of the window
+// rotation and EWMA update, so float rounding matches the dense
+// reference kernel exactly). Used by the active-set kernel to
+// fast-forward skipped idle cycles.
+func (m *IntensityMonitor) ObserveIdle(k uint64) {
+	for ; k > 0; k-- {
+		m.Observe(0)
+	}
+}
+
+// WindowClear reports whether every entry of the 4-cycle window is zero.
+// Once true, further Observe(0) calls can only decay the EWMA (the
+// window average is 0, so the EWMA moves monotonically toward 0) — the
+// condition AFC's quiescence check needs to rule out a threshold
+// crossing during skipped idle cycles.
+func (m *IntensityMonitor) WindowClear() bool { return m.window == [4]int{} }
+
 // Value returns the current smoothed traffic intensity in flits/cycle.
 func (m *IntensityMonitor) Value() float64 { return m.ewma }
 

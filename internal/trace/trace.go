@@ -183,3 +183,24 @@ func (r *Replayer) Tick(now uint64) {
 		r.net.NI(e.Src).SendPacket(now, e.Dst, e.VN, e.Len, e.Payload)
 	}
 }
+
+// Quiescent implements sim.Quiescer: nothing to inject before the next
+// event's stamp (or ever again, once the trace is exhausted). The first
+// Tick must run densely because it latches the start cycle.
+func (r *Replayer) Quiescent(now uint64) bool {
+	if !r.began {
+		return false
+	}
+	return r.Done() || r.start+r.trace.Events[r.next].At > now
+}
+
+// FastForward implements sim.Quiescer (no per-cycle state to advance).
+func (r *Replayer) FastForward(cycles uint64) {}
+
+// NextWake implements sim.Sleeper: the absolute cycle of the next event.
+func (r *Replayer) NextWake(now uint64) (uint64, bool) {
+	if !r.began || r.Done() {
+		return 0, false
+	}
+	return r.start + r.trace.Events[r.next].At, true
+}

@@ -176,6 +176,7 @@ type Generator struct {
 
 	offered uint64
 	stopped bool
+	maxRate float64
 }
 
 // NewGenerator returns a generator for net. Each node gets an independent
@@ -195,6 +196,15 @@ func NewGenerator(net *network.Network, cfg Config, seeds func() *rand.Rand) *Ge
 	}
 	for i := range g.rngs {
 		g.rngs[i] = seeds()
+	}
+	g.maxRate = cfg.Rate
+	if cfg.NodeRates != nil {
+		g.maxRate = 0
+		for _, r := range cfg.NodeRates {
+			if r > g.maxRate {
+				g.maxRate = r
+			}
+		}
 	}
 	return g
 }
@@ -218,6 +228,17 @@ func (g *Generator) OfferedFlits() uint64 { return g.offered }
 
 // Stop halts further packet generation (drain phases of experiments).
 func (g *Generator) Stop() { g.stopped = true }
+
+// Quiescent implements sim.Quiescer: an active generator draws randomness
+// for every node every cycle, so it is quiescent only once stopped (or
+// configured with no positive rate). This is what makes drain phases
+// skippable by the active-set kernel.
+func (g *Generator) Quiescent(now uint64) bool { return g.stopped || g.maxRate <= 0 }
+
+// FastForward implements sim.Quiescer. A quiescent generator's Tick is a
+// pure no-op (it returns before touching any RNG), so there is nothing to
+// batch-advance.
+func (g *Generator) FastForward(cycles uint64) {}
 
 // Tick implements sim.Ticker: per node, create a packet with probability
 // rate/meanLen, so offered load in flits matches the configured rate.

@@ -86,6 +86,16 @@ type Router struct {
 
 	cands [topology.NumPorts]candidate
 
+	// held counts flits currently in the input buffers (maintained at the
+	// enqueue/dequeue sites) so quiescence and drain checks are O(1).
+	held int
+	// heldAt counts the buffered flits per input port, letting allocate
+	// skip the VC scan on empty ports (a grantless Pick would not move
+	// the arbiter).
+	heldAt [topology.NumPorts]int
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
+
 	// Stats
 	routedFlits   uint64
 	injectedFlits uint64
@@ -132,6 +142,7 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
 	for vn := range r.injVC {
 		r.injVC[vn] = flit.NoVC
 	}
+	r.srcCount, _ = src.(router.QueuedCounter)
 	return r
 }
 
@@ -149,8 +160,16 @@ func (r *Router) Tick(now uint64) {
 		r.meter.StaticTick()
 	}
 	r.receiveCredits(now)
-	r.allocate(now)
-	r.transmit(now)
+	// With no buffered flit there is no switch candidate: eligible() is
+	// false for every VC, so allocate/transmit could only run grantless
+	// arbitration picks, which leave the round-robin pointers untouched.
+	// Skipping both stages is therefore bit-for-bit identical and removes
+	// the dominant cost of near-idle cycles (arrivals still in flight on
+	// the pipes keep the router from full quiescence).
+	if r.held != 0 {
+		r.allocate(now)
+		r.transmit(now)
+	}
 	r.inject(now)
 	r.receive(now)
 }
@@ -177,6 +196,12 @@ func (r *Router) receiveCredits(now uint64) {
 func (r *Router) allocate(now uint64) {
 	for p := 0; p < topology.NumPorts; p++ {
 		r.cands[p] = candidate{}
+		if r.heldAt[p] == 0 {
+			// Every VC queue at this port is empty, so eligible() is false
+			// for all of them and the Pick would be grantless: skipping it
+			// is exact.
+			continue
+		}
 		vcs := r.in[p]
 		pick := r.inArb[p].Pick(func(v int) bool {
 			return r.eligible(now, topology.Dir(p), v)
@@ -269,8 +294,19 @@ func (r *Router) allocVC(out topology.Dir, vn flit.VN) int {
 // output) port is EjectWidth flits wide: short NI-side wiring makes a
 // wider ejection path cheap, and receive-side buffering always accepts.
 func (r *Router) transmit(now uint64) {
+	// Output ports that no candidate requests can only run grantless picks,
+	// which leave the round-robin pointers untouched; skip them.
+	var wantOut [topology.NumPorts]bool
+	for p := 0; p < topology.NumPorts; p++ {
+		if c := r.cands[p]; c.valid {
+			wantOut[c.out] = true
+		}
+	}
 	for o := 0; o < topology.NumPorts; o++ {
 		out := topology.Dir(o)
+		if !wantOut[out] {
+			continue
+		}
 		grants := 1
 		if out == topology.Local {
 			grants = r.ejectWidth
@@ -294,6 +330,8 @@ func (r *Router) sendWinner(now uint64, in, out topology.Dir) {
 	f := vc.q[0].f
 	copy(vc.q, vc.q[1:])
 	vc.q = vc.q[:len(vc.q)-1]
+	r.held--
+	r.heldAt[in]--
 	c.valid = false
 	r.routedFlits++
 	if r.meter != nil {
@@ -375,6 +413,8 @@ func (r *Router) inject(now uint64) {
 			f.InjectedAt = now
 		}
 		vc.q = append(vc.q, entry{f: f, readyAt: now + 1})
+		r.held++
+		r.heldAt[topology.Local]++
 		r.injectedFlits++
 		if r.meter != nil {
 			r.meter.BufWrite()
@@ -424,23 +464,56 @@ func (r *Router) receive(now uint64) {
 			panic(fmt.Sprintf("vcrouter %d: buffer overflow on %s vc %d (flit %v)", r.node, d, f.VC, f))
 		}
 		vc.q = append(vc.q, entry{f: f, readyAt: now + 1})
+		r.held++
+		r.heldAt[d]++
 		if r.meter != nil {
 			r.meter.BufWrite()
 		}
 	}
 }
 
-// BufferedFlits returns the number of flits currently held in this
-// router's input buffers (drain checks and credit-conservation tests).
-func (r *Router) BufferedFlits() int {
-	n := 0
-	for p := range r.in {
-		for v := range r.in[p] {
-			n += len(r.in[p][v].q)
+// Quiescent implements the kernel's active-set contract (sim.Quiescer):
+// ticking is a provable no-op when the router buffers no flits, no flit
+// or credit is in flight toward it, and its NI offers nothing to
+// inject. An idle tick's only side effect is the static-energy accrual
+// FastForward reproduces — arbitration picks without an eligible
+// candidate do not advance any round-robin pointer. (The control line
+// is not part of the check because this router never reads it.)
+func (r *Router) Quiescent(now uint64) bool {
+	if r.held != 0 {
+		return false
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		pl := &r.wires.Ports[d]
+		if pl.In != nil && pl.In.InFlight() != 0 {
+			return false
+		}
+		if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
+			return false
 		}
 	}
-	return n
+	if r.srcCount != nil {
+		return r.srcCount.QueuedFlits() == 0
+	}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		if r.src.Peek(vn) != nil {
+			return false
+		}
+	}
+	return true
 }
+
+// FastForward applies k skipped idle cycles (sim.Quiescer): an idle tick
+// mutates nothing but the static-energy meter.
+func (r *Router) FastForward(k uint64) {
+	if r.meter != nil {
+		r.meter.StaticTicks(k)
+	}
+}
+
+// BufferedFlits returns the number of flits currently held in this
+// router's input buffers (drain checks and credit-conservation tests).
+func (r *Router) BufferedFlits() int { return r.held }
 
 // Credits returns the current credit count for output port d, VC v
 // (exposed for invariant tests).
