@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench-json bench-smoke fuzz-smoke obs-smoke cover ci
+.PHONY: build vet test race race-equality bench-json bench-smoke fuzz-smoke obs-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The two bit-for-bit equivalence gates under the race detector: the
+# active-set kernel against the dense reference, and the pooled memory
+# engine (arena recycling + cross-cell network reuse) against the
+# no-pool reference — each serial and 8-way parallel with the invariant
+# checker attached. `race` already covers them via ./...; this target
+# exists so CI names them explicitly and a -short or cached run cannot
+# skip them.
+race-equality:
+	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool)$$' ./internal/experiments
+
 # Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
 # and allocs/op plus low-load vs saturation cell wall times (minimum of
 # -runs repetitions). The checked-in snapshots are the repo's perf
@@ -23,8 +33,9 @@ bench-json:
 
 # One-iteration pass over a closed-loop benchmark (catches harness
 # regressions without paying for a full measurement run), then a
-# reduced benchjson measurement compared warn-only against the newest
-# recorded BENCH_<n>.json snapshot.
+# reduced benchjson measurement compared against the newest recorded
+# BENCH_<n>.json snapshot: wall-clock deltas warn, allocation
+# regressions fail the target.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=Fig2a -benchtime=1x .
 	$(GO) run ./cmd/benchjson -smoke
@@ -61,4 +72,4 @@ cover:
 	base=$$(cat coverage-baseline.txt); \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
 
-ci: build vet race bench-smoke fuzz-smoke obs-smoke cover
+ci: build vet race race-equality bench-smoke fuzz-smoke obs-smoke cover

@@ -23,9 +23,12 @@
 //	                             # newest BENCH_*.json (CI bench-smoke gate)
 //
 // -smoke performs a benchstat-style threshold comparison against the
-// recorded baseline: each metric's delta is printed, regressions beyond
-// the threshold are flagged as warnings, and the exit status stays zero
-// (warn-only) — only harness errors fail the run.
+// recorded baseline: each metric's delta is printed. Wall-clock
+// regressions beyond the threshold are flagged as warnings (warn-only —
+// shared machines make wall time noisy), but allocation regressions
+// (allocs/op, per-cell heap bytes) FAIL the run with a non-zero exit:
+// the steady state is zero-allocation by construction, so any growth is
+// a real leak of the pooling discipline, not noise.
 package main
 
 import (
@@ -54,6 +57,7 @@ type Snapshot struct {
 	Label     string `json:"label,omitempty"`
 	GoVersion string `json:"goVersion"`
 	Dense     bool   `json:"denseKernel"`
+	NoPool    bool   `json:"noPool"`
 	Runs      int    `json:"runs"`
 
 	Kernel struct {
@@ -61,12 +65,24 @@ type Snapshot struct {
 		StepAllocsPerOp        float64 `json:"stepAllocsPerOp"`
 		StepLowLoadNsPerOp     float64 `json:"stepLowLoadNsPerOp"`
 		StepLowLoadAllocsPerOp float64 `json:"stepLowLoadAllocsPerOp"`
+		// SteadyAllocsPerOp is the worse (max) of the two steady-state
+		// allocs/op measurements above — the single number the smoke
+		// gate compares. With pooling on this is 0 by construction.
+		SteadyAllocsPerOp float64 `json:"steadyAllocsPerOp"`
 	} `json:"kernel"`
 
+	// The per-cell TotalAllocBytes fields record the heap bytes
+	// allocated during the fastest repetition of each wall-time cell
+	// (runtime.MemStats.TotalAlloc delta; the minimum over -runs, like
+	// the wall times). With pooling these are dominated by one-time
+	// network construction; steady-state growth shows up here first.
 	Cells struct {
-		LowLoadWallSeconds    float64 `json:"lowLoadWallSeconds"`
-		LowLoadCellWallSecs   float64 `json:"lowLoadCellWallSeconds"`
-		SaturationWallSeconds float64 `json:"saturationWallSeconds"`
+		LowLoadWallSeconds         float64 `json:"lowLoadWallSeconds"`
+		LowLoadCellWallSecs        float64 `json:"lowLoadCellWallSeconds"`
+		SaturationWallSeconds      float64 `json:"saturationWallSeconds"`
+		LowLoadTotalAllocBytes     uint64  `json:"lowLoadTotalAllocBytes"`
+		LowLoadCellTotalAllocBytes uint64  `json:"lowLoadCellTotalAllocBytes"`
+		SaturationTotalAllocBytes  uint64  `json:"saturationTotalAllocBytes"`
 	} `json:"cells"`
 }
 
@@ -75,6 +91,7 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	var (
 		dense    = flag.Bool("dense", network.DenseFromEnv(), "measure the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1)")
+		nopool   = flag.Bool("nopool", network.NoPoolFromEnv(), "measure with heap-allocated flits instead of arena pooling (or set AFCSIM_NOPOOL=1)")
 		out      = flag.String("o", "", "output path (default: next free BENCH_<n>.json in the current directory)")
 		runs     = flag.Int("runs", 5, "repetitions per wall-time cell; the minimum is recorded")
 		label    = flag.String("label", "", "free-text label recorded in the snapshot")
@@ -84,13 +101,13 @@ func main() {
 	flag.Parse()
 
 	if *smoke {
-		if err := runSmoke(*dense, *baseline); err != nil {
+		if err := runSmoke(*dense, *nopool, *baseline); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	snap := measure(*dense, *runs, *label, false)
+	snap := measure(*dense, *nopool, *runs, *label, false)
 	path := *out
 	if path == "" {
 		path = nextBenchPath(".")
@@ -107,32 +124,38 @@ func main() {
 
 // measure runs the benchmark suite. In smoke mode the wall cells drop to
 // the single low-load cell and fewer repetitions, so CI stays fast.
-func measure(dense bool, runs int, label string, smoke bool) Snapshot {
+func measure(dense, nopool bool, runs int, label string, smoke bool) Snapshot {
 	var s Snapshot
 	s.Schema = "afcnet-bench/v1"
 	s.Label = label
 	s.GoVersion = runtime.Version()
 	s.Dense = dense
+	s.NoPool = nopool
 	s.Runs = runs
 
-	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, dense) })
+	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, dense, nopool) })
 	s.Kernel.StepNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepAllocsPerOp = float64(r.AllocsPerOp())
-	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, dense) })
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, dense, nopool) })
 	s.Kernel.StepLowLoadNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepLowLoadAllocsPerOp = float64(r.AllocsPerOp())
+	s.Kernel.SteadyAllocsPerOp = s.Kernel.StepAllocsPerOp
+	if s.Kernel.StepLowLoadAllocsPerOp > s.Kernel.SteadyAllocsPerOp {
+		s.Kernel.SteadyAllocsPerOp = s.Kernel.StepLowLoadAllocsPerOp
+	}
 
 	opt := experiments.Quick()
 	opt.Parallelism = 1 // wall times must not depend on machine width
 	opt.Dense = dense
-	s.Cells.LowLoadCellWallSecs = minWall(runs, func() {
+	opt.NoPool = nopool
+	s.Cells.LowLoadCellWallSecs, s.Cells.LowLoadCellTotalAllocBytes = minWall(runs, func() {
 		mustClosedLoop(cmp.LowLoad()[:1], opt)
 	})
 	if !smoke {
-		s.Cells.LowLoadWallSeconds = minWall(runs, func() {
+		s.Cells.LowLoadWallSeconds, s.Cells.LowLoadTotalAllocBytes = minWall(runs, func() {
 			mustClosedLoop(cmp.LowLoad(), opt)
 		})
-		s.Cells.SaturationWallSeconds = minWall(runs, func() {
+		s.Cells.SaturationWallSeconds, s.Cells.SaturationTotalAllocBytes = minWall(runs, func() {
 			mustClosedLoop(cmp.HighLoad()[:1], opt)
 		})
 	}
@@ -141,8 +164,8 @@ func measure(dense bool, runs int, label string, smoke bool) Snapshot {
 
 // benchStep is the cmd-side mirror of BenchmarkKernelStep in
 // bench_test.go (test files cannot be imported from a command).
-func benchStep(b *testing.B, rate float64, dense bool) {
-	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true, DenseKernel: dense})
+func benchStep(b *testing.B, rate float64, dense, nopool bool) {
+	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true, DenseKernel: dense, NoPool: nopool})
 	gen := traffic.NewGenerator(net, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: net.Mesh()},
 		Rate:    rate,
@@ -162,17 +185,26 @@ func mustClosedLoop(benches []cmp.Params, opt experiments.Options) {
 	}
 }
 
-// minWall runs f n times and returns the fastest wall time in seconds.
-func minWall(n int, f func()) float64 {
+// minWall runs f n times and returns the fastest wall time in seconds
+// plus the heap bytes allocated (TotalAlloc delta) during that fastest
+// repetition — the least noisy statistic for each.
+func minWall(n int, f func()) (float64, uint64) {
 	best := time.Duration(0)
+	var bestAlloc uint64
+	var ms runtime.MemStats
 	for i := 0; i < n; i++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
 		start := time.Now()
 		f()
-		if d := time.Since(start); best == 0 || d < best {
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if best == 0 || d < best {
 			best = d
+			bestAlloc = ms.TotalAlloc - before
 		}
 	}
-	return best.Seconds()
+	return best.Seconds(), bestAlloc
 }
 
 var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
@@ -211,8 +243,11 @@ func benchFiles(dir string) []string {
 }
 
 // runSmoke measures the reduced suite and prints a benchstat-style
-// warn-only comparison against the baseline snapshot.
-func runSmoke(dense bool, baselinePath string) error {
+// comparison against the baseline snapshot. Wall-clock metrics are
+// warn-only; allocation metrics fail the run (non-zero exit) when they
+// regress, because the steady state is zero-allocation by construction
+// and any growth is a pooling leak, not measurement noise.
+func runSmoke(dense, nopool bool, baselinePath string) error {
 	if baselinePath == "" {
 		files := benchFiles(".")
 		if len(files) == 0 {
@@ -221,7 +256,7 @@ func runSmoke(dense bool, baselinePath string) error {
 			baselinePath = files[len(files)-1]
 		}
 	}
-	cur := measure(dense, 2, "", true)
+	cur := measure(dense, nopool, 2, "", true)
 
 	if baselinePath == "" {
 		fmt.Printf("kernel step: %.0f ns/op (%.0f allocs); low load: %.0f ns/op; low-load cell: %.3fs\n",
@@ -237,15 +272,28 @@ func runSmoke(dense bool, baselinePath string) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("%s: %v", baselinePath, err)
 	}
-	fmt.Printf("bench-smoke vs %s (warn-only)\n", baselinePath)
-	warned := false
+	fmt.Printf("bench-smoke vs %s (wall warn-only, allocs failing)\n", baselinePath)
+	warned, failed := false, false
 	// Wall-clock numbers swing far more than ns/op on shared machines,
-	// so each metric carries its own threshold.
+	// so each metric carries its own threshold. A baseline of 0 means
+	// the field predates this schema addition (fields are only added);
+	// skip it rather than divide by zero — except for allocation
+	// metrics, where 0 is the contract: any current value above the
+	// threshold regresses even against a zero baseline.
+	deltaPct := func(baseV, curV float64) float64 {
+		if baseV == 0 {
+			if curV == 0 {
+				return 0
+			}
+			return 100
+		}
+		return (curV - baseV) / baseV * 100
+	}
 	compare := func(name string, baseV, curV, threshold float64) {
 		if baseV == 0 {
 			return
 		}
-		delta := (curV - baseV) / baseV * 100
+		delta := deltaPct(baseV, curV)
 		mark := ""
 		if delta > threshold {
 			mark = "  <-- WARN: exceeds +" + strconv.FormatFloat(threshold, 'f', -1, 64) + "% threshold"
@@ -253,12 +301,38 @@ func runSmoke(dense bool, baselinePath string) error {
 		}
 		fmt.Printf("  %-24s %12.1f -> %12.1f  (%+.1f%%)%s\n", name, baseV, curV, delta, mark)
 	}
+	// compareAlloc is the failing variant: exceeding the threshold sets
+	// failed, which becomes a non-zero exit. Comparisons against a
+	// pre-pooling baseline (recorded with allocating flits) would
+	// trivially pass, so the gate also enforces the absolute contract
+	// when measuring the pooled configuration: see the gate below.
+	compareAlloc := func(name string, baseV, curV, threshold float64) {
+		delta := deltaPct(baseV, curV)
+		mark := ""
+		if curV > baseV && delta > threshold {
+			mark = "  <-- FAIL: allocation regression beyond +" + strconv.FormatFloat(threshold, 'f', -1, 64) + "%"
+			failed = true
+		}
+		fmt.Printf("  %-24s %12.1f -> %12.1f  (%+.1f%%)%s\n", name, baseV, curV, delta, mark)
+	}
 	compare("step ns/op", base.Kernel.StepNsPerOp, cur.Kernel.StepNsPerOp, 25)
-	compare("step allocs/op", base.Kernel.StepAllocsPerOp, cur.Kernel.StepAllocsPerOp, 0)
 	compare("step lowload ns/op", base.Kernel.StepLowLoadNsPerOp, cur.Kernel.StepLowLoadNsPerOp, 25)
 	compare("lowload cell wall ms", base.Cells.LowLoadCellWallSecs*1000, cur.Cells.LowLoadCellWallSecs*1000, 50)
+	compareAlloc("step allocs/op", base.Kernel.StepAllocsPerOp, cur.Kernel.StepAllocsPerOp, 0)
+	compareAlloc("steady allocs/op", base.Kernel.SteadyAllocsPerOp, cur.Kernel.SteadyAllocsPerOp, 0)
+	compareAlloc("lowload cell alloc KB", float64(base.Cells.LowLoadCellTotalAllocBytes)/1024,
+		float64(cur.Cells.LowLoadCellTotalAllocBytes)/1024, 10)
+	// Absolute gate: with pooling on, the kernel steady state allocates
+	// nothing. This holds regardless of what the baseline recorded.
+	if !nopool && cur.Kernel.SteadyAllocsPerOp > 0 {
+		fmt.Printf("  steady allocs/op is %.1f with pooling on (want 0)  <-- FAIL\n", cur.Kernel.SteadyAllocsPerOp)
+		failed = true
+	}
+	if failed {
+		return fmt.Errorf("allocation regression (see above)")
+	}
 	if warned {
-		fmt.Println("bench-smoke: perf regression warnings above (warn-only; not failing the build)")
+		fmt.Println("bench-smoke: wall-clock regression warnings above (warn-only; not failing the build)")
 	} else {
 		fmt.Println("bench-smoke: within thresholds")
 	}

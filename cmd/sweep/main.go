@@ -74,6 +74,7 @@ func main() {
 		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
 		checked   = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker to every run (or set AFCSIM_CHECK=1); identical results, slower")
 		dense     = flag.Bool("dense", network.DenseFromEnv(), "run the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1); identical results, slower at low load")
+		nopool    = flag.Bool("nopool", network.NoPoolFromEnv(), "heap-allocate flits instead of arena pooling (or set AFCSIM_NOPOOL=1); identical results, allocates in steady state")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
 		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -118,6 +119,7 @@ func main() {
 	opt.Parallelism = *parallel
 	opt.Check = *checked
 	opt.Dense = *dense
+	opt.NoPool = *nopool
 
 	kindNames := make([]string, len(kinds))
 	for i, k := range kinds {

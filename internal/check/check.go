@@ -244,6 +244,9 @@ func (c *Checker) checkConservationAndAges(now uint64) {
 			c.fail(now, "age bound: flit pkt=%#x seq=%d src=%d dst=%d injected at %d is %d cycles old (bound %d) — livelock or leak",
 				f.PacketID, f.Seq, f.Src, f.Dst, f.InjectedAt, age, c.cfg.MaxFlitAge)
 		}
+		if err := flit.CheckHandle(f); err != nil {
+			c.fail(now, "arena lifecycle: %v", err)
+		}
 	}
 	for node := 0; node < c.net.Nodes(); node++ {
 		nif := c.net.NI(topology.NodeID(node))

@@ -7,6 +7,7 @@ import (
 	"afcnet/internal/check"
 	"afcnet/internal/flit"
 	"afcnet/internal/network"
+	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
 
@@ -82,6 +83,44 @@ func TestCheckerFailFastPanics(t *testing.T) {
 		}
 	}()
 	net.Step()
+}
+
+// TestCheckerCatchesPrematureRecycle verifies the arena-lifecycle
+// oracle: recycling a flit that is still in flight (the double-recycle /
+// use-after-free failure mode of the pooling layer) must be flagged the
+// next time the checker walks the network. The generator is stopped
+// before the corruption so the freed slot cannot be reissued within the
+// observed cycle — the checker then sees an in-network flit whose handle
+// the arena says was already returned.
+func TestCheckerCatchesPrematureRecycle(t *testing.T) {
+	net := network.New(network.Config{Kind: network.Bless, Seed: 3})
+	c := check.AttachWith(net, check.Config{})
+	gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.45}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(200)
+	gen.Stop()
+	var victim *flit.Flit
+	for node := 0; node < net.Nodes() && victim == nil; node++ {
+		net.Router(topology.NodeID(node)).(interface {
+			ForEachFlit(func(*flit.Flit))
+		}).ForEachFlit(func(f *flit.Flit) {
+			if victim == nil {
+				victim = f
+			}
+		})
+	}
+	if victim == nil {
+		t.Fatal("no flit in flight after 200 cycles at rate 0.45")
+	}
+	flit.Recycle(victim) // corrupt: the network still holds this flit
+	net.Step()
+	err := c.Err()
+	if err == nil {
+		t.Fatal("checker accepted an in-flight flit that was recycled under it")
+	}
+	if !strings.Contains(err.Error(), "arena lifecycle") {
+		t.Fatalf("expected an arena lifecycle violation, got: %v", err)
+	}
 }
 
 // TestAttachRequiresCycleZero: the shadow ledgers assume observation

@@ -214,6 +214,39 @@ func NewSystem(net *network.Network, p Params, seeds func() *rand.Rand) *System 
 	return s
 }
 
+// Reattach rebinds the system to its (freshly Reset) network as
+// NewSystem would: same per-core stream numbering, same handler
+// registration, same ticker slot — but reusing every slice, heap and
+// generator the previous cell grew. p may change the workload; the
+// usual caveats of NewSystem apply.
+func (s *System) Reattach(p Params) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.WritebackPreAlloc && p.WBBufferEntries == 0 {
+		p.WBBufferEntries = 16
+	}
+	s.params = p
+	for i := range s.cores {
+		s.cores[i] = coreState{neighbors: s.cores[i].neighbors}
+		s.net.ReseedStream(s.rngs[i])
+		s.net.NI(topology.NodeID(i)).SetHandler(s.onPacket)
+	}
+	s.jobs = s.jobs[:0]
+	s.totalCompleted = 0
+	s.writebacksSent = 0
+	s.stopped = false
+	s.fullCores = 0
+	for i := range s.wbEntries {
+		s.wbEntries[i] = 0
+		s.wbWaiters[i] = s.wbWaiters[i][:0]
+		s.wbHeld[i] = 0
+	}
+	s.wbRequests = 0
+	s.wbMaxHeld = 0
+	s.net.AddTicker(s)
+}
+
 // Params returns the workload parameters.
 func (s *System) Params() Params { return s.params }
 

@@ -265,6 +265,66 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
 
+// Reset rewinds the router to its freshly constructed state, keeping
+// the SRAM slot arrays, escape FIFOs and scratch buffers, and reseeding
+// the deflection randomness with seed (the root of the stream number a
+// fresh construction would have consumed). The meter's gating is
+// re-established to the constructor's choice for the router's starting
+// mode. Part of the cross-cell network-reuse path.
+func (r *Router) Reset(seed int64) {
+	r.defl.Reseed(seed)
+	r.monitor.Reset()
+	for p := 0; p < topology.NumPorts; p++ {
+		for s := range r.in[p] {
+			r.in[p][s] = slot{}
+		}
+		r.esc[p] = r.esc[p][:0]
+		r.inArb[p].Reset()
+		r.outArb[p].Reset()
+		r.cands[p] = cand{}
+		r.heldAt[p] = 0
+	}
+	r.injArb.Reset()
+	r.injArmedAt = [flit.NumVNs]uint64{}
+	r.latches = r.latches[:0]
+	r.dflits = r.dflits[:0]
+	r.dports = r.dports[:0]
+	r.bufferedFrom = 0
+	r.held = 0
+	r.dispatched = 0
+	r.misrouteTripped = false
+	r.routedFlits = 0
+	r.deflections = 0
+	r.ejectedFlits = 0
+	r.injectedFlits = 0
+	r.modeCycles = [numModes]uint64{}
+	r.forwardSwitches = 0
+	r.reverseSwitches = 0
+	r.gossipSwitches = 0
+	r.escapeEvents = 0
+	if r.alwaysBuffered {
+		r.mode = ModeBuffered
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if r.wires.Ports[d].Exists() {
+				r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
+			} else {
+				r.down[d] = downstream{}
+			}
+		}
+		if r.meter != nil {
+			r.meter.SetGated(false)
+		}
+	} else {
+		r.mode = ModeBless
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			r.down[d] = downstream{}
+		}
+		if r.meter != nil {
+			r.meter.SetGated(true)
+		}
+	}
+}
+
 // Mode returns the router's current operating mode.
 func (r *Router) Mode() Mode { return r.mode }
 

@@ -94,6 +94,23 @@ func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
 
+// Reset rewinds the router to its freshly constructed state (empty
+// latches, arbiters at slot 0, stats zeroed), reseeding the arbitration
+// randomness with seed — the root of the same stream number a fresh
+// construction would have consumed. Part of the cross-cell
+// network-reuse path.
+func (r *Router) Reset(seed int64) {
+	r.defl.Reseed(seed)
+	r.injArb.Reset()
+	r.latches = r.latches[:0]
+	r.flits = r.flits[:0]
+	r.injArmedAt = [flit.NumVNs]uint64{}
+	r.routedFlits = 0
+	r.deflections = 0
+	r.ejectedFlits = 0
+	r.injected = 0
+}
+
 // RoutedFlits returns the number of flits dispatched by this router.
 func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
 

@@ -75,6 +75,21 @@ func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand
 // Node implements router.Router.
 func (r *DropRouter) Node() topology.NodeID { return r.node }
 
+// Reset rewinds the router to its freshly constructed state, reseeding
+// the drop-priority randomness with seed (the root of the stream number
+// a fresh construction would have consumed). Part of the cross-cell
+// network-reuse path.
+func (r *DropRouter) Reset(seed int64) {
+	r.rng.Seed(seed)
+	r.injArb.Reset()
+	r.latches = r.latches[:0]
+	r.order = r.order[:0]
+	r.injArmedAt = [flit.NumVNs]uint64{}
+	r.routedFlits = 0
+	r.droppedFlits = 0
+	r.ejectedFlits = 0
+}
+
 // DroppedFlits returns the number of flits dropped by this router.
 func (r *DropRouter) DroppedFlits() uint64 { return r.droppedFlits }
 
@@ -171,6 +186,10 @@ func (r *DropRouter) Tick(now uint64) {
 		}
 		r.droppedFlits++
 		r.nack.Nack(now, f)
+		// The NACK path retains only the packet description, never the
+		// flit itself: the retransmission re-packetizes from scratch, so
+		// the dropped flit is consumed here.
+		flit.Recycle(f)
 	}
 	r.latches = r.latches[:0]
 

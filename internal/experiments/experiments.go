@@ -16,6 +16,7 @@ import (
 	"afcnet/internal/obs"
 	"afcnet/internal/runner"
 	"afcnet/internal/stats"
+	"afcnet/internal/traffic"
 )
 
 // Options controls run length and repetition.
@@ -54,6 +55,12 @@ type Options struct {
 	// of active-set scheduling. Results are bit-for-bit identical either
 	// way; the flag exists for equivalence tests and benchmark baselines.
 	Dense bool
+	// NoPool builds every network without the flit arena
+	// (network.Config.NoPool): every packetization heap-allocates, as the
+	// original reference path did. Results are bit-for-bit identical
+	// either way; the flag exists for equivalence tests and allocation
+	// baselines.
+	NoPool bool
 }
 
 // newNetwork builds one cell's network, attaching an invariant checker
@@ -62,12 +69,89 @@ type Options struct {
 // exactly like plain ones.
 func (o Options) newNetwork(cfg network.Config) *network.Network {
 	cfg.DenseKernel = cfg.DenseKernel || o.Dense
+	cfg.NoPool = cfg.NoPool || o.NoPool
 	net := network.New(cfg)
 	if o.Check {
 		check.Attach(net)
 	}
 	o.Obs.Sample(net)
 	return net
+}
+
+// workerEnt is one worker's reusable simulation stack for one network
+// kind: the network plus whichever traffic layer the harness attached.
+// Consecutive cells of the same kind on the same worker rewind and reuse
+// it instead of rebuilding, which is what makes the steady-state loop
+// allocation-free across a sweep.
+type workerEnt struct {
+	net *network.Network
+	sys *cmp.System
+	gen *traffic.Generator
+}
+
+// workerState is the per-worker context of one harness batch: the
+// reusable networks keyed by kind, and scratch the cells would otherwise
+// reallocate. Each runner worker owns exactly one, so nothing here is
+// synchronized.
+type workerState struct {
+	opt   Options
+	ents  map[network.Kind]*workerEnt
+	rates []float64 // per-node offered-rate scratch (Quadrant)
+}
+
+// workerStates returns one fresh workerState per pool worker.
+func (o Options) workerStates(workers int) []*workerState {
+	ws := make([]*workerState, workers)
+	for i := range ws {
+		ws[i] = &workerState{opt: o, ents: make(map[network.Kind]*workerEnt)}
+	}
+	return ws
+}
+
+// oneShot returns a workerState that will never see a second cell of the
+// same kind — the harnesses that mix per-cell configurations (ablations)
+// use it to share the cell code without the reuse path.
+func (o Options) oneShot() *workerState {
+	return &workerState{opt: o, ents: make(map[network.Kind]*workerEnt)}
+}
+
+// acquire returns a ready network for cfg: the worker's previous network
+// of the same kind rewound in place when the configuration allows (same
+// everything but Seed), a fresh build otherwise. Checker and sampler are
+// attached in the same order as newNetwork, so the kernel's ticker list
+// and the seed source's stream numbering are identical on both paths. A
+// rebuilt entry has nil sys/gen — the caller's cue to construct its
+// traffic layer instead of reattaching it.
+func (w *workerState) acquire(cfg network.Config) *workerEnt {
+	cfg.DenseKernel = cfg.DenseKernel || w.opt.Dense
+	cfg.NoPool = cfg.NoPool || w.opt.NoPool
+	e := w.ents[cfg.Kind]
+	if e == nil || !e.net.Reset(cfg) {
+		e = &workerEnt{net: network.New(cfg)}
+		w.ents[cfg.Kind] = e
+	}
+	if w.opt.Check {
+		check.Attach(e.net)
+	}
+	w.opt.Obs.Sample(e.net)
+	return e
+}
+
+// runCell runs one (bench, kind, seed) closed-loop measurement on this
+// worker, reusing its network and CMP substrate when possible.
+func (w *workerState) runCell(p cmp.Params, kind network.Kind, seed int64) (cmp.RunResult, *network.Network, error) {
+	e := w.acquire(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
+	if e.sys == nil {
+		e.sys = cmp.NewSystem(e.net, p, e.net.RandStream)
+	} else {
+		e.sys.Reattach(p)
+	}
+	res, ok := e.sys.Measure(w.opt.WarmupTx, w.opt.MeasureTx, w.opt.CycleLimit)
+	if !ok {
+		return res, e.net, fmt.Errorf("experiments: %s on %s exceeded %d cycles",
+			p.Name, kind, w.opt.CycleLimit)
+	}
+	return res, e.net, nil
 }
 
 // pool returns the runner options shared by every harness.
@@ -142,16 +226,10 @@ type Measurement struct {
 	EscapeEvents     float64
 }
 
-// runCell runs one (bench, kind, seed) closed-loop measurement.
+// runCell runs one (bench, kind, seed) closed-loop measurement on a
+// fresh network (the no-reuse path the ablations use).
 func runCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (cmp.RunResult, *network.Network, error) {
-	net := opt.newNetwork(network.Config{Kind: kind, Seed: seed, MeterEnergy: true})
-	sys := cmp.NewSystem(net, p, net.RandStream)
-	res, ok := sys.Measure(opt.WarmupTx, opt.MeasureTx, opt.CycleLimit)
-	if !ok {
-		return res, net, fmt.Errorf("experiments: %s on %s exceeded %d cycles",
-			p.Name, kind, opt.CycleLimit)
-	}
-	return res, net, nil
+	return opt.oneShot().runCell(p, kind, seed)
 }
 
 // closedOut is the state a closed-loop cell hands back to the merge step:
@@ -163,8 +241,8 @@ type closedOut struct {
 	mode   network.ModeStats
 }
 
-func runClosedCell(p cmp.Params, kind network.Kind, seed int64, opt Options) (closedOut, error) {
-	res, net, err := runCell(p, kind, seed, opt)
+func (w *workerState) runClosedCell(p cmp.Params, kind network.Kind, seed int64) (closedOut, error) {
+	res, net, err := w.runCell(p, kind, seed)
 	if err != nil {
 		return closedOut{}, err
 	}
@@ -201,9 +279,11 @@ func ClosedLoop(benches []cmp.Params, kinds []network.Kind, opt Options) ([]Meas
 			}
 		}
 	}
-	outs, err := runner.Map(len(cells), opt.pool(), func(i int) (closedOut, error) {
+	ro := opt.pool()
+	ws := opt.workerStates(ro.Workers(len(cells)))
+	outs, err := runner.MapWorkers(len(cells), ro, func(worker, i int) (closedOut, error) {
 		c := cells[i]
-		return runClosedCell(benches[c.bench], c.kind, opt.Seeds[c.seed], opt)
+		return ws[worker].runClosedCell(benches[c.bench], c.kind, opt.Seeds[c.seed])
 	})
 	if err != nil {
 		return nil, err
@@ -348,8 +428,10 @@ type Table3Row struct {
 func Table3(opt Options) ([]Table3Row, error) {
 	benches := cmp.AllBenchmarks()
 	ns := len(opt.Seeds)
-	rates, err := runner.Map(len(benches)*ns, opt.pool(), func(i int) (float64, error) {
-		res, _, err := runCell(benches[i/ns], network.Backpressured, opt.Seeds[i%ns], opt)
+	ro := opt.pool()
+	ws := opt.workerStates(ro.Workers(len(benches) * ns))
+	rates, err := runner.MapWorkers(len(benches)*ns, ro, func(worker, i int) (float64, error) {
+		res, _, err := ws[worker].runCell(benches[i/ns], network.Backpressured, opt.Seeds[i%ns])
 		if err != nil {
 			return 0, err
 		}

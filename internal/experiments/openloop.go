@@ -52,16 +52,24 @@ func LatencySweepPattern(kinds []network.Kind, rates []float64,
 	}
 	ns := len(opt.Seeds)
 	nr := len(rates)
-	outs, err := runner.Map(len(kinds)*nr*ns, opt.pool(), func(i int) (sweepOut, error) {
+	ro := opt.pool()
+	ws := opt.workerStates(ro.Workers(len(kinds) * nr * ns))
+	outs, err := runner.MapWorkers(len(kinds)*nr*ns, ro, func(worker, i int) (sweepOut, error) {
 		k := kinds[i/(nr*ns)]
 		rate := rates[i/ns%nr]
 		seed := opt.Seeds[i%ns]
-		net := opt.newNetwork(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
-		gen := traffic.NewGenerator(net, traffic.Config{
+		e := ws[worker].acquire(network.Config{Kind: k, Seed: seed, MeterEnergy: false})
+		net := e.net
+		tcfg := traffic.Config{
 			Pattern: mkPattern(net.Mesh()),
 			Rate:    rate,
-		}, net.RandStream)
-		net.AddTicker(gen)
+		}
+		if e.gen == nil {
+			e.gen = traffic.NewGenerator(net, tcfg, net.RandStream)
+		} else {
+			e.gen.Reattach(tcfg)
+		}
+		net.AddTicker(e.gen)
 		net.Run(opt.OpenLoopWarmup)
 		net.ResetStats()
 		net.Run(opt.OpenLoopMeasure)
@@ -162,11 +170,18 @@ func Quadrant(kinds []network.Kind, hotRate, coldRate float64, opt Options) []Qu
 		gossip, escape, delHot, delCold       uint64
 	}
 	ns := len(opt.Seeds)
-	outs, err := runner.Map(len(kinds)*ns, opt.pool(), func(i int) (quadOut, error) {
+	ro := opt.pool()
+	ws := opt.workerStates(ro.Workers(len(kinds) * ns))
+	outs, err := runner.MapWorkers(len(kinds)*ns, ro, func(worker, i int) (quadOut, error) {
 		k := kinds[i/ns]
 		seed := opt.Seeds[i%ns]
-		net := opt.newNetwork(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
-		rates := make([]float64, net.Nodes())
+		w := ws[worker]
+		e := w.acquire(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true})
+		net := e.net
+		if len(w.rates) != net.Nodes() {
+			w.rates = make([]float64, net.Nodes())
+		}
+		rates := w.rates
 		for n := range rates {
 			if traffic.QuadrantIndex(mesh, topology.NodeID(n)) == 0 {
 				rates[n] = hotRate
@@ -174,11 +189,16 @@ func Quadrant(kinds []network.Kind, hotRate, coldRate float64, opt Options) []Qu
 				rates[n] = coldRate
 			}
 		}
-		gen := traffic.NewGenerator(net, traffic.Config{
+		tcfg := traffic.Config{
 			Pattern:   traffic.Quadrant{Mesh: mesh},
 			NodeRates: rates,
-		}, net.RandStream)
-		net.AddTicker(gen)
+		}
+		if e.gen == nil {
+			e.gen = traffic.NewGenerator(net, tcfg, net.RandStream)
+		} else {
+			e.gen.Reattach(tcfg)
+		}
+		net.AddTicker(e.gen)
 		net.Run(opt.OpenLoopWarmup)
 		net.ResetStats()
 		net.Run(opt.OpenLoopMeasure)

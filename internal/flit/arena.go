@@ -1,0 +1,168 @@
+package flit
+
+import "fmt"
+
+// maxPooledLen bounds the packet lengths the arena recycles. Both packet
+// classes in the simulated system (1 and 17 flits) fit far below it; a
+// longer packet falls back to plain heap allocation, and its flits carry
+// nil handles that make Recycle a no-op.
+const maxPooledLen = 64
+
+// block is one recyclable flit slab: the backing array and pointer slice
+// of a single packet, exactly as Packet.Flits would have allocated them.
+// A block is handed out whole and comes back flit by flit; the returned
+// bitmask (indexed by Seq, which is why maxPooledLen is 64) catches a
+// flit recycled twice in the same generation, and the generation stamp
+// catches a handle that outlived the block's reuse.
+type block struct {
+	backing  []Flit
+	ptrs     []*Flit
+	owner    *Arena
+	gen      uint32
+	live     int
+	returned uint64
+}
+
+// Arena is a per-network flit allocator: Packetize hands out blocks in
+// Packet.Flits form, Recycle returns them at the points a flit is
+// consumed (NI delivery, drop retirement). Steady state allocates
+// nothing — every packet reuses a block of its length class. An Arena,
+// like the network owning it, is single-goroutine state.
+type Arena struct {
+	free [maxPooledLen + 1][]*block
+	all  []*block
+	live int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Packetize expands p into flits like Packet.Flits, reusing a recycled
+// block when one of the right length is free. A nil arena (or an
+// out-of-range length) falls back to heap allocation, which is the
+// -nopool reference path.
+func (a *Arena) Packetize(p Packet) []*Flit {
+	if a == nil || p.Len < 1 || p.Len > maxPooledLen {
+		return p.Flits()
+	}
+	var b *block
+	if fl := a.free[p.Len]; len(fl) > 0 {
+		b = fl[len(fl)-1]
+		a.free[p.Len] = fl[:len(fl)-1]
+	} else {
+		b = &block{
+			backing: make([]Flit, p.Len),
+			ptrs:    make([]*Flit, p.Len),
+			owner:   a,
+		}
+		for i := range b.backing {
+			b.ptrs[i] = &b.backing[i]
+		}
+		a.all = append(a.all, b)
+	}
+	b.gen++
+	b.live = p.Len
+	b.returned = 0
+	a.live += p.Len
+	for i := range b.backing {
+		b.backing[i] = Flit{
+			PacketID:  p.ID,
+			Seq:       i,
+			Len:       p.Len,
+			Src:       p.Src,
+			Dst:       p.Dst,
+			VN:        p.VN,
+			VC:        NoVC,
+			CreatedAt: p.CreatedAt,
+			Payload:   p.Payload,
+			blk:       b,
+			gen:       b.gen,
+		}
+	}
+	return b.ptrs
+}
+
+// Recycle returns a consumed flit to its arena. It is a no-op for
+// heap-allocated flits (nil handle), so consumption sites need not know
+// which path produced the flit. Recycling the same flit twice, or a flit
+// whose block has already been reissued, is a lifecycle bug and panics.
+func Recycle(f *Flit) {
+	b := f.blk
+	if b == nil {
+		return
+	}
+	if f.gen != b.gen {
+		panic(fmt.Sprintf("flit: use-after-free recycle of %v (handle gen %d, block gen %d)", f, f.gen, b.gen))
+	}
+	bit := uint64(1) << uint(f.Seq)
+	if b.returned&bit != 0 {
+		panic(fmt.Sprintf("flit: double recycle of %v", f))
+	}
+	b.returned |= bit
+	b.live--
+	b.owner.live--
+	if b.live == 0 {
+		a := b.owner
+		a.free[len(b.backing)] = append(a.free[len(b.backing)], b)
+	}
+}
+
+// CheckHandle verifies the arena handle of an in-flight flit: a flit
+// still traveling the network must belong to the current generation of
+// its block and must not be marked returned. Heap-allocated flits always
+// pass. The invariant checker calls this during its conservation scan,
+// so a double recycle or use-after-free surfaces as a checker violation
+// even when the corrupted handle never reaches Recycle again.
+func CheckHandle(f *Flit) error {
+	b := f.blk
+	if b == nil {
+		return nil
+	}
+	if f.gen != b.gen {
+		return fmt.Errorf("flit: in-flight %v holds a stale arena handle (handle gen %d, block gen %d) — use after free", f, f.gen, b.gen)
+	}
+	if b.returned&(uint64(1)<<uint(f.Seq)) != 0 {
+		return fmt.Errorf("flit: in-flight %v is marked recycled — double use", f)
+	}
+	return nil
+}
+
+// Live returns the number of flits handed out and not yet recycled — the
+// leak oracle: after a network drains, every injected flit has been
+// consumed, so Live must be zero.
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return a.live
+}
+
+// Reclaim force-returns every outstanding block, invalidating all
+// handles still in the wild. Network.Reset calls it when a cell ends
+// with flits in flight (closed-loop measurement windows do); any stale
+// handle that later reaches Recycle or CheckHandle is caught by the
+// generation stamp.
+func (a *Arena) Reclaim() {
+	if a == nil {
+		return
+	}
+	for i := range a.free {
+		a.free[i] = a.free[i][:0]
+	}
+	for _, b := range a.all {
+		b.gen++
+		b.live = 0
+		b.returned = 0
+		a.free[len(b.backing)] = append(a.free[len(b.backing)], b)
+	}
+	a.live = 0
+}
+
+// Blocks returns how many blocks the arena has ever minted, for tests
+// and telemetry.
+func (a *Arena) Blocks() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.all)
+}

@@ -84,6 +84,13 @@ type Flit struct {
 	// Payload is an opaque tag for the traffic layer (e.g., a CMP
 	// transaction id). The network never interprets it.
 	Payload uint64
+
+	// blk and gen tie a pooled flit back to its arena block (arena.go).
+	// Both stay zero for heap-allocated flits (Packet.Flits), for which
+	// Recycle is a no-op. gen must match the block's current generation;
+	// a mismatch means the handle outlived a recycle (use-after-free).
+	blk *block
+	gen uint32
 }
 
 // Head reports whether f is the head flit of its packet.

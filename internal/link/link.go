@@ -52,6 +52,19 @@ func NewPipe[T any](lat int) *Pipe[T] {
 // Latency returns the pipe's latency in cycles.
 func (p *Pipe[T]) Latency() int { return p.lat }
 
+// Reset empties the pipe and zeroes its counters, restoring the state of
+// a freshly constructed pipe of the same latency (the backing arrays are
+// kept). Part of the cross-cell network-reuse path.
+func (p *Pipe[T]) Reset() {
+	var zero T
+	for i := range p.vals {
+		p.vals[i] = zero
+		p.occupied[i] = false
+	}
+	p.inflight = 0
+	p.sends = 0
+}
+
 // Sends returns the total number of values sent, for stats and energy
 // accounting.
 func (p *Pipe[T]) Sends() uint64 { return p.sends }

@@ -16,7 +16,22 @@ const DenseEnvVar = "AFCSIM_DENSE"
 // Any value other than empty, "0", "false", "no" or "off" disables
 // active-set scheduling.
 func DenseFromEnv() bool {
-	switch os.Getenv(DenseEnvVar) {
+	return envSet(DenseEnvVar)
+}
+
+// NoPoolEnvVar forces heap-allocated flits (no arena) in every harness
+// that consults NoPoolFromEnv (cmd/afcsim, cmd/figures, cmd/sweep).
+const NoPoolEnvVar = "AFCSIM_NOPOOL"
+
+// NoPoolFromEnv reports whether AFCSIM_NOPOOL requests the heap
+// reference path. Any value other than empty, "0", "false", "no" or
+// "off" disables the flit arena.
+func NoPoolFromEnv() bool {
+	return envSet(NoPoolEnvVar)
+}
+
+func envSet(name string) bool {
+	switch os.Getenv(name) {
 	case "", "0", "false", "no", "off":
 		return false
 	}

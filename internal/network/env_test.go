@@ -1,0 +1,32 @@
+package network
+
+import "testing"
+
+// TestEnvFlags pins the shared semantics of the AFCSIM_DENSE and
+// AFCSIM_NOPOOL environment switches: empty and the usual "off"
+// spellings disable, anything else enables.
+func TestEnvFlags(t *testing.T) {
+	cases := []struct {
+		val  string
+		want bool
+	}{
+		{"", false},
+		{"0", false},
+		{"false", false},
+		{"no", false},
+		{"off", false},
+		{"1", true},
+		{"true", true},
+		{"yes", true},
+	}
+	for _, c := range cases {
+		t.Setenv(DenseEnvVar, c.val)
+		if got := DenseFromEnv(); got != c.want {
+			t.Errorf("DenseFromEnv with %s=%q = %v, want %v", DenseEnvVar, c.val, got, c.want)
+		}
+		t.Setenv(NoPoolEnvVar, c.val)
+		if got := NoPoolFromEnv(); got != c.want {
+			t.Errorf("NoPoolFromEnv with %s=%q = %v, want %v", NoPoolEnvVar, c.val, got, c.want)
+		}
+	}
+}

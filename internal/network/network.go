@@ -8,6 +8,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 
 	"afcnet/internal/config"
@@ -104,6 +105,11 @@ type Config struct {
 	// identical either way; the dense path exists as the baseline for
 	// equivalence tests and benchmarks (see also DenseEnvVar).
 	DenseKernel bool
+	// NoPool disables the flit arena: every packetization heap-allocates,
+	// as the original reference path did. Results are bit-for-bit
+	// identical either way; the heap path exists as the baseline for
+	// equivalence tests and allocation benchmarks (see also NoPoolEnvVar).
+	NoPool bool
 }
 
 // Network is a fully wired mesh NoC.
@@ -112,12 +118,18 @@ type Network struct {
 	mesh   topology.Mesh
 	kernel *sim.Kernel
 	source *sim.Source
+	arena  *flit.Arena // nil when cfg.NoPool
 
 	routers []router.Router
 	nis     []*ni.NI
 	meters  []*energy.Meter
 	links   []*link.Data
 	wires   []router.Wires
+
+	// baseTickers marks the kernel registrations made by build itself
+	// (router bank + housekeeping); Reset truncates back to it, dropping
+	// whatever probes, checkers or traffic layers the previous cell added.
+	baseTickers int
 
 	nacks       nackHeap
 	nackPending map[uint64]bool
@@ -145,7 +157,11 @@ func New(cfg Config) *Network {
 		source:      sim.NewSource(cfg.Seed),
 		nackPending: make(map[uint64]bool),
 	}
+	if !cfg.NoPool {
+		n.arena = flit.NewArena()
+	}
 	n.build()
+	n.baseTickers = n.kernel.Mark()
 	return n
 }
 
@@ -187,6 +203,7 @@ func (n *Network) build() {
 	n.routers = make([]router.Router, nodes)
 	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
 		n.nis[node] = ni.New(node)
+		n.nis[node].SetArena(n.arena)
 		var meter *energy.Meter
 		if n.cfg.MeterEnergy {
 			meter = n.newMeter()
@@ -264,9 +281,94 @@ func (n *Network) houseKeep(now uint64) {
 	}
 }
 
+// Arena returns the network's flit arena (nil with NoPool). Tests use it
+// as the leak oracle: a drained network must have zero live flits.
+func (n *Network) Arena() *flit.Arena { return n.arena }
+
+// Reset rewinds the network to the state New(cfg) would have produced,
+// reusing every buffer, map, ring and histogram already sized by the
+// previous run. cfg may differ from the build configuration only in
+// Seed; any other difference makes reuse unsound (routers, meters and
+// banks bake the rest of the configuration in at construction) and
+// Reset reports false without touching anything, telling the caller to
+// build fresh. Tickers registered after construction (probes, checkers,
+// traffic layers) are dropped and must be re-registered, in the same
+// order as on a fresh build, for stream numbering to line up.
+func (n *Network) Reset(cfg Config) bool {
+	if cfg.System.Mesh.Width == 0 {
+		cfg.System = config.Default()
+	}
+	if cfg.Energy.RefWidthBits == 0 {
+		cfg.Energy = energy.DefaultParams()
+	}
+	want, have := cfg, n.cfg
+	want.Seed, have.Seed = 0, 0
+	if !reflect.DeepEqual(want, have) {
+		return false
+	}
+	n.cfg = cfg
+
+	// Any flit still in flight when the previous cell stopped (closed-loop
+	// measurement windows end mid-traffic) is force-reclaimed; the
+	// generation stamps catch stragglers that somehow resurface.
+	n.arena.Reclaim()
+	n.source.Reset(cfg.Seed)
+	n.kernel.Truncate(n.baseTickers)
+	n.kernel.Rewind()
+
+	// Walk each pipe exactly once via its sender-side handle.
+	for node := range n.wires {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			p := &n.wires[node].Ports[d]
+			if p.Out != nil {
+				p.Out.Reset()
+			}
+			if p.CreditIn != nil {
+				p.CreditIn.Reset()
+			}
+			if p.CtrlOut != nil {
+				p.CtrlOut.Reset()
+			}
+		}
+	}
+	for _, nif := range n.nis {
+		nif.Reset()
+	}
+	for _, m := range n.meters {
+		if m != nil {
+			m.Reset()
+		}
+	}
+	// Routers reset in node order, consuming one stream number each for
+	// the kinds whose constructors do — the same numbering a fresh build
+	// would have produced.
+	for _, r := range n.routers {
+		switch rt := r.(type) {
+		case *vcrouter.Router:
+			rt.Reset()
+		case *deflect.Router:
+			rt.Reset(n.source.StreamSeed())
+		case *deflect.DropRouter:
+			rt.Reset(n.source.StreamSeed())
+		case *core.Router:
+			rt.Reset(n.source.StreamSeed())
+		}
+	}
+	n.nacks = n.nacks[:0]
+	clear(n.nackPending)
+	n.resetCycle = 0
+	return true
+}
+
 // Kernel exposes the cycle kernel so traffic generators and the CMP
 // substrate can register their own tickers.
 func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// ReseedStream rewinds an existing random stream to the state the next
+// RandStream call would mint, consuming the same stream number. Reattach
+// paths use it to restore generator and workload randomness without
+// allocating fresh generators.
+func (n *Network) ReseedStream(r *rand.Rand) { n.source.Reseed(r) }
 
 // RandStream mints a deterministic random stream rooted at the network's
 // seed, for traffic generators and workload models.

@@ -76,6 +76,10 @@ func (p *pending) mark(seq int) bool {
 type NI struct {
 	node topology.NodeID
 
+	// arena, when set, supplies recycled flit blocks for packetization;
+	// nil means plain heap allocation (the -nopool reference path).
+	arena *flit.Arena
+
 	nextPkt     uint64
 	queues      [flit.NumVNs][]*flit.Flit
 	queuedFlits int // total across all VN queues, maintained O(1)
@@ -132,6 +136,10 @@ func New(node topology.NodeID) *NI {
 
 // Node returns the node this NI serves.
 func (n *NI) Node() topology.NodeID { return n.node }
+
+// SetArena attaches the flit arena used for packetization. The network
+// sets it at construction; passing nil selects heap allocation.
+func (n *NI) SetArena(a *flit.Arena) { n.arena = a }
 
 // SetHandler registers the delivered-packet callback.
 func (n *NI) SetHandler(h Handler) { n.handler = h }
@@ -191,7 +199,7 @@ func (n *NI) SendPacket(now uint64, dst topology.NodeID, vn flit.VN, length int,
 }
 
 func (n *NI) enqueue(p flit.Packet) {
-	fs := p.Flits()
+	fs := n.arena.Packetize(p)
 	n.queues[p.VN] = append(n.queues[p.VN], fs...)
 	n.queuedFlits += len(fs)
 }
@@ -227,7 +235,7 @@ func (n *NI) Retransmit(now uint64, packetID uint64) RetransmitStatus {
 	}
 	n.epoch[packetID]++
 	e := n.epoch[packetID]
-	fs := p.Flits()
+	fs := n.arena.Packetize(p)
 	for _, f := range fs {
 		f.Retransmits = e
 	}
@@ -287,8 +295,15 @@ func (n *NI) Pop(vn flit.VN) *flit.Flit {
 func (n *NI) StampInjection(now uint64, f *flit.Flit) { f.InjectedAt = now }
 
 // Deliver implements router.LocalSink: accept an ejected flit, reassemble,
-// and hand completed packets to the handler.
+// and hand completed packets to the handler. Ejection consumes the flit —
+// reassembly retains only packet metadata — so the flit is recycled to
+// the arena on every path out of delivery.
 func (n *NI) Deliver(now uint64, f *flit.Flit) {
+	n.deliver(now, f)
+	flit.Recycle(f)
+}
+
+func (n *NI) deliver(now uint64, f *flit.Flit) {
 	if f.Dst != n.node {
 		panic(fmt.Sprintf("ni: node %d received flit for %d: %v", n.node, f.Dst, f))
 	}
@@ -469,16 +484,42 @@ func (n *NI) CheckReassembly() error {
 }
 
 // ResetStats clears counters and histograms (used to discard warmup)
-// without touching in-flight state.
+// without touching in-flight state. Histograms are reset in place so
+// their backing arrays survive into the measurement window.
 func (n *NI) ResetStats() {
 	n.injectedFlits = 0
 	n.injectedPackets = 0
 	n.createdPackets = 0
 	n.deliveredFlits = 0
 	n.deliveredPackets = 0
-	n.netLatency = stats.NewHistogram(4096)
-	n.totalLatency = stats.NewHistogram(4096)
-	n.deflections = stats.NewHistogram(4096)
+	n.netLatency.Reset()
+	n.totalLatency.Reset()
+	n.deflections.Reset()
 	n.queueLenSum = 0
 	n.queueLenSamples = 0
+}
+
+// Reset rewinds the NI to its freshly constructed state, keeping the
+// queue backing arrays, map storage, and histogram capacity. The retain
+// flag and ack hook are network-owned configuration and survive; the
+// user handler and create hook are cleared — whoever reattaches the
+// traffic layer registers them again, exactly as on a fresh build.
+func (n *NI) Reset() {
+	n.nextPkt = 0
+	for vn := range n.queues {
+		n.queues[vn] = n.queues[vn][:0]
+	}
+	n.queuedFlits = 0
+	clear(n.reassembly)
+	n.handler = nil
+	n.createHook = nil
+	clear(n.retained)
+	clear(n.completed)
+	clear(n.epoch)
+	clear(n.queued)
+	n.ResetStats()
+	n.totalInjected = 0
+	n.totalEjected = 0
+	n.totalCompleted = 0
+	n.totalDiscarded = 0
 }

@@ -41,12 +41,23 @@ type Manifest struct {
 	Cells []CellRecord `json:"cells"`
 }
 
-// CellRecord is one executed cell's manifest entry.
+// CellRecord is one executed cell's manifest entry. The memory fields
+// are runtime.MemStats deltas between the cell's start and finish:
+// process-global, so under a parallel pool they attribute concurrent
+// cells' allocations to each other — best-effort telemetry for spotting
+// allocation regressions, not an exact per-cell accounting (run with
+// one worker for exact numbers).
 type CellRecord struct {
 	Batch   int     `json:"batch"`
 	Index   int     `json:"index"`
 	Seconds float64 `json:"seconds"`
 	Error   string  `json:"error,omitempty"`
+	// TotalAllocBytes is the delta of cumulative heap bytes allocated.
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	// NumGC is the number of garbage-collection cycles during the cell.
+	NumGC uint32 `json:"numGC"`
+	// PauseTotalNs is the GC stop-the-world pause time during the cell.
+	PauseTotalNs uint64 `json:"pauseTotalNs"`
 }
 
 // finalize stamps the wall-clock aggregates. Idempotent: it recomputes

@@ -72,6 +72,24 @@ type Observer struct {
 	manifest *Manifest
 	progress *progress
 	metrics  *Metrics
+
+	// memAt holds each in-flight cell's MemStats snapshot, taken at
+	// OnCellStart and diffed at OnCell (see CellRecord for the caveats).
+	memAt map[int]memSnap
+}
+
+// memSnap is the slice of runtime.MemStats a cell's manifest record
+// diffs.
+type memSnap struct {
+	totalAlloc   uint64
+	numGC        uint32
+	pauseTotalNs uint64
+}
+
+func readMemSnap() memSnap {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSnap{totalAlloc: ms.TotalAlloc, numGC: ms.NumGC, pauseTotalNs: ms.PauseTotalNs}
 }
 
 // New returns an Observer with the observers selected by cfg enabled.
@@ -148,6 +166,12 @@ func (o *Observer) onBatch(cells, workers int) {
 func (o *Observer) onCellStart(index int) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	if o.manifest != nil {
+		if o.memAt == nil {
+			o.memAt = make(map[int]memSnap)
+		}
+		o.memAt[index] = readMemSnap()
+	}
 	if o.progress != nil {
 		o.progress.start(index)
 	}
@@ -158,6 +182,13 @@ func (o *Observer) onCell(index int, err error, elapsed time.Duration) {
 	defer o.mu.Unlock()
 	if o.manifest != nil {
 		rec := CellRecord{Batch: o.batch, Index: index, Seconds: elapsed.Seconds()}
+		if at, ok := o.memAt[index]; ok {
+			now := readMemSnap()
+			rec.TotalAllocBytes = now.totalAlloc - at.totalAlloc
+			rec.NumGC = now.numGC - at.numGC
+			rec.PauseTotalNs = now.pauseTotalNs - at.pauseTotalNs
+			delete(o.memAt, index)
+		}
 		if err != nil {
 			rec.Error = err.Error()
 			o.manifest.CellErrors++

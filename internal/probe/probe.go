@@ -21,6 +21,13 @@ type Series struct {
 	Val  []float64
 }
 
+// Reset drops the recorded samples while keeping the backing arrays, so
+// a probe reused across cells records into the same storage.
+func (s *Series) Reset() {
+	s.At = s.At[:0]
+	s.Val = s.Val[:0]
+}
+
 // Last returns the most recent sample (0 if empty).
 func (s *Series) Last() float64 {
 	if len(s.Val) == 0 {

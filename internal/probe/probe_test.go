@@ -281,3 +281,23 @@ func TestWatchdogQuietOnRealNetworks(t *testing.T) {
 		}
 	}
 }
+
+// TestSeriesReset: Reset drops the samples but keeps the backing
+// arrays, so a probe reused across cells records into the same storage.
+func TestSeriesReset(t *testing.T) {
+	s := &Series{Name: "m"}
+	s.At = append(s.At, 1, 2, 3)
+	s.Val = append(s.Val, 0.5, 1.5, 2.5)
+	atCap, valCap := cap(s.At), cap(s.Val)
+	s.Reset()
+	if len(s.At) != 0 || len(s.Val) != 0 {
+		t.Fatalf("Reset left %d/%d samples", len(s.At), len(s.Val))
+	}
+	if cap(s.At) != atCap || cap(s.Val) != valCap {
+		t.Errorf("Reset dropped the backing arrays (cap %d/%d -> %d/%d)",
+			atCap, valCap, cap(s.At), cap(s.Val))
+	}
+	if s.Last() != 0 || s.Max() != 0 {
+		t.Errorf("reset series still reports samples: last=%g max=%g", s.Last(), s.Max())
+	}
+}

@@ -67,6 +67,12 @@ func NewDeflector(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy
 	return &Deflector{mesh: mesh, node: node, policy: policy, rng: rng}
 }
 
+// Reseed rewinds the deflector's arbitration randomness onto a fresh
+// stream root. With the scratch buffers carrying no cross-cycle state,
+// this restores a freshly constructed deflector bit for bit (the reused-
+// network reset path).
+func (d *Deflector) Reseed(seed int64) { d.rng.Seed(seed) }
+
 // Assign assigns an output direction to every flit in flits.
 //
 // usable(f, dir) must report whether output dir can carry f this cycle:

@@ -103,6 +103,9 @@ func (r *RoundRobin) Advance(k uint64) {
 	r.next = int((uint64(r.next) + k%uint64(r.n)) % uint64(r.n))
 }
 
+// Reset rewinds the pointer to slot 0, the state of a fresh arbiter.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
 // QueuedCounter is implemented by local sources that can report their
 // total queued flits in O(1) (the network interface does). Routers use
 // it to cheapen the per-cycle quiescence check; they fall back to

@@ -101,6 +101,17 @@ func fromEnv(s string, warn io.Writer) int {
 // min(Parallelism, n) workers and returns the lowest-indexed error, or
 // nil if every cell succeeded.
 func Run(n int, opt Options, fn func(i int) error) error {
+	return RunWorkers(n, opt, func(_, i int) error { return fn(i) })
+}
+
+// RunWorkers is Run with the executing worker's identity exposed: fn is
+// called as fn(worker, i) where worker is a stable index in [0, workers).
+// A worker executes its cells sequentially, so per-worker state (a
+// reused network, scratch buffers) needs no locking; cells must not
+// depend on which worker — and hence which prior cell's recycled state —
+// they land on. With one worker every cell sees worker 0, in index
+// order: the serial loop exactly.
+func RunWorkers(n int, opt Options, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -126,17 +137,17 @@ func Run(n int, opt Options, fn func(i int) error) error {
 		opt.OnCell(i, err, elapsed)
 		cbMu.Unlock()
 	}
-	exec := func(i int) error {
+	exec := func(worker, i int) error {
 		starting(i)
 		begin := time.Now()
-		err := runCell(i, fn)
+		err := runCell(worker, i, fn)
 		report(i, err, time.Since(begin))
 		return err
 	}
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := exec(i); err != nil {
+			if err := exec(0, i); err != nil {
 				return err
 			}
 		}
@@ -153,7 +164,7 @@ func Run(n int, opt Options, fn func(i int) error) error {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
@@ -163,7 +174,7 @@ func Run(n int, opt Options, fn func(i int) error) error {
 				if failed.Load() {
 					continue // drain: skip cells claimed after a failure
 				}
-				err := exec(i)
+				err := exec(worker, i)
 				if err != nil {
 					errMu.Lock()
 					if first == nil || i < firstI {
@@ -173,21 +184,21 @@ func Run(n int, opt Options, fn func(i int) error) error {
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return first
 }
 
-// runCell invokes fn(i), converting a panic into an error so one bad cell
-// cannot tear down the whole sweep.
-func runCell(i int, fn func(i int) error) (err error) {
+// runCell invokes fn(worker, i), converting a panic into an error so one
+// bad cell cannot tear down the whole sweep.
+func runCell(worker, i int, fn func(worker, i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runner: cell %d panicked: %v", i, r)
 		}
 	}()
-	return fn(i)
+	return fn(worker, i)
 }
 
 // Map executes fn over n cells and returns the results in submission
@@ -195,9 +206,15 @@ func runCell(i int, fn func(i int) error) (err error) {
 // partial results of the cells that did execute are returned alongside
 // the lowest-indexed error.
 func Map[T any](n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, opt, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorkers is Map with the executing worker's identity exposed; see
+// RunWorkers for the worker contract.
+func MapWorkers[T any](n int, opt Options, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Run(n, opt, func(i int) error {
-		v, err := fn(i)
+	err := RunWorkers(n, opt, func(worker, i int) error {
+		v, err := fn(worker, i)
 		if err != nil {
 			return err
 		}

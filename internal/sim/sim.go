@@ -136,6 +136,26 @@ func (k *Kernel) Reserve(n int) {
 	k.entries = grown
 }
 
+// Mark returns the current registration count. Pair with Truncate to
+// drop tickers registered after a known-good prefix (Network.Reset keeps
+// the construction-time registrations and sheds the per-cell ones).
+func (k *Kernel) Mark() int { return len(k.entries) }
+
+// Truncate unregisters every ticker added after mark, in preparation for
+// re-registering a new cell's tickers in the same slots. The dropped
+// entries are zeroed so the kernel does not pin them.
+func (k *Kernel) Truncate(mark int) {
+	for i := mark; i < len(k.entries); i++ {
+		k.entries[i] = entry{}
+	}
+	k.entries = k.entries[:mark]
+}
+
+// Rewind resets the clock to cycle 0 without touching the registry; the
+// caller is responsible for having rewound every registered component to
+// its cycle-0 state.
+func (k *Kernel) Rewind() { k.clock.now = 0 }
+
 // SetDense selects the dense reference kernel: every ticker runs every
 // cycle and Quiescent is never consulted. Results are bit-for-bit
 // identical either way; dense mode exists as the trusted baseline the
@@ -276,6 +296,15 @@ func NewSource(seed int64) *Source {
 // identical. Stream panics if it observes an overlapping call from
 // another goroutine (which would make stream numbering nondeterministic).
 func (s *Source) Stream() *rand.Rand {
+	return rand.New(rand.NewSource(s.StreamSeed()))
+}
+
+// StreamSeed consumes the next stream number and returns its root seed.
+// rand.New(rand.NewSource(seed)) and r.Seed(seed) produce identical
+// generator state, so minting a fresh stream and re-seeding an existing
+// one (Reseed) are interchangeable — reused networks rely on this to
+// stay bit-for-bit identical to freshly built ones.
+func (s *Source) StreamSeed() int64 {
 	if !s.busy.CompareAndSwap(false, true) {
 		panic("sim: Source.Stream called concurrently; a Source is single-goroutine — use one Source per simulation cell")
 	}
@@ -286,5 +315,16 @@ func (s *Source) Stream() *rand.Rand {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return int64(z)
+}
+
+// Reseed rewinds an existing generator onto the next stream, the
+// allocation-free equivalent of replacing it with Stream().
+func (s *Source) Reseed(r *rand.Rand) { r.Seed(s.StreamSeed()) }
+
+// Reset re-roots the source at seed with stream numbering restarted, so
+// a reused component mints the same stream sequence as a fresh one.
+func (s *Source) Reset(seed int64) {
+	s.seed = seed
+	s.next = 0
 }

@@ -102,6 +102,21 @@ func NewHistogram(capacity int) *Histogram {
 	return &Histogram{min: math.MaxUint64, cap: capacity, stride: 1}
 }
 
+// Reset empties the histogram while keeping the retained-sample backing
+// arrays, so a reused histogram behaves bit-for-bit like a fresh
+// NewHistogram of the same capacity without reallocating.
+func (h *Histogram) Reset() {
+	h.count = 0
+	h.sum = 0
+	h.min = math.MaxUint64
+	h.max = 0
+	h.values = h.values[:0]
+	h.sorted = h.sorted[:0]
+	h.dirty = false
+	h.stride = 1
+	h.seen = 0
+}
+
 // Add records a sample.
 func (h *Histogram) Add(v uint64) {
 	h.count++

@@ -209,6 +209,35 @@ func NewGenerator(net *network.Network, cfg Config, seeds func() *rand.Rand) *Ge
 	return g
 }
 
+// Reattach rebinds the generator to its (freshly Reset) network as
+// NewGenerator would: same per-node stream numbering, same defaults —
+// but reusing the existing generators and flip state. Like NewGenerator
+// it does not register a ticker; the caller does.
+func (g *Generator) Reattach(cfg Config) {
+	if cfg.DataFraction == 0 {
+		cfg.DataFraction = 0.25
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = Uniform{Mesh: g.net.Mesh()}
+	}
+	g.cfg = cfg
+	for i := range g.rngs {
+		g.net.ReseedStream(g.rngs[i])
+		g.flip[i] = false
+	}
+	g.offered = 0
+	g.stopped = false
+	g.maxRate = cfg.Rate
+	if cfg.NodeRates != nil {
+		g.maxRate = 0
+		for _, r := range cfg.NodeRates {
+			if r > g.maxRate {
+				g.maxRate = r
+			}
+		}
+	}
+}
+
 // MeanPacketLen returns the expected packet length under the configured
 // mix.
 func (g *Generator) MeanPacketLen() float64 {

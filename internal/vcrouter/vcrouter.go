@@ -149,6 +149,42 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
 
+// Reset rewinds the router to its freshly constructed state, keeping
+// every buffer's backing array: VC queues empty, packet state closed,
+// full credits, arbiters at slot 0, stats zeroed. Part of the cross-cell
+// network-reuse path; this router draws no randomness, so no reseeding
+// is involved.
+func (r *Router) Reset() {
+	for p := 0; p < topology.NumPorts; p++ {
+		for v := range r.in[p] {
+			vc := &r.in[p][v]
+			vc.q = vc.q[:0]
+			vc.pktOpen = false
+			vc.route = 0
+			vc.ovc = 0
+			vc.vcaDoneAt = 0
+		}
+		for v := range r.out[p] {
+			r.out[p][v] = outVC{credits: r.depth}
+		}
+		r.inArb[p].Reset()
+		r.outArb[p].Reset()
+		for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+			r.vcaArb[p][vn].Reset()
+		}
+		r.cands[p] = candidate{}
+		r.heldAt[p] = 0
+	}
+	for vn := range r.injVC {
+		r.injVC[vn] = flit.NoVC
+		r.injOpen[vn] = false
+	}
+	r.held = 0
+	r.routedFlits = 0
+	r.injectedFlits = 0
+	r.ejectedFlits = 0
+}
+
 // RoutedFlits returns the number of flits this router has moved through
 // its crossbar (switch traversals).
 func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
