@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-equality bench-json bench-smoke fuzz-smoke obs-smoke cover ci
+.PHONY: build vet test race race-equality smoke-16x16 bench-json bench-smoke fuzz-smoke obs-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The two bit-for-bit equivalence gates under the race detector: the
-# active-set kernel against the dense reference, and the pooled memory
+# The three bit-for-bit equivalence gates under the race detector: the
+# active-set kernel against the dense reference, the pooled memory
 # engine (arena recycling + cross-cell network reuse) against the
-# no-pool reference — each serial and 8-way parallel with the invariant
-# checker attached. `race` already covers them via ./...; this target
-# exists so CI names them explicitly and a -short or cached run cannot
-# skip them.
+# no-pool reference, and the columnar flit banks against the
+# struct-field reference — each serial and 8-way parallel with the
+# invariant checker attached. `race` already covers them via ./...; this
+# target exists so CI names them explicitly and a -short or cached run
+# cannot skip them.
 race-equality:
-	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool)$$' ./internal/experiments
+	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool|TestColumnarEqualsReference)$$' ./internal/experiments
+
+# The large-radix smoke cell: a short 16x16 AFC run with the invariant
+# checker attached (see TestLargeMesh16x16Smoke), so the regime the
+# columnar banks target is exercised on every CI run even though the
+# paper's own experiments stop at 3x3.
+smoke-16x16:
+	$(GO) test -short -count=1 -run='^TestLargeMesh16x16Smoke$$' ./internal/network
 
 # Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
 # and allocs/op plus low-load vs saturation cell wall times (minimum of
@@ -47,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzKindJSON$$' -fuzztime=10s ./internal/network
 	$(GO) test -run='^$$' -fuzz='^FuzzConfig$$' -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz='^FuzzNetworkStep$$' -fuzztime=10s ./internal/check
+	$(GO) test -run='^$$' -fuzz='^FuzzArenaHandles$$' -fuzztime=10s ./internal/flit
 
 # One tiny sweep with every observability flag on: the run must succeed,
 # leave a heap profile behind, and produce a manifest that records the
@@ -72,4 +81,4 @@ cover:
 	base=$$(cat coverage-baseline.txt); \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
 
-ci: build vet race race-equality bench-smoke fuzz-smoke obs-smoke cover
+ci: build vet race race-equality smoke-16x16 bench-smoke fuzz-smoke obs-smoke cover

@@ -15,8 +15,10 @@ import (
 
 	"afcnet/internal/check"
 	"afcnet/internal/cmp"
+	"afcnet/internal/config"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
 
@@ -66,6 +68,35 @@ func BenchmarkKernelStep(b *testing.B) {
 	}, net.RandStream)
 	net.AddTicker(gen)
 	net.Run(1000) // reach steady state before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkKernelStep16x16 is BenchmarkKernelStep on a 16x16 mesh — the
+// large-radix regime the columnar flit banks target (the paper's own
+// evaluation stops at 3x3; the deflection literature it builds on lives
+// at 64-1024 nodes). The per-cycle cost scales with the router count, so
+// expect roughly 256/9 of the 3x3 number; what this bench tracks is that
+// the per-router cost does not degrade with radix and that the steady
+// state stays allocation-free at scale. The injection rate is scaled
+// down: uniform traffic on a 16x16 mesh saturates near 0.12
+// flits/node/cycle (bisection-limited, ~10.7 average hops), so the 3x3
+// bench's 0.3 would sit past saturation where queues — and allocations —
+// grow without bound and no steady state exists.
+func BenchmarkKernelStep16x16(b *testing.B) {
+	net := network.New(network.Config{
+		Kind: network.AFC, Seed: 1, MeterEnergy: true,
+		System: config.DefaultWithMesh(topology.NewMesh(16, 16)),
+	})
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.08,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(5000) // reach steady state before measuring (large mesh: longer fill)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

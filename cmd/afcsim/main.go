@@ -56,27 +56,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("afcsim: ")
 	var (
-		kindFlag  = flag.String("kind", "afc", "router kind: backpressured|ideal-bypass|backpressureless|drop|afc|afc-always-bp|all")
-		benchFlag = flag.String("bench", "apache", "workload: apache|oltp|specjbb|barnes|ocean|water|all")
-		seed      = flag.Int64("seed", 1, "random seed")
-		warmup    = flag.Uint64("warmup", 2000, "warmup transactions before measurement")
-		tx        = flag.Uint64("tx", 6000, "measured transactions")
-		limit     = flag.Uint64("limit", 20_000_000, "cycle limit")
-		oldest    = flag.Bool("oldest", false, "use oldest-first deflection arbitration instead of randomized")
-		prealloc  = flag.Bool("wb-prealloc", false, "use the writeback pre-allocation protocol variant (Section II)")
-		realVCA   = flag.Bool("realistic-vca", false, "model the 3-stage backpressured pipeline (non-speculative VCA)")
-		meshFlag  = flag.String("mesh", "3x3", "mesh dimensions WxH (the paper uses 3x3; Sec. V-B uses 8x8)")
-		recordTo  = flag.String("record", "", "record the created packet trace to this file")
-		replayOf  = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
-		parallel  = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
-		checked   = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker (or set AFCSIM_CHECK=1); identical results, slower")
-		dense     = flag.Bool("dense", network.DenseFromEnv(), "run the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1); identical results, slower at low load")
-		nopool    = flag.Bool("nopool", network.NoPoolFromEnv(), "heap-allocate flits instead of arena pooling (or set AFCSIM_NOPOOL=1); identical results, allocates in steady state")
-		manifest  = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
-		progress  = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
+		kindFlag   = flag.String("kind", "afc", "router kind: backpressured|ideal-bypass|backpressureless|drop|afc|afc-always-bp|all")
+		benchFlag  = flag.String("bench", "apache", "workload: apache|oltp|specjbb|barnes|ocean|water|all")
+		seed       = flag.Int64("seed", 1, "random seed")
+		warmup     = flag.Uint64("warmup", 2000, "warmup transactions before measurement")
+		tx         = flag.Uint64("tx", 6000, "measured transactions")
+		limit      = flag.Uint64("limit", 20_000_000, "cycle limit")
+		oldest     = flag.Bool("oldest", false, "use oldest-first deflection arbitration instead of randomized")
+		prealloc   = flag.Bool("wb-prealloc", false, "use the writeback pre-allocation protocol variant (Section II)")
+		realVCA    = flag.Bool("realistic-vca", false, "model the 3-stage backpressured pipeline (non-speculative VCA)")
+		meshFlag   = flag.String("mesh", "3x3", "mesh dimensions WxH (the paper uses 3x3; Sec. V-B uses 8x8)")
+		recordTo   = flag.String("record", "", "record the created packet trace to this file")
+		replayOf   = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
+		parallel   = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
+		checked    = flag.Bool("check", check.FromEnv(), "attach the runtime invariant checker (or set AFCSIM_CHECK=1); identical results, slower")
+		dense      = flag.Bool("dense", network.DenseFromEnv(), "run the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1); identical results, slower at low load")
+		nopool     = flag.Bool("nopool", network.NoPoolFromEnv(), "heap-allocate flits instead of arena pooling (or set AFCSIM_NOPOOL=1); identical results, allocates in steady state")
+		nocolumnar = flag.Bool("nocolumnar", network.NoColumnarFromEnv(), "read per-flit state from struct fields instead of the columnar banks (or set AFCSIM_NOCOLUMNAR=1); identical results")
+		manifest   = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
+		progress   = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
+		cpuprof    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof    = flag.String("memprofile", "", "write a heap profile to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -153,7 +154,7 @@ func main() {
 
 	if *replayOf != "" {
 		for _, k := range kinds {
-			if err := replayOne(*replayOf, k, *seed, *checked, *dense, *nopool, ob); err != nil {
+			if err := replayOne(*replayOf, k, *seed, *checked, *dense, *nopool, *nocolumnar, ob); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -182,7 +183,7 @@ func main() {
 			p.WritebackPreAlloc = true
 		}
 		var buf bytes.Buffer
-		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked, *dense, *nopool, ob); err != nil {
+		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked, *dense, *nopool, *nocolumnar, ob); err != nil {
 			return nil, err
 		}
 		return &buf, nil
@@ -208,10 +209,10 @@ func parseMesh(s string) (topology.Mesh, error) {
 
 // runOne executes one bench/kind cell and writes its report rows to w
 // (a per-cell buffer under parallel execution, so rows never interleave).
-func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked, dense, nopool bool, ob *obs.Observer) error {
+func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked, dense, nopool, nocolumnar bool, ob *obs.Observer) error {
 	sys := config.DefaultWithMesh(mesh)
 	sys.Baseline.RealisticVCA = realVCA
-	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol, DenseKernel: dense, NoPool: nopool})
+	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar})
 	if checked {
 		check.Attach(net)
 	}
@@ -254,7 +255,7 @@ func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol r
 
 // replayOne feeds a recorded trace open-loop into a fresh network of the
 // given kind and reports the trace-driven (no-feedback) metrics.
-func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool bool, ob *obs.Observer) error {
+func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool, nocolumnar bool, ob *obs.Observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -264,7 +265,7 @@ func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool b
 	if err != nil {
 		return err
 	}
-	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true, DenseKernel: dense, NoPool: nopool})
+	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar})
 	if checked {
 		check.Attach(net)
 	}

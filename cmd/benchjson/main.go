@@ -18,17 +18,25 @@
 //
 //	benchjson                    # measure, write BENCH_<n>.json (next free n)
 //	benchjson -dense             # measure the dense reference kernel
+//	benchjson -nocolumnar        # measure the struct-field reference path
 //	benchjson -o my.json         # explicit output path
-//	benchjson -smoke             # reduced run, warn-only compare vs the
-//	                             # newest BENCH_*.json (CI bench-smoke gate)
+//	benchjson -smoke             # reduced run compared vs the newest
+//	                             # BENCH_*.json (CI bench-smoke gate)
 //
 // -smoke performs a benchstat-style threshold comparison against the
 // recorded baseline: each metric's delta is printed. Wall-clock
 // regressions beyond the threshold are flagged as warnings (warn-only —
-// shared machines make wall time noisy), but allocation regressions
-// (allocs/op, per-cell heap bytes) FAIL the run with a non-zero exit:
-// the steady state is zero-allocation by construction, so any growth is
-// a real leak of the pooling discipline, not noise.
+// shared machines make wall time noisy). Two metric classes FAIL the run
+// with a non-zero exit: allocation regressions (allocs/op, per-cell heap
+// bytes — the steady state is zero-allocation by construction, so any
+// growth is a real leak of the pooling discipline, not noise), and the
+// moderate-load kernel step ns/op when it exceeds 1.15x the recorded
+// baseline (the repo's headline perf number; the generous ratio absorbs
+// shared-machine noise while still catching real regressions).
+//
+// Snapshot schema: afcnet-bench/v2 adds the 16x16 large-radix kernel
+// number (kernelStep16x16NsPerOp). bench-smoke reads v1 snapshots
+// backward-compatibly — metrics a v1 baseline lacks are skipped.
 package main
 
 import (
@@ -46,26 +54,35 @@ import (
 	"time"
 
 	"afcnet/internal/cmp"
+	"afcnet/internal/config"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
+	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
 
 // Snapshot is the recorded BENCH_<n>.json schema.
 type Snapshot struct {
-	Schema    string `json:"schema"`
-	Label     string `json:"label,omitempty"`
-	GoVersion string `json:"goVersion"`
-	Dense     bool   `json:"denseKernel"`
-	NoPool    bool   `json:"noPool"`
-	Runs      int    `json:"runs"`
+	Schema     string `json:"schema"`
+	Label      string `json:"label,omitempty"`
+	GoVersion  string `json:"goVersion"`
+	Dense      bool   `json:"denseKernel"`
+	NoPool     bool   `json:"noPool"`
+	NoColumnar bool   `json:"noColumnar"`
+	Runs       int    `json:"runs"`
 
 	Kernel struct {
 		StepNsPerOp            float64 `json:"stepNsPerOp"`
 		StepAllocsPerOp        float64 `json:"stepAllocsPerOp"`
 		StepLowLoadNsPerOp     float64 `json:"stepLowLoadNsPerOp"`
 		StepLowLoadAllocsPerOp float64 `json:"stepLowLoadAllocsPerOp"`
-		// SteadyAllocsPerOp is the worse (max) of the two steady-state
+		// Step16x16NsPerOp (schema v2) is the large-radix kernel number:
+		// one step of a 16x16 mesh under sub-saturation uniform load
+		// (0.08 flits/node/cycle; see BenchmarkKernelStep16x16). Zero in
+		// v1 snapshots, which predate the field.
+		Step16x16NsPerOp     float64 `json:"kernelStep16x16NsPerOp"`
+		Step16x16AllocsPerOp float64 `json:"kernelStep16x16AllocsPerOp"`
+		// SteadyAllocsPerOp is the worst (max) of the steady-state
 		// allocs/op measurements above — the single number the smoke
 		// gate compares. With pooling on this is 0 by construction.
 		SteadyAllocsPerOp float64 `json:"steadyAllocsPerOp"`
@@ -90,24 +107,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		dense    = flag.Bool("dense", network.DenseFromEnv(), "measure the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1)")
-		nopool   = flag.Bool("nopool", network.NoPoolFromEnv(), "measure with heap-allocated flits instead of arena pooling (or set AFCSIM_NOPOOL=1)")
-		out      = flag.String("o", "", "output path (default: next free BENCH_<n>.json in the current directory)")
-		runs     = flag.Int("runs", 5, "repetitions per wall-time cell; the minimum is recorded")
-		label    = flag.String("label", "", "free-text label recorded in the snapshot")
-		smoke    = flag.Bool("smoke", false, "reduced measurement compared warn-only against -baseline; writes no file")
-		baseline = flag.String("baseline", "", "baseline snapshot for -smoke (default: the highest-numbered BENCH_*.json)")
+		dense      = flag.Bool("dense", network.DenseFromEnv(), "measure the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1)")
+		nopool     = flag.Bool("nopool", network.NoPoolFromEnv(), "measure with heap-allocated flits instead of arena pooling (or set AFCSIM_NOPOOL=1)")
+		nocolumnar = flag.Bool("nocolumnar", network.NoColumnarFromEnv(), "measure the struct-field reference path instead of the columnar flit banks (or set AFCSIM_NOCOLUMNAR=1)")
+		out        = flag.String("o", "", "output path (default: next free BENCH_<n>.json in the current directory)")
+		runs       = flag.Int("runs", 5, "repetitions per wall-time cell; the minimum is recorded")
+		label      = flag.String("label", "", "free-text label recorded in the snapshot")
+		smoke      = flag.Bool("smoke", false, "reduced measurement compared warn-only against -baseline; writes no file")
+		baseline   = flag.String("baseline", "", "baseline snapshot for -smoke (default: the highest-numbered BENCH_*.json)")
 	)
 	flag.Parse()
 
 	if *smoke {
-		if err := runSmoke(*dense, *nopool, *baseline); err != nil {
+		if err := runSmoke(*dense, *nopool, *nocolumnar, *baseline); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	snap := measure(*dense, *nopool, *runs, *label, false)
+	snap := measure(*dense, *nopool, *nocolumnar, *runs, *label, false)
 	path := *out
 	if path == "" {
 		path = nextBenchPath(".")
@@ -124,30 +142,40 @@ func main() {
 
 // measure runs the benchmark suite. In smoke mode the wall cells drop to
 // the single low-load cell and fewer repetitions, so CI stays fast.
-func measure(dense, nopool bool, runs int, label string, smoke bool) Snapshot {
+func measure(dense, nopool, nocolumnar bool, runs int, label string, smoke bool) Snapshot {
 	var s Snapshot
-	s.Schema = "afcnet-bench/v1"
+	s.Schema = "afcnet-bench/v2"
 	s.Label = label
 	s.GoVersion = runtime.Version()
 	s.Dense = dense
 	s.NoPool = nopool
+	s.NoColumnar = nocolumnar
 	s.Runs = runs
 
-	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, dense, nopool) })
+	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, 3, 1000, dense, nopool, nocolumnar) })
 	s.Kernel.StepNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepAllocsPerOp = float64(r.AllocsPerOp())
-	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, dense, nopool) })
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, 3, 1000, dense, nopool, nocolumnar) })
 	s.Kernel.StepLowLoadNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepLowLoadAllocsPerOp = float64(r.AllocsPerOp())
+	// Large-radix cell: 16x16 under sub-saturation uniform load (0.3
+	// would sit past the bisection limit of the bigger mesh, where queues
+	// and allocations grow without bound; see BenchmarkKernelStep16x16).
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.08, 16, 5000, dense, nopool, nocolumnar) })
+	s.Kernel.Step16x16NsPerOp = float64(r.NsPerOp())
+	s.Kernel.Step16x16AllocsPerOp = float64(r.AllocsPerOp())
 	s.Kernel.SteadyAllocsPerOp = s.Kernel.StepAllocsPerOp
-	if s.Kernel.StepLowLoadAllocsPerOp > s.Kernel.SteadyAllocsPerOp {
-		s.Kernel.SteadyAllocsPerOp = s.Kernel.StepLowLoadAllocsPerOp
+	for _, a := range []float64{s.Kernel.StepLowLoadAllocsPerOp, s.Kernel.Step16x16AllocsPerOp} {
+		if a > s.Kernel.SteadyAllocsPerOp {
+			s.Kernel.SteadyAllocsPerOp = a
+		}
 	}
 
 	opt := experiments.Quick()
 	opt.Parallelism = 1 // wall times must not depend on machine width
 	opt.Dense = dense
 	opt.NoPool = nopool
+	opt.NoColumnar = nocolumnar
 	s.Cells.LowLoadCellWallSecs, s.Cells.LowLoadCellTotalAllocBytes = minWall(runs, func() {
 		mustClosedLoop(cmp.LowLoad()[:1], opt)
 	})
@@ -162,16 +190,21 @@ func measure(dense, nopool bool, runs int, label string, smoke bool) Snapshot {
 	return s
 }
 
-// benchStep is the cmd-side mirror of BenchmarkKernelStep in
-// bench_test.go (test files cannot be imported from a command).
-func benchStep(b *testing.B, rate float64, dense, nopool bool) {
-	net := network.New(network.Config{Kind: network.AFC, Seed: 1, MeterEnergy: true, DenseKernel: dense, NoPool: nopool})
+// benchStep is the cmd-side mirror of BenchmarkKernelStep /
+// BenchmarkKernelStep16x16 in bench_test.go (test files cannot be
+// imported from a command).
+func benchStep(b *testing.B, rate float64, side, warmup int, dense, nopool, nocolumnar bool) {
+	net := network.New(network.Config{
+		Kind: network.AFC, Seed: 1, MeterEnergy: true,
+		System:      config.DefaultWithMesh(topology.NewMesh(side, side)),
+		DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar,
+	})
 	gen := traffic.NewGenerator(net, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: net.Mesh()},
 		Rate:    rate,
 	}, net.RandStream)
 	net.AddTicker(gen)
-	net.Run(1000)
+	net.Run(uint64(warmup))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -246,8 +279,12 @@ func benchFiles(dir string) []string {
 // comparison against the baseline snapshot. Wall-clock metrics are
 // warn-only; allocation metrics fail the run (non-zero exit) when they
 // regress, because the steady state is zero-allocation by construction
-// and any growth is a pooling leak, not measurement noise.
-func runSmoke(dense, nopool bool, baselinePath string) error {
+// and any growth is a pooling leak, not measurement noise. The
+// moderate-load kernel step ns/op also fails past 1.15x the baseline —
+// it is the repo's headline perf number, and the generous ratio absorbs
+// shared-machine noise. v1 baselines (no 16x16 field) are read
+// backward-compatibly: metrics they lack are skipped.
+func runSmoke(dense, nopool, nocolumnar bool, baselinePath string) error {
 	if baselinePath == "" {
 		files := benchFiles(".")
 		if len(files) == 0 {
@@ -256,7 +293,7 @@ func runSmoke(dense, nopool bool, baselinePath string) error {
 			baselinePath = files[len(files)-1]
 		}
 	}
-	cur := measure(dense, nopool, 2, "", true)
+	cur := measure(dense, nopool, nocolumnar, 2, "", true)
 
 	if baselinePath == "" {
 		fmt.Printf("kernel step: %.0f ns/op (%.0f allocs); low load: %.0f ns/op; low-load cell: %.3fs\n",
@@ -272,7 +309,12 @@ func runSmoke(dense, nopool bool, baselinePath string) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("%s: %v", baselinePath, err)
 	}
-	fmt.Printf("bench-smoke vs %s (wall warn-only, allocs failing)\n", baselinePath)
+	switch base.Schema {
+	case "afcnet-bench/v1", "afcnet-bench/v2":
+	default:
+		return fmt.Errorf("%s: unknown schema %q", baselinePath, base.Schema)
+	}
+	fmt.Printf("bench-smoke vs %s (wall warn-only; allocs and step ns/op failing)\n", baselinePath)
 	warned, failed := false, false
 	// Wall-clock numbers swing far more than ns/op on shared machines,
 	// so each metric carries its own threshold. A baseline of 0 means
@@ -315,8 +357,24 @@ func runSmoke(dense, nopool bool, baselinePath string) error {
 		}
 		fmt.Printf("  %-24s %12.1f -> %12.1f  (%+.1f%%)%s\n", name, baseV, curV, delta, mark)
 	}
-	compare("step ns/op", base.Kernel.StepNsPerOp, cur.Kernel.StepNsPerOp, 25)
+	// compareFail promotes a metric from warn to FAIL past its threshold:
+	// the moderate-load step ns/op is the repo's headline number, gated
+	// at 1.15x the recorded baseline.
+	compareFail := func(name string, baseV, curV, threshold float64) {
+		if baseV == 0 {
+			return // field predates the baseline's schema
+		}
+		delta := deltaPct(baseV, curV)
+		mark := ""
+		if delta > threshold {
+			mark = "  <-- FAIL: exceeds +" + strconv.FormatFloat(threshold, 'f', -1, 64) + "% threshold"
+			failed = true
+		}
+		fmt.Printf("  %-24s %12.1f -> %12.1f  (%+.1f%%)%s\n", name, baseV, curV, delta, mark)
+	}
+	compareFail("step ns/op", base.Kernel.StepNsPerOp, cur.Kernel.StepNsPerOp, 15)
 	compare("step lowload ns/op", base.Kernel.StepLowLoadNsPerOp, cur.Kernel.StepLowLoadNsPerOp, 25)
+	compare("step 16x16 ns/op", base.Kernel.Step16x16NsPerOp, cur.Kernel.Step16x16NsPerOp, 25)
 	compare("lowload cell wall ms", base.Cells.LowLoadCellWallSecs*1000, cur.Cells.LowLoadCellWallSecs*1000, 50)
 	compareAlloc("step allocs/op", base.Kernel.StepAllocsPerOp, cur.Kernel.StepAllocsPerOp, 0)
 	compareAlloc("steady allocs/op", base.Kernel.SteadyAllocsPerOp, cur.Kernel.SteadyAllocsPerOp, 0)
@@ -329,7 +387,7 @@ func runSmoke(dense, nopool bool, baselinePath string) error {
 		failed = true
 	}
 	if failed {
-		return fmt.Errorf("allocation regression (see above)")
+		return fmt.Errorf("bench-smoke regression (see above)")
 	}
 	if warned {
 		fmt.Println("bench-smoke: wall-clock regression warnings above (warn-only; not failing the build)")

@@ -39,10 +39,10 @@ func (r *Router) blessCycle(now uint64) {
 		}
 		taken[a.Dir] = true
 		if a.Deflected {
-			f.Deflections++
+			f.BumpDeflections()
 			r.deflections++
 		}
-		if r.misrouteThreshold > 0 && f.Deflections >= r.misrouteThreshold {
+		if r.misrouteThreshold > 0 && r.cols.FlitDeflections(f) >= r.misrouteThreshold {
 			r.misrouteTripped = true
 		}
 		r.blessSend(now, a.Dir, f)
@@ -64,9 +64,10 @@ func (r *Router) eject(now uint64, f *flit.Flit) {
 
 func (r *Router) blessSend(now uint64, d topology.Dir, f *flit.Flit) {
 	if ds := &r.down[d]; ds.tracking {
-		ds.credits[f.VN]--
-		if ds.credits[f.VN] < 0 {
-			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, d, f.VN))
+		vn := r.vnOf(f)
+		ds.credits[vn]--
+		if ds.credits[vn] < 0 {
+			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, d, vn))
 		}
 	}
 	r.routedFlits++
@@ -98,7 +99,13 @@ func (r *Router) armInjection(now uint64, vn flit.VN) bool {
 // an output port that is both free and usable for it (injection-port
 // backpressure).
 func (r *Router) blessInject(now uint64, taken *[topology.NumDirs]bool) {
-	start := r.injArb.Pick(func(int) bool { return true })
+	start := r.injArb.Next()
+	// Empty NI: every armInjection would peek nil, zero its register and
+	// decline, so zeroing them all and returning is bit-for-bit identical.
+	if r.srcCount != nil && r.srcCount.QueuedFlits() == 0 {
+		r.injArmedAt = [flit.NumVNs]uint64{}
+		return
+	}
 	for i := 0; i < flit.NumVNs; i++ {
 		vn := flit.VN((start + i) % flit.NumVNs)
 		if !r.armInjection(now, vn) {
@@ -132,7 +139,7 @@ func (r *Router) blessInject(now uint64, taken *[topology.NumDirs]bool) {
 		}
 		taken[a.Dir] = true
 		if a.Deflected {
-			f.Deflections++
+			f.BumpDeflections()
 			r.deflections++
 		}
 		r.blessSend(now, a.Dir, f)

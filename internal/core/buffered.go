@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"afcnet/internal/flit"
 	"afcnet/internal/link"
@@ -38,7 +39,7 @@ func (r *Router) bufferedCycle(now uint64) {
 		}
 		if e := r.esc[p]; len(e) > 0 && e[0].readyAt <= now {
 			f := e[0].f
-			out := r.mesh.DORNext(r.node, f.Dst)
+			out := r.dor[r.dstOf(f)]
 			if out == topology.Local || r.usableOut(f, out) {
 				r.cands[p] = cand{valid: true, escape: true, out: out}
 				wantOut[out] = true
@@ -47,17 +48,26 @@ func (r *Router) bufferedCycle(now uint64) {
 			// Escape head blocked on credits; regular slots may still
 			// compete this cycle.
 		}
-		pick := r.inArb[p].Pick(func(s int) bool {
+		ok := func(s int) bool {
 			sl := &r.in[p][s]
 			if sl.f == nil || sl.readyAt > now {
 				return false
 			}
-			out := r.mesh.DORNext(r.node, sl.f.Dst)
+			out := r.dor[r.dstOf(sl.f)]
 			return out == topology.Local || r.usableOut(sl.f, out)
-		})
+		}
+		var pick int
+		if r.occValid {
+			// Occupied slots only; empty slots fail the predicate anyway,
+			// so the masked scan grants identically and moves the pointer
+			// identically.
+			pick = r.inArb[p].PickMask(r.occ[p], ok)
+		} else {
+			pick = r.inArb[p].Pick(ok)
+		}
 		if pick >= 0 {
 			f := r.in[p][pick].f
-			out := r.mesh.DORNext(r.node, f.Dst)
+			out := r.dor[r.dstOf(f)]
 			r.cands[p] = cand{valid: true, slot: pick, out: out}
 			wantOut[out] = true
 		}
@@ -104,6 +114,7 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 		sl := &r.in[in][c.slot]
 		f = sl.f
 		sl.f = nil
+		r.occ[in] &^= 1 << uint(c.slot)
 		r.held--
 		r.heldAt[in]--
 		if r.meter != nil {
@@ -111,7 +122,7 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 		}
 		if in != topology.Local {
 			if pl := r.wires.Ports[in]; pl.CreditOut != nil {
-				pl.CreditOut.Send(now, link.Credit{VC: c.slot, VN: f.VN})
+				pl.CreditOut.Send(now, link.Credit{VC: c.slot, VN: r.vnOf(f)})
 				if r.meter != nil {
 					r.meter.Credit()
 				}
@@ -131,9 +142,10 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 		return
 	}
 	if ds := &r.down[out]; ds.tracking {
-		ds.credits[f.VN]--
-		if ds.credits[f.VN] < 0 {
-			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, out, f.VN))
+		vn := r.vnOf(f)
+		ds.credits[vn]--
+		if ds.credits[vn] < 0 {
+			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, out, vn))
 		}
 	}
 	// Lazy VC allocation: the flit departs with no VC; the downstream
@@ -150,6 +162,10 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 // the NI into free local-port slots (the Garnet-style NI model used by
 // every router kind).
 func (r *Router) bufferedInject(now uint64) {
+	// Empty NI: every peek below would return nil.
+	if r.srcCount != nil && r.srcCount.QueuedFlits() == 0 {
+		return
+	}
 	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
 		f := r.src.Peek(vn)
 		if f == nil {
@@ -164,6 +180,7 @@ func (r *Router) bufferedInject(now uint64) {
 		r.injectedFlits++
 		f.VC = s
 		r.in[topology.Local][s] = slot{f: f, readyAt: now + 1}
+		r.occ[topology.Local] |= 1 << uint(s)
 		r.held++
 		r.heldAt[topology.Local]++
 		if r.meter != nil {
@@ -175,7 +192,17 @@ func (r *Router) bufferedInject(now uint64) {
 // freeSlot returns a free slot index for vn at port p, or -1. This is the
 // lazy VC allocation itself: free slots are pre-discoverable by simple
 // daisy-chaining, adding no latency to the critical path (Section III-E).
+// Each virtual network's slots are a contiguous ascending range, so the
+// trailing-zero count of the free bits inside vnMask is exactly the first
+// free slot the reference scan would find.
 func (r *Router) freeSlot(p topology.Dir, vn flit.VN) int {
+	if r.occValid {
+		m := ^r.occ[p] & r.vnMask[vn]
+		if m == 0 {
+			return -1
+		}
+		return bits.TrailingZeros64(m)
+	}
 	for _, s := range r.vnSlots[vn] {
 		if r.in[p][s].f == nil {
 			return s

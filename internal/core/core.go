@@ -48,6 +48,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"afcnet/internal/config"
@@ -143,11 +144,34 @@ type Router struct {
 	vnSlots    [flit.NumVNs][]int
 	totalSlots int
 
-	in      [topology.NumPorts][]slot
-	esc     [topology.NumPorts][]escape
-	escCap  int
-	down    [topology.NumDirs]downstream
-	defl    *router.Deflector
+	// occ mirrors SRAM slot occupancy per input port as a bitmask (bit s
+	// set = slot s holds a flit) and vnMask covers each virtual network's
+	// contiguous slot range, so free-slot discovery and the buffered-cycle
+	// input arbitration are trailing-zero scans over words instead of
+	// pointer walks. Maintained at the same enqueue/dequeue sites as
+	// heldAt; meaningful only while occValid (totalSlots <= 64 — any
+	// larger configuration falls back to the slot scans).
+	occ      [topology.NumPorts]uint64
+	vnMask   [flit.NumVNs]uint64
+	occValid bool
+
+	in     [topology.NumPorts][]slot
+	esc    [topology.NumPorts][]escape
+	escCap int
+	down   [topology.NumDirs]downstream
+	defl   *router.Deflector
+	// nbr lists the directions with a wired neighbor (data, credit and
+	// control pipes all exist exactly there), so the per-cycle receive
+	// loops skip the empty ports of edge and corner routers.
+	nbr []topology.Dir
+	// dor is node's precomputed DOR next-hop table, indexed by
+	// destination (see topology.Routes).
+	dor []topology.Dir
+	// cols, when non-nil, is the arena's columnar flit bank; the datapath
+	// reads hot per-flit state (destination, virtual network, deflection
+	// count) through it. Nil is the -nocolumnar struct-field reference
+	// path — the accessors fall back themselves.
+	cols    *flit.Columns
 	latches []latched
 	dflits  []*flit.Flit // scratch for bless dispatch
 	dports  []topology.Dir
@@ -238,6 +262,14 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 			r.totalSlots++
 		}
 	}
+	r.occValid = r.totalSlots <= 64
+	if r.occValid {
+		for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+			for _, s := range r.vnSlots[vn] {
+				r.vnMask[vn] |= 1 << uint(s)
+			}
+		}
+	}
 	for p := 0; p < topology.NumPorts; p++ {
 		r.in[p] = make([]slot, r.totalSlots)
 		r.inArb[p] = router.NewRoundRobin(r.totalSlots)
@@ -245,6 +277,12 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 	}
 	r.injArb = router.NewRoundRobin(flit.NumVNs)
 	r.srcCount, _ = src.(router.QueuedCounter)
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil || pl.CtrlIn != nil {
+			r.nbr = append(r.nbr, d)
+		}
+	}
+	r.dor = mesh.Routes(node).DOR
 
 	if opts.AlwaysBuffered {
 		r.mode = ModeBuffered
@@ -283,6 +321,7 @@ func (r *Router) Reset(seed int64) {
 		r.outArb[p].Reset()
 		r.cands[p] = cand{}
 		r.heldAt[p] = 0
+		r.occ[p] = 0
 	}
 	r.injArb.Reset()
 	r.injArmedAt = [flit.NumVNs]uint64{}
@@ -397,7 +436,7 @@ func (r *Router) Quiescent(now uint64) bool {
 			return false
 		}
 	}
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.In != nil && pl.In.InFlight() != 0 {
 			return false
@@ -450,6 +489,9 @@ func (r *Router) Credits(d topology.Dir, vn flit.VN) (int, bool) {
 // the invariant checker reconciles this against the upstream router's
 // tracked credits.
 func (r *Router) Occupancy(p topology.Dir, vn flit.VN) int {
+	if r.occValid {
+		return bits.OnesCount64(r.occ[p] & r.vnMask[vn])
+	}
 	n := 0
 	for _, s := range r.vnSlots[vn] {
 		if r.in[p][s].f != nil {
@@ -510,8 +552,8 @@ func (r *Router) Tick(now uint64) {
 
 // receiveCtrl applies neighbors' mode notifications.
 func (r *Router) receiveCtrl(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if pl.CtrlIn == nil {
 			continue
 		}
@@ -534,8 +576,8 @@ func (r *Router) receiveCtrl(now uint64) {
 
 // receiveCredits applies credit backflow from tracked neighbors.
 func (r *Router) receiveCredits(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if pl.CreditIn == nil {
 			continue
 		}
@@ -554,6 +596,16 @@ func (r *Router) receiveCredits(now uint64) {
 	}
 }
 
+// SetColumns attaches the columnar flit banks the router reads hot
+// per-flit state through. Nil selects the struct-field reference path.
+func (r *Router) SetColumns(c *flit.Columns) {
+	r.cols = c
+	r.defl.SetColumns(c)
+}
+
+func (r *Router) dstOf(f *flit.Flit) topology.NodeID { return r.cols.FlitDst(f) }
+func (r *Router) vnOf(f *flit.Flit) flit.VN          { return r.cols.FlitVN(f) }
+
 // usableOut reports whether output d can carry f this cycle, ignoring
 // same-cycle port contention (the caller masks taken ports).
 func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
@@ -561,7 +613,7 @@ func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
 		return false
 	}
 	ds := &r.down[d]
-	return !ds.tracking || ds.credits[f.VN] > 0
+	return !ds.tracking || ds.credits[r.vnOf(f)] > 0
 }
 
 // receive accepts this cycle's link arrivals: into buffer slots when the
@@ -572,8 +624,8 @@ func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
 func (r *Router) receive(now uint64) {
 	buffered := r.mode == ModeBuffered ||
 		(r.mode == ModeSwitching && now >= r.bufferedFrom)
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if pl.In == nil {
 			continue
 		}
@@ -582,13 +634,14 @@ func (r *Router) receive(now uint64) {
 			continue
 		}
 		if buffered {
-			s := r.freeSlot(d, f.VN)
+			s := r.freeSlot(d, r.vnOf(f))
 			if s < 0 {
 				panic(fmt.Sprintf("afc %d: buffer overflow on %s vn %s (flit %v)", r.node, d, f.VN, f))
 			}
 			// Lazy VC allocation: the buffer write assigns the VC.
 			f.VC = s
 			r.in[d][s] = slot{f: f, readyAt: now + 1}
+			r.occ[d] |= 1 << uint(s)
 			r.held++
 			r.heldAt[d]++
 			if r.meter != nil {
@@ -609,6 +662,6 @@ func (r *Router) stamp(now uint64, f *flit.Flit) {
 	}); ok {
 		st.StampInjection(now, f)
 	} else {
-		f.InjectedAt = now
+		f.SetInjected(now)
 	}
 }

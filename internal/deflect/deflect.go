@@ -53,6 +53,10 @@ type Router struct {
 
 	latches []latched
 	flits   []*flit.Flit // scratch, parallel prefix of latches
+	// nbr lists the directions with a wired inbound data pipe, so the
+	// per-cycle receive and quiescence loops skip the empty ports of edge
+	// and corner routers.
+	nbr []topology.Dir
 
 	// injArmedAt models the per-VN injection-stage registers: a flit at
 	// the head of a VN's NI queue becomes eligible for port assignment
@@ -88,11 +92,21 @@ func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
 		ejectWidth: ejectWidth,
 	}
 	r.srcCount, _ = src.(router.QueuedCounter)
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if wires.Ports[d].In != nil {
+			r.nbr = append(r.nbr, d)
+		}
+	}
 	return r
 }
 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
+
+// SetColumns attaches the columnar flit banks deflection arbitration
+// reads destinations and ages through. Nil selects the struct-field
+// reference path.
+func (r *Router) SetColumns(c *flit.Columns) { r.defl.SetColumns(c) }
 
 // Reset rewinds the router to its freshly constructed state (empty
 // latches, arbiters at slot 0, stats zeroed), reseeding the arbitration
@@ -149,7 +163,7 @@ func (r *Router) Tick(now uint64) {
 		}
 		taken[a.Dir] = true
 		if a.Deflected {
-			f.Deflections++
+			f.BumpDeflections()
 			r.deflections++
 		}
 		r.send(now, a.Dir, f)
@@ -200,7 +214,13 @@ func (r *Router) inject(now uint64, taken *[topology.NumDirs]bool) {
 	// Round-robin over virtual networks for fairness; each VN may inject
 	// one flit per cycle, but every injection still needs a free output
 	// port after the network flits (footnote 3 of the paper).
-	start := r.injArb.Pick(func(int) bool { return true })
+	start := r.injArb.Next()
+	// Empty NI: every armInjection would peek nil, zero its register and
+	// decline, so zeroing them all and returning is bit-for-bit identical.
+	if r.srcCount != nil && r.srcCount.QueuedFlits() == 0 {
+		r.injArmedAt = [flit.NumVNs]uint64{}
+		return
+	}
 	for i := 0; i < flit.NumVNs; i++ {
 		vn := flit.VN((start + i) % flit.NumVNs)
 		if !r.armInjection(now, vn) {
@@ -234,7 +254,7 @@ func (r *Router) inject(now uint64, taken *[topology.NumDirs]bool) {
 		}
 		taken[a.Dir] = true
 		if a.Deflected {
-			f.Deflections++
+			f.BumpDeflections()
 			r.deflections++
 		}
 		r.send(now, a.Dir, f)
@@ -247,17 +267,14 @@ func (r *Router) stamp(now uint64, f *flit.Flit) {
 	}); ok {
 		st.StampInjection(now, f)
 	} else {
-		f.InjectedAt = now
+		f.SetInjected(now)
 	}
 }
 
 // receive latches this cycle's arrivals for dispatch next cycle.
 func (r *Router) receive(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
-		if pl.In == nil {
-			continue
-		}
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if f, ok := pl.In.Recv(now); ok {
 			r.latches = append(r.latches, latched{f: f, arrivedAt: now})
 			if r.meter != nil {
@@ -279,9 +296,8 @@ func (r *Router) Quiescent(now uint64) bool {
 	if len(r.latches) != 0 {
 		return false
 	}
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := &r.wires.Ports[d]
-		if pl.In != nil && pl.In.InFlight() != 0 {
+	for _, d := range r.nbr {
+		if r.wires.Ports[d].In.InFlight() != 0 {
 			return false
 		}
 	}

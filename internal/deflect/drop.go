@@ -36,11 +36,18 @@ type DropRouter struct {
 	rng        *rand.Rand
 	injArb     *router.RoundRobin
 	ejectWidth int
+	// cols, when non-nil, is the columnar flit bank destinations are read
+	// through (nil = struct reference path).
+	cols *flit.Columns
 
 	latches    []latched
 	order      []int
-	prod       []topology.Dir
 	injArmedAt [flit.NumVNs]uint64
+	// routes is node's precomputed route table (see topology.Routes).
+	routes topology.RouteTable
+	// nbr lists the directions with a wired inbound data pipe (see
+	// Router.nbr).
+	nbr []topology.Dir
 
 	// srcCount is src when it can report its queue total in O(1).
 	srcCount router.QueuedCounter
@@ -67,13 +74,23 @@ func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand
 		rng:        rng,
 		injArb:     router.NewRoundRobin(flit.NumVNs),
 		ejectWidth: ejectWidth,
+		routes:     mesh.Routes(node),
 	}
 	r.srcCount, _ = src.(router.QueuedCounter)
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if wires.Ports[d].In != nil {
+			r.nbr = append(r.nbr, d)
+		}
+	}
 	return r
 }
 
 // Node implements router.Router.
 func (r *DropRouter) Node() topology.NodeID { return r.node }
+
+// SetColumns attaches the columnar flit banks destinations are read
+// through. Nil selects the struct-field reference path.
+func (r *DropRouter) SetColumns(c *flit.Columns) { r.cols = c }
 
 // Reset rewinds the router to its freshly constructed state, reseeding
 // the drop-priority randomness with seed (the root of the stream number
@@ -109,9 +126,8 @@ func (r *DropRouter) Quiescent(now uint64) bool {
 	if len(r.latches) != 0 {
 		return false
 	}
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := &r.wires.Ports[d]
-		if pl.In != nil && pl.In.InFlight() != 0 {
+	for _, d := range r.nbr {
+		if r.wires.Ports[d].In.InFlight() != 0 {
 			return false
 		}
 	}
@@ -168,7 +184,7 @@ func (r *DropRouter) Tick(now uint64) {
 			panic(fmt.Sprintf("deflect(drop) %d: latch holds current-cycle flit", r.node))
 		}
 		f := l.f
-		if f.Dst == r.node && ejectSlots > 0 {
+		if r.cols.FlitDst(f) == r.node && ejectSlots > 0 {
 			ejectSlots--
 			r.routedFlits++
 			r.ejectedFlits++
@@ -198,14 +214,15 @@ func (r *DropRouter) Tick(now uint64) {
 }
 
 func (r *DropRouter) productiveFree(f *flit.Flit, taken *[topology.NumDirs]bool) (topology.Dir, bool) {
-	if f.Dst == r.node {
+	dst := r.cols.FlitDst(f)
+	if dst == r.node {
 		return 0, false // ejection port busy; dst flits cannot be misrouted here
 	}
-	if d := r.mesh.DORNext(r.node, f.Dst); !taken[d] && r.wires.Ports[d].Exists() {
+	if d := r.routes.DOR[dst]; !taken[d] && r.wires.Ports[d].Exists() {
 		return d, true
 	}
-	r.prod = r.mesh.ProductiveDirs(r.node, f.Dst, r.prod[:0])
-	for _, d := range r.prod {
+	ps := &r.routes.Prod[dst]
+	for _, d := range ps.D[:ps.N] {
 		if !taken[d] && r.wires.Ports[d].Exists() {
 			return d, true
 		}
@@ -236,7 +253,13 @@ func (r *DropRouter) armInjection(now uint64, vn flit.VN) bool {
 }
 
 func (r *DropRouter) inject(now uint64, taken *[topology.NumDirs]bool) {
-	start := r.injArb.Pick(func(int) bool { return true })
+	start := r.injArb.Next()
+	// Empty NI: every armInjection would peek nil, zero its register and
+	// decline, so zeroing them all and returning is bit-for-bit identical.
+	if r.srcCount != nil && r.srcCount.QueuedFlits() == 0 {
+		r.injArmedAt = [flit.NumVNs]uint64{}
+		return
+	}
 	for i := 0; i < flit.NumVNs; i++ {
 		vn := flit.VN((start + i) % flit.NumVNs)
 		if !r.armInjection(now, vn) {
@@ -255,7 +278,7 @@ func (r *DropRouter) inject(now uint64, taken *[topology.NumDirs]bool) {
 		}); ok {
 			st.StampInjection(entered, f)
 		} else {
-			f.InjectedAt = entered
+			f.SetInjected(entered)
 		}
 		taken[d] = true
 		r.send(now, d, f)
@@ -263,11 +286,8 @@ func (r *DropRouter) inject(now uint64, taken *[topology.NumDirs]bool) {
 }
 
 func (r *DropRouter) receive(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
-		if pl.In == nil {
-			continue
-		}
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if f, ok := pl.In.Recv(now); ok {
 			r.latches = append(r.latches, latched{f: f, arrivedAt: now})
 			if r.meter != nil {

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"afcnet/internal/network"
+	"afcnet/internal/runner"
+)
+
+// TestColumnarEqualsReference is the gate on the columnar hot core:
+// every network kind, four seeds, and three load levels must produce
+// DeepEqual measurements (energy and per-node sampled queue lengths
+// included) under (a) the -nocolumnar reference path — per-flit state
+// read from the struct fields — and (b) the columnar production path —
+// routers, deflectors and NIs reading the arena's struct-of-arrays
+// banks — serial and 8-way parallel, with the invariant checker
+// attached. The immutable columns are written once at packetization and
+// the two mutable ones (injection age, deflection count) are
+// mirror-written at every mutation site, so any missed site or row
+// aliasing shows up here as a bit-level divergence.
+func TestColumnarEqualsReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kind x seed x rate three times")
+	}
+	seeds := []int64{1, 2, 3, 5}
+	rates := []float64{0.05, 0.30, 0.55}
+	type cellKey struct {
+		kind network.Kind
+		seed int64
+		rate float64
+	}
+	var cells []cellKey
+	for k := network.Kind(0); k < network.NumKinds; k++ {
+		for _, seed := range seeds {
+			for _, rate := range rates {
+				cells = append(cells, cellKey{k, seed, rate})
+			}
+		}
+	}
+	base := Options{
+		OpenLoopWarmup:  500,
+		OpenLoopMeasure: 1500,
+		Check:           true,
+	}
+	run := func(parallelism int, noColumnar bool) []activeSetSnap {
+		opt := base
+		opt.Parallelism = parallelism
+		opt.NoColumnar = noColumnar
+		outs, err := runner.Map(len(cells), opt.pool(), func(i int) (activeSetSnap, error) {
+			c := cells[i]
+			return activeSetCell(c.kind, c.seed, c.rate, opt), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	ref := run(8, true)
+	columnar := run(1, false)
+	columnar8 := run(8, false)
+	for i, c := range cells {
+		if !reflect.DeepEqual(ref[i], columnar[i]) {
+			t.Errorf("%v seed %d rate %.2f: columnar (serial) diverged from struct reference:\nref:      %+v\ncolumnar: %+v",
+				c.kind, c.seed, c.rate, ref[i], columnar[i])
+		}
+		if !reflect.DeepEqual(ref[i], columnar8[i]) {
+			t.Errorf("%v seed %d rate %.2f: columnar (8-way) diverged from struct reference:\nref:      %+v\ncolumnar: %+v",
+				c.kind, c.seed, c.rate, ref[i], columnar8[i])
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Options struct {
 	// either way; the flag exists for equivalence tests and allocation
 	// baselines.
 	NoPool bool
+	// NoColumnar builds every network without the columnar flit banks
+	// (network.Config.NoColumnar): routers and NIs read per-flit state
+	// from the struct fields, as the original reference path did. Results
+	// are bit-for-bit identical either way; the flag exists for
+	// equivalence tests.
+	NoColumnar bool
 }
 
 // newNetwork builds one cell's network, attaching an invariant checker
@@ -70,6 +76,7 @@ type Options struct {
 func (o Options) newNetwork(cfg network.Config) *network.Network {
 	cfg.DenseKernel = cfg.DenseKernel || o.Dense
 	cfg.NoPool = cfg.NoPool || o.NoPool
+	cfg.NoColumnar = cfg.NoColumnar || o.NoColumnar
 	net := network.New(cfg)
 	if o.Check {
 		check.Attach(net)
@@ -125,6 +132,7 @@ func (o Options) oneShot() *workerState {
 func (w *workerState) acquire(cfg network.Config) *workerEnt {
 	cfg.DenseKernel = cfg.DenseKernel || w.opt.Dense
 	cfg.NoPool = cfg.NoPool || w.opt.NoPool
+	cfg.NoColumnar = cfg.NoColumnar || w.opt.NoColumnar
 	e := w.ents[cfg.Kind]
 	if e == nil || !e.net.Reset(cfg) {
 		e = &workerEnt{net: network.New(cfg)}

@@ -21,6 +21,9 @@ type block struct {
 	gen      uint32
 	live     int
 	returned uint64
+	// base is the block's first row in the owner's columnar banks, NoRef
+	// for blocks minted while columns were disabled.
+	base uint32
 }
 
 // Arena is a per-network flit allocator: Packetize hands out blocks in
@@ -32,10 +35,32 @@ type Arena struct {
 	free [maxPooledLen + 1][]*block
 	all  []*block
 	live int
+	// cols, when non-nil, is the columnar struct-of-arrays mirror of the
+	// hot per-flit state; every block minted afterwards gets a contiguous
+	// row range in it. Nil is the -nocolumnar reference path.
+	cols *Columns
 }
 
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
+
+// EnableColumns attaches columnar banks to the arena. Call it before the
+// first Packetize: blocks minted earlier carry no rows and their flits
+// read through the struct fallback. Idempotent.
+func (a *Arena) EnableColumns() {
+	if a.cols == nil {
+		a.cols = &Columns{}
+	}
+}
+
+// Columns returns the arena's columnar banks, nil when disabled (or for
+// a nil arena — the -nopool path implies no columns).
+func (a *Arena) Columns() *Columns {
+	if a == nil {
+		return nil
+	}
+	return a.cols
+}
 
 // Packetize expands p into flits like Packet.Flits, reusing a recycled
 // block when one of the right length is free. A nil arena (or an
@@ -54,6 +79,10 @@ func (a *Arena) Packetize(p Packet) []*Flit {
 			backing: make([]Flit, p.Len),
 			ptrs:    make([]*Flit, p.Len),
 			owner:   a,
+			base:    NoRef,
+		}
+		if a.cols != nil {
+			b.base = a.cols.grow(p.Len)
 		}
 		for i := range b.backing {
 			b.ptrs[i] = &b.backing[i]
@@ -65,19 +94,31 @@ func (a *Arena) Packetize(p Packet) []*Flit {
 	b.returned = 0
 	a.live += p.Len
 	for i := range b.backing {
-		b.backing[i] = Flit{
-			PacketID:  p.ID,
-			Seq:       i,
-			Len:       p.Len,
-			Src:       p.Src,
-			Dst:       p.Dst,
-			VN:        p.VN,
-			VC:        NoVC,
-			CreatedAt: p.CreatedAt,
-			Payload:   p.Payload,
-			blk:       b,
-			gen:       b.gen,
+		ref := NoRef
+		if b.base != NoRef {
+			ref = b.base + uint32(i)
+			a.cols.fill(ref, p, i)
 		}
+		// Field-wise stores instead of a struct literal: the literal would
+		// be built in a temporary and block-copied into the slab, which is
+		// the hottest copy of a packetize-heavy cycle.
+		f := &b.backing[i]
+		f.PacketID = p.ID
+		f.Seq = i
+		f.Len = p.Len
+		f.Src = p.Src
+		f.Dst = p.Dst
+		f.VN = p.VN
+		f.VC = NoVC
+		f.CreatedAt = p.CreatedAt
+		f.InjectedAt = 0
+		f.Hops = 0
+		f.Deflections = 0
+		f.Retransmits = 0
+		f.Payload = p.Payload
+		f.blk = b
+		f.gen = b.gen
+		f.ref = ref
 	}
 	return b.ptrs
 }

@@ -1,0 +1,205 @@
+package flit
+
+import "afcnet/internal/topology"
+
+// NoRef marks a flit with no row in the arena's columnar banks: every
+// heap-allocated flit (Packet.Flits, over-length fallback) and every flit
+// of an arena whose columns are disabled. The zero Flit carries a zero
+// ref but also a nil block handle; accessors check both.
+const NoRef = ^uint32(0)
+
+// Columns is the struct-of-arrays mirror of the hot per-flit state,
+// indexed by arena row references: one parallel slice per field, with
+// rows handed out contiguously per block. The immutable routing metadata
+// (dest, src, vn, seq, len, packet id, creation cycle, payload and the
+// control/data payload class) is written once per Packetize; the two
+// fields that mutate in flight (injection age and deflection count) are
+// mirrored by the Flit setters, so a columnar read is always bit-equal
+// to the struct field it shadows. Rows are reused with their block —
+// generation stamps on the block, not the columns, catch stale handles.
+type Columns struct {
+	dst     []int32
+	src     []int32
+	vn      []uint8
+	class   []uint8
+	seq     []uint16
+	length  []uint16
+	pid     []uint64
+	created []uint64
+	payload []uint64
+	age     []uint64 // InjectedAt mirror
+	defl    []uint32 // Deflections mirror
+}
+
+// Payload classes, derivable from the packet length at packetization
+// (control packets are single-flit, data packets carry a cache line).
+const (
+	ClassControl uint8 = iota
+	ClassData
+)
+
+// grow appends n fresh rows and returns the index of the first.
+func (c *Columns) grow(n int) uint32 {
+	base := uint32(len(c.dst))
+	for i := 0; i < n; i++ {
+		c.dst = append(c.dst, 0)
+		c.src = append(c.src, 0)
+		c.vn = append(c.vn, 0)
+		c.class = append(c.class, 0)
+		c.seq = append(c.seq, 0)
+		c.length = append(c.length, 0)
+		c.pid = append(c.pid, 0)
+		c.created = append(c.created, 0)
+		c.payload = append(c.payload, 0)
+		c.age = append(c.age, 0)
+		c.defl = append(c.defl, 0)
+	}
+	return base
+}
+
+// fill writes row ref from packet p, flit index i.
+func (c *Columns) fill(ref uint32, p Packet, i int) {
+	c.dst[ref] = int32(p.Dst)
+	c.src[ref] = int32(p.Src)
+	c.vn[ref] = uint8(p.VN)
+	cls := ClassControl
+	if p.Len > ControlPacketFlits {
+		cls = ClassData
+	}
+	c.class[ref] = cls
+	c.seq[ref] = uint16(i)
+	c.length[ref] = uint16(p.Len)
+	c.pid[ref] = p.ID
+	c.created[ref] = p.CreatedAt
+	c.payload[ref] = p.Payload
+	c.age[ref] = 0
+	c.defl[ref] = 0
+}
+
+// Rows returns the number of rows minted, for tests and telemetry.
+func (c *Columns) Rows() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.dst)
+}
+
+// The accessors below read a flit's hot state through the columnar banks
+// when the flit has a row there, falling back to the struct field
+// otherwise. They are defined on *Columns (nil-safe) so router datapaths
+// hold one columns pointer and read unconditionally: a nil receiver is
+// the -nocolumnar reference path.
+
+// FlitDst returns f's destination node.
+func (c *Columns) FlitDst(f *Flit) topology.NodeID {
+	if c != nil && f.ref != NoRef {
+		return topology.NodeID(c.dst[f.ref])
+	}
+	return f.Dst
+}
+
+// FlitSrc returns f's source node.
+func (c *Columns) FlitSrc(f *Flit) topology.NodeID {
+	if c != nil && f.ref != NoRef {
+		return topology.NodeID(c.src[f.ref])
+	}
+	return f.Src
+}
+
+// FlitVN returns f's virtual network.
+func (c *Columns) FlitVN(f *Flit) VN {
+	if c != nil && f.ref != NoRef {
+		return VN(c.vn[f.ref])
+	}
+	return f.VN
+}
+
+// FlitSeq returns f's index within its packet.
+func (c *Columns) FlitSeq(f *Flit) int {
+	if c != nil && f.ref != NoRef {
+		return int(c.seq[f.ref])
+	}
+	return f.Seq
+}
+
+// FlitLen returns f's packet length in flits.
+func (c *Columns) FlitLen(f *Flit) int {
+	if c != nil && f.ref != NoRef {
+		return int(c.length[f.ref])
+	}
+	return f.Len
+}
+
+// FlitPacketID returns the packet f belongs to.
+func (c *Columns) FlitPacketID(f *Flit) uint64 {
+	if c != nil && f.ref != NoRef {
+		return c.pid[f.ref]
+	}
+	return f.PacketID
+}
+
+// FlitCreatedAt returns the cycle f's packet was created.
+func (c *Columns) FlitCreatedAt(f *Flit) uint64 {
+	if c != nil && f.ref != NoRef {
+		return c.created[f.ref]
+	}
+	return f.CreatedAt
+}
+
+// FlitPayload returns f's opaque payload tag.
+func (c *Columns) FlitPayload(f *Flit) uint64 {
+	if c != nil && f.ref != NoRef {
+		return c.payload[f.ref]
+	}
+	return f.Payload
+}
+
+// FlitAge returns f's injection cycle (the oldest-first deflection
+// policy's age key).
+func (c *Columns) FlitAge(f *Flit) uint64 {
+	if c != nil && f.ref != NoRef {
+		return c.age[f.ref]
+	}
+	return f.InjectedAt
+}
+
+// FlitDeflections returns f's misroute count.
+func (c *Columns) FlitDeflections(f *Flit) int {
+	if c != nil && f.ref != NoRef {
+		return int(c.defl[f.ref])
+	}
+	return f.Deflections
+}
+
+// FlitClass returns f's payload class (control or data).
+func (c *Columns) FlitClass(f *Flit) uint8 {
+	if c != nil && f.ref != NoRef {
+		return c.class[f.ref]
+	}
+	if f.Len > ControlPacketFlits {
+		return ClassData
+	}
+	return ClassControl
+}
+
+// Ref returns f's row in its arena's columnar banks, or NoRef.
+func (f *Flit) Ref() uint32 { return f.ref }
+
+// SetInjected records f's entry into the router network, keeping the
+// columnar age mirror in sync. Every injection-stamp site goes through
+// it (directly or via ni.StampInjection).
+func (f *Flit) SetInjected(now uint64) {
+	f.InjectedAt = now
+	if f.blk != nil && f.ref != NoRef {
+		f.blk.owner.cols.age[f.ref] = now
+	}
+}
+
+// BumpDeflections counts one misroute against f, keeping the columnar
+// mirror in sync.
+func (f *Flit) BumpDeflections() {
+	f.Deflections++
+	if f.blk != nil && f.ref != NoRef {
+		f.blk.owner.cols.defl[f.ref]++
+	}
+}

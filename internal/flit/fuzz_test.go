@@ -1,0 +1,103 @@
+package flit_test
+
+import (
+	"testing"
+
+	"afcnet/internal/flit"
+)
+
+// FuzzArenaHandles drives a byte-programmed interleaving of Packetize,
+// Recycle, Reclaim and columnar reads against one arena, asserting the
+// generation-stamped handle discipline at every step:
+//
+//   - a live handle always passes CheckHandle, and its columnar
+//     accessors agree bit-for-bit with the struct fields (both through
+//     the arena's banks and through the nil-Columns reference path);
+//   - a recycled handle immediately fails CheckHandle (returned-bit
+//     detection) and panics on double Recycle;
+//   - after Reclaim every formerly-live handle fails CheckHandle with a
+//     stale generation and panics on Recycle.
+//
+// The stale assertions run before the next Packetize can reuse the
+// block: handles are pointers into the slab, so reissue rewrites their
+// generation stamp and legitimately revives the pointer as a new flit.
+func FuzzArenaHandles(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 1, 2, 3, 0, 12, 5, 6, 7, 3, 0})
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2, 3})
+	f.Add([]byte{252, 16, 33, 77, 129, 200, 3, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := flit.NewArena()
+		a.EnableColumns()
+		cols := a.Columns()
+		var nilCols *flit.Columns
+		var live []*flit.Flit
+		nextID := uint64(1)
+
+		checkStale := func(fl *flit.Flit) {
+			t.Helper()
+			if err := flit.CheckHandle(fl); err == nil {
+				t.Fatalf("stale handle %v passes CheckHandle", fl)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Recycle of stale handle %v did not panic", fl)
+				}
+			}()
+			flit.Recycle(fl)
+		}
+
+		for _, op := range data {
+			arg := int(op / 4)
+			switch op % 4 {
+			case 0: // packetize a packet of a byte-chosen length class
+				ln := arg%17 + 1
+				fs := a.Packetize(flit.Packet{
+					ID: nextID, Len: ln, Src: 0, Dst: 1,
+					VN:        flit.VN(arg % int(flit.NumVNs)),
+					CreatedAt: uint64(arg), Payload: uint64(arg) * 2654435761,
+				})
+				nextID++
+				live = append(live, fs...)
+			case 1: // recycle one live flit, then assert its handle is dead
+				if len(live) == 0 {
+					continue
+				}
+				i := arg % len(live)
+				fl := live[i]
+				live = append(live[:i], live[i+1:]...)
+				flit.Recycle(fl)
+				checkStale(fl)
+			case 2: // columnar read-back of one live flit
+				if len(live) == 0 {
+					continue
+				}
+				fl := live[arg%len(live)]
+				if err := flit.CheckHandle(fl); err != nil {
+					t.Fatalf("live handle fails CheckHandle: %v", err)
+				}
+				if cols.FlitDst(fl) != fl.Dst || cols.FlitSrc(fl) != fl.Src ||
+					cols.FlitVN(fl) != fl.VN || cols.FlitSeq(fl) != fl.Seq ||
+					cols.FlitLen(fl) != fl.Len || cols.FlitPacketID(fl) != fl.PacketID ||
+					cols.FlitCreatedAt(fl) != fl.CreatedAt || cols.FlitPayload(fl) != fl.Payload ||
+					cols.FlitAge(fl) != fl.InjectedAt || cols.FlitDeflections(fl) != fl.Deflections {
+					t.Fatalf("columnar read of %v disagrees with struct fields", fl)
+				}
+				if nilCols.FlitDst(fl) != fl.Dst || nilCols.FlitVN(fl) != fl.VN {
+					t.Fatalf("nil-Columns reference read of %v disagrees with struct fields", fl)
+				}
+			case 3: // reclaim: every outstanding handle goes stale at once
+				a.Reclaim()
+				if a.Live() != 0 {
+					t.Fatalf("Live() = %d after Reclaim", a.Live())
+				}
+				for _, fl := range live {
+					checkStale(fl)
+				}
+				live = live[:0]
+			}
+		}
+		if a.Live() != len(live) {
+			t.Fatalf("Live() = %d, want %d outstanding", a.Live(), len(live))
+		}
+	})
+}

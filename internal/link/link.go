@@ -20,9 +20,11 @@ import (
 // least one cycle.
 type Pipe[T any] struct {
 	lat int
-	// mask is len(vals)-1 when the ring size is a power of two (every
-	// latency-1 pipe), letting slot() avoid a hardware divide on the
-	// hottest call in the simulator; -1 otherwise.
+	// mask is len(vals)-1: the ring is sized to the next power of two at
+	// or above lat+1, so slot() is a single AND instead of a hardware
+	// divide on the hottest call in the simulator. Any ring of at least
+	// lat+1 slots is correct — distinct cycles within one latency window
+	// always map to distinct slots.
 	mask     int
 	vals     []T
 	occupied []bool
@@ -36,14 +38,13 @@ func NewPipe[T any](lat int) *Pipe[T] {
 	if lat < 1 {
 		panic(fmt.Sprintf("link: pipe latency must be >= 1, got %d", lat))
 	}
-	n := lat + 1
-	mask := -1
-	if n&(n-1) == 0 {
-		mask = n - 1
+	n := 1
+	for n < lat+1 {
+		n <<= 1
 	}
 	return &Pipe[T]{
 		lat:      lat,
-		mask:     mask,
+		mask:     n - 1,
 		vals:     make([]T, n),
 		occupied: make([]bool, n),
 	}
@@ -70,17 +71,14 @@ func (p *Pipe[T]) Reset() {
 func (p *Pipe[T]) Sends() uint64 { return p.sends }
 
 func (p *Pipe[T]) slot(cycle uint64) int {
-	if p.mask >= 0 {
-		return int(cycle) & p.mask
-	}
-	return int(cycle % uint64(len(p.vals)))
+	return int(cycle) & p.mask
 }
 
 // CanSend reports whether a value may be sent at cycle now (i.e. the
 // arrival slot is free; it can only be occupied if the sender violated the
 // one-per-cycle discipline).
 func (p *Pipe[T]) CanSend(now uint64) bool {
-	return !p.occupied[p.slot(now+uint64(p.lat))]
+	return p.inflight == 0 || !p.occupied[p.slot(now+uint64(p.lat))]
 }
 
 // Send schedules v to arrive at now+Latency(). It panics if a value was
@@ -100,6 +98,13 @@ func (p *Pipe[T]) Send(now uint64, v T) {
 // slot. A value not received at its arrival cycle is lost; receivers must
 // therefore poll every cycle (all routers do).
 func (p *Pipe[T]) Recv(now uint64) (T, bool) {
+	// Empty-pipe fast path: every router polls every wired pipe every
+	// active cycle, and most polls find nothing. One counter load beats
+	// the slot arithmetic plus occupied-array load.
+	if p.inflight == 0 {
+		var zero T
+		return zero, false
+	}
 	s := p.slot(now)
 	if !p.occupied[s] {
 		var zero T
@@ -115,6 +120,10 @@ func (p *Pipe[T]) Recv(now uint64) (T, bool) {
 
 // Peek returns the value arriving at cycle now without consuming it.
 func (p *Pipe[T]) Peek(now uint64) (T, bool) {
+	if p.inflight == 0 {
+		var zero T
+		return zero, false
+	}
 	s := p.slot(now)
 	if !p.occupied[s] {
 		var zero T

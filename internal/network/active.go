@@ -30,6 +30,18 @@ func NoPoolFromEnv() bool {
 	return envSet(NoPoolEnvVar)
 }
 
+// NoColumnarEnvVar forces struct-field flit reads (no columnar banks) in
+// every harness that consults NoColumnarFromEnv (cmd/afcsim,
+// cmd/figures, cmd/sweep, cmd/benchjson).
+const NoColumnarEnvVar = "AFCSIM_NOCOLUMNAR"
+
+// NoColumnarFromEnv reports whether AFCSIM_NOCOLUMNAR requests the
+// struct-field reference path. Any value other than empty, "0", "false",
+// "no" or "off" disables the columnar flit banks.
+func NoColumnarFromEnv() bool {
+	return envSet(NoColumnarEnvVar)
+}
+
 func envSet(name string) bool {
 	switch os.Getenv(name) {
 	case "", "0", "false", "no", "off":

@@ -110,6 +110,14 @@ type Config struct {
 	// identical either way; the heap path exists as the baseline for
 	// equivalence tests and allocation benchmarks (see also NoPoolEnvVar).
 	NoPool bool
+	// NoColumnar disables the arena's columnar struct-of-arrays flit
+	// banks: routers and NIs read per-flit state from the struct fields,
+	// as the original reference path did. Results are bit-for-bit
+	// identical either way (the mutable columns are mirror-written at
+	// every mutation site); the struct path exists as the baseline for
+	// equivalence tests (see also NoColumnarEnvVar). NoPool implies it:
+	// without an arena there are no columnar rows to read.
+	NoColumnar bool
 }
 
 // Network is a fully wired mesh NoC.
@@ -159,6 +167,9 @@ func New(cfg Config) *Network {
 	}
 	if !cfg.NoPool {
 		n.arena = flit.NewArena()
+		if !cfg.NoColumnar {
+			n.arena.EnableColumns()
+		}
 	}
 	n.build()
 	n.baseTickers = n.kernel.Mark()
@@ -210,6 +221,15 @@ func (n *Network) build() {
 		}
 		n.meters[node] = meter
 		n.routers[node] = n.newRouter(node, wires[node], meter)
+	}
+	// Hand the columnar banks to every router; a nil result (NoPool or
+	// NoColumnar) selects the struct-field reference path everywhere.
+	if cols := n.arena.Columns(); cols != nil {
+		for _, r := range n.routers {
+			if cr, ok := r.(interface{ SetColumns(*flit.Columns) }); ok {
+				cr.SetColumns(cols)
+			}
+		}
 	}
 	// One bank entry + housekeeping + a handful of AddTicker clients
 	// (generator or CMP, probe, checker, observer).

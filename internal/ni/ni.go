@@ -79,6 +79,10 @@ type NI struct {
 	// arena, when set, supplies recycled flit blocks for packetization;
 	// nil means plain heap allocation (the -nopool reference path).
 	arena *flit.Arena
+	// cols is the arena's columnar flit bank; delivery gathers a flit's
+	// routing metadata through it. Nil (no arena, or columns disabled)
+	// falls back to the struct fields inside the accessors.
+	cols *flit.Columns
 
 	nextPkt     uint64
 	queues      [flit.NumVNs][]*flit.Flit
@@ -138,8 +142,12 @@ func New(node topology.NodeID) *NI {
 func (n *NI) Node() topology.NodeID { return n.node }
 
 // SetArena attaches the flit arena used for packetization. The network
-// sets it at construction; passing nil selects heap allocation.
-func (n *NI) SetArena(a *flit.Arena) { n.arena = a }
+// sets it at construction; passing nil selects heap allocation. The
+// arena's columnar banks (if enabled) come along for delivery-side reads.
+func (n *NI) SetArena(a *flit.Arena) {
+	n.arena = a
+	n.cols = a.Columns()
+}
 
 // SetHandler registers the delivered-packet callback.
 func (n *NI) SetHandler(h Handler) { n.handler = h }
@@ -292,7 +300,7 @@ func (n *NI) Pop(vn flit.VN) *flit.Flit {
 // StampInjection records the flit's entry into the network. Routers call
 // it at the injection cycle (separate from Pop so tests can pop without
 // injecting).
-func (n *NI) StampInjection(now uint64, f *flit.Flit) { f.InjectedAt = now }
+func (n *NI) StampInjection(now uint64, f *flit.Flit) { f.SetInjected(now) }
 
 // Deliver implements router.LocalSink: accept an ejected flit, reassemble,
 // and hand completed packets to the handler. Ejection consumes the flit —
@@ -304,57 +312,62 @@ func (n *NI) Deliver(now uint64, f *flit.Flit) {
 }
 
 func (n *NI) deliver(now uint64, f *flit.Flit) {
-	if f.Dst != n.node {
+	// Gather the flit's routing metadata up front — through the columnar
+	// banks when the flit has a row there, through the struct otherwise.
+	pid := n.cols.FlitPacketID(f)
+	length := n.cols.FlitLen(f)
+	injectedAt := n.cols.FlitAge(f)
+	if n.cols.FlitDst(f) != n.node {
 		panic(fmt.Sprintf("ni: node %d received flit for %d: %v", n.node, f.Dst, f))
 	}
 	n.totalEjected++
 	if n.retain {
-		if _, done := n.completed[f.PacketID]; done {
+		if _, done := n.completed[pid]; done {
 			n.totalDiscarded++
 			return // stray flit of a retransmitted, already-delivered packet
 		}
 	}
 	n.deliveredFlits++
-	n.deflections.Add(uint64(f.Deflections))
-	p, ok := n.reassembly[f.PacketID]
+	n.deflections.Add(uint64(n.cols.FlitDeflections(f)))
+	p, ok := n.reassembly[pid]
 	if !ok {
 		p = pending{
-			createdAt:   f.CreatedAt,
-			firstInject: f.InjectedAt,
-			src:         f.Src,
-			vn:          f.VN,
-			length:      f.Len,
-			payload:     f.Payload,
+			createdAt:   n.cols.FlitCreatedAt(f),
+			firstInject: injectedAt,
+			src:         n.cols.FlitSrc(f),
+			vn:          n.cols.FlitVN(f),
+			length:      length,
+			payload:     n.cols.FlitPayload(f),
 		}
-		if f.Len > 64 {
-			p.gotBig = make([]bool, f.Len)
+		if length > 64 {
+			p.gotBig = make([]bool, length)
 		}
 	}
-	if !p.mark(f.Seq) {
+	if !p.mark(n.cols.FlitSeq(f)) {
 		// Duplicate delivery can only happen with retransmission after a
 		// partially-delivered drop; ignore the duplicate flit.
 		n.totalDiscarded++
 		return
 	}
 	p.received++
-	if f.InjectedAt < p.firstInject {
-		p.firstInject = f.InjectedAt
+	if injectedAt < p.firstInject {
+		p.firstInject = injectedAt
 	}
 	if p.received < p.length {
-		n.reassembly[f.PacketID] = p
+		n.reassembly[pid] = p
 		return
 	}
 	n.totalCompleted += uint64(p.length)
-	delete(n.reassembly, f.PacketID)
-	delete(n.retained, f.PacketID)
+	delete(n.reassembly, pid)
+	delete(n.retained, pid)
 	if n.retain {
-		n.completed[f.PacketID] = struct{}{}
-		delete(n.epoch, f.PacketID)
-		delete(n.queued, f.PacketID)
+		n.completed[pid] = struct{}{}
+		delete(n.epoch, pid)
+		delete(n.queued, pid)
 	}
 	n.deliveredPackets++
 	d := Delivered{
-		ID:           f.PacketID,
+		ID:           pid,
 		Src:          p.src,
 		Dst:          n.node,
 		VN:           p.vn,

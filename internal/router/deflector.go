@@ -54,17 +54,25 @@ type Deflector struct {
 	node   topology.NodeID
 	policy DeflectPolicy
 	rng    *rand.Rand
+	// cols, when non-nil, is the columnar flit bank the deflector reads
+	// destination, age and sequencing through (nil = struct reference
+	// path; the accessors fall back themselves).
+	cols *flit.Columns
+
+	// routes is node's precomputed route table (per-destination DOR
+	// next hop and productive-direction set).
+	routes topology.RouteTable
 
 	// scratch buffers reused across cycles to avoid allocation
 	order []int
-	prod  []topology.Dir
 	free  []topology.Dir
 	out   []Assignment
 }
 
 // NewDeflector returns a deflector for the router at node.
 func NewDeflector(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy, rng *rand.Rand) *Deflector {
-	return &Deflector{mesh: mesh, node: node, policy: policy, rng: rng}
+	return &Deflector{mesh: mesh, node: node, policy: policy, rng: rng,
+		routes: mesh.Routes(node)}
 }
 
 // Reseed rewinds the deflector's arbitration randomness onto a fresh
@@ -72,6 +80,10 @@ func NewDeflector(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy
 // this restores a freshly constructed deflector bit for bit (the reused-
 // network reset path).
 func (d *Deflector) Reseed(seed int64) { d.rng.Seed(seed) }
+
+// SetColumns attaches the columnar flit banks the deflector reads hot
+// per-flit state through. Nil selects the struct-field reference path.
+func (d *Deflector) SetColumns(c *flit.Columns) { d.cols = c }
 
 // Assign assigns an output direction to every flit in flits.
 //
@@ -105,13 +117,13 @@ func (d *Deflector) Assign(flits []*flit.Flit, usable func(f *flit.Flit, dir top
 	case PolicyOldest:
 		sort.SliceStable(d.order, func(a, b int) bool {
 			fa, fb := flits[d.order[a]], flits[d.order[b]]
-			if fa.InjectedAt != fb.InjectedAt {
-				return fa.InjectedAt < fb.InjectedAt
+			if aa, ab := d.cols.FlitAge(fa), d.cols.FlitAge(fb); aa != ab {
+				return aa < ab
 			}
-			if fa.PacketID != fb.PacketID {
-				return fa.PacketID < fb.PacketID
+			if pa, pb := d.cols.FlitPacketID(fa), d.cols.FlitPacketID(fb); pa != pb {
+				return pa < pb
 			}
-			return fa.Seq < fb.Seq
+			return d.cols.FlitSeq(fa) < d.cols.FlitSeq(fb)
 		})
 	default: // PolicyRandom
 		d.rng.Shuffle(len(d.order), func(a, b int) {
@@ -133,7 +145,8 @@ func (d *Deflector) assignOne(f *flit.Flit, avail func(*flit.Flit, topology.Dir)
 		return avail(f, dir) && !taken[dir]
 	}
 
-	if f.Dst == d.node {
+	dst := d.cols.FlitDst(f)
+	if dst == d.node {
 		if *ejectSlots > 0 {
 			*ejectSlots--
 			return Assignment{Dir: topology.Local, OK: true}
@@ -141,12 +154,12 @@ func (d *Deflector) assignOne(f *flit.Flit, avail func(*flit.Flit, topology.Dir)
 		// Ejection port busy: the flit must be deflected and return later.
 	} else {
 		// Prefer the DOR next hop, then the other productive direction.
-		if dor := d.mesh.DORNext(d.node, f.Dst); usable(dor) {
+		if dor := d.routes.DOR[dst]; usable(dor) {
 			taken[dor] = true
 			return Assignment{Dir: dor, OK: true}
 		}
-		d.prod = d.mesh.ProductiveDirs(d.node, f.Dst, d.prod[:0])
-		for _, dir := range d.prod {
+		ps := &d.routes.Prod[dst]
+		for _, dir := range ps.D[:ps.N] {
 			if usable(dir) {
 				taken[dir] = true
 				return Assignment{Dir: dir, OK: true}

@@ -8,6 +8,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"afcnet/internal/flit"
 	"afcnet/internal/link"
@@ -86,6 +87,47 @@ func NewRoundRobin(n int) *RoundRobin {
 func (r *RoundRobin) Pick(ok func(i int) bool) int {
 	for off := 0; off < r.n; off++ {
 		i := (r.next + off) % r.n
+		if ok(i) {
+			r.next = (i + 1) % r.n
+			return i
+		}
+	}
+	return -1
+}
+
+// Next grants the slot at the pointer unconditionally and advances it —
+// the devirtualized equivalent of Pick with an always-true predicate
+// (the deflection routers' per-cycle injection arbitration).
+func (r *RoundRobin) Next() int {
+	i := r.next
+	if i+1 == r.n {
+		r.next = 0
+	} else {
+		r.next = i + 1
+	}
+	return i
+}
+
+// PickMask is Pick restricted to the slots whose bit is set in mask
+// (bit i = slot i; bits at or above n must be clear). It is exactly
+// equivalent to Pick whenever ok(i) is false for every clear bit —
+// the caller's contract — and scans only the set bits, round-robin from
+// the pointer, via trailing-zero counts instead of walking every slot.
+func (r *RoundRobin) PickMask(mask uint64, ok func(i int) bool) int {
+	if mask == 0 {
+		return -1
+	}
+	// Set bits at or after the pointer, in ascending order...
+	for m := mask &^ (1<<uint(r.next) - 1); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if ok(i) {
+			r.next = (i + 1) % r.n
+			return i
+		}
+	}
+	// ...then the wrapped-around set bits before it.
+	for m := mask & (1<<uint(r.next) - 1); m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
 		if ok(i) {
 			r.next = (i + 1) % r.n
 			return i

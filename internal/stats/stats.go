@@ -21,6 +21,10 @@ import (
 type IntensityMonitor struct {
 	weight float64
 	window [4]int
+	// sum is the running total of the window entries, maintained
+	// incrementally (integer addition is exact, so it always equals the
+	// sum a scan of the window would produce).
+	sum    int
 	idx    int
 	filled int
 	ewma   float64
@@ -38,16 +42,18 @@ func NewIntensityMonitor(w float64) *IntensityMonitor {
 // Observe records the number of flits that traversed the router this cycle
 // and updates the smoothed intensity.
 func (m *IntensityMonitor) Observe(flits int) {
+	m.sum += flits - m.window[m.idx]
 	m.window[m.idx] = flits
 	m.idx = (m.idx + 1) % len(m.window)
-	if m.filled < len(m.window) {
-		m.filled++
+	if m.filled == len(m.window) {
+		// Multiplying by the exact reciprocal of a power of two is
+		// bit-identical to the division the reference computed.
+		l := float64(m.sum) * 0.25
+		m.ewma = m.weight*m.ewma + (1-m.weight)*l
+		return
 	}
-	sum := 0
-	for i := 0; i < m.filled; i++ {
-		sum += m.window[i]
-	}
-	l := float64(sum) / float64(m.filled)
+	m.filled++
+	l := float64(m.sum) / float64(m.filled)
 	m.ewma = m.weight*m.ewma + (1-m.weight)*l
 }
 
@@ -55,8 +61,17 @@ func (m *IntensityMonitor) Observe(flits int) {
 // identical to k Observe(0) calls (a literal replay of the window
 // rotation and EWMA update, so float rounding matches the dense
 // reference kernel exactly). Used by the active-set kernel to
-// fast-forward skipped idle cycles.
+// fast-forward skipped idle cycles. Once the window is clear and full,
+// each Observe(0) reduces to ewma = w*ewma + (1-w)*0, and adding a
+// positive zero is a float identity — the loop below replays exactly
+// that multiply chain without the window bookkeeping.
 func (m *IntensityMonitor) ObserveIdle(k uint64) {
+	if m.sum == 0 && m.filled == len(m.window) && m.window == [4]int{} {
+		for ; k > 0; k-- {
+			m.ewma = m.weight * m.ewma
+		}
+		return
+	}
 	for ; k > 0; k-- {
 		m.Observe(0)
 	}
@@ -99,7 +114,12 @@ func NewHistogram(capacity int) *Histogram {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Histogram{min: math.MaxUint64, cap: capacity, stride: 1}
+	// Preallocate the full retention buffer: Add's append would otherwise
+	// grow it doubling-by-doubling across the first ~capacity samples,
+	// which on large meshes spreads construction cost over the measured
+	// steady state (the kernel's zero-allocation contract).
+	return &Histogram{min: math.MaxUint64, cap: capacity, stride: 1,
+		values: make([]uint64, 0, capacity)}
 }
 
 // Reset empties the histogram while keeping the retained-sample backing

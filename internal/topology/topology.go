@@ -109,8 +109,14 @@ func (m Mesh) Coord(n NodeID) (x, y int) {
 	return int(n) % m.Width, int(n) / m.Width
 }
 
-// Node returns the NodeID at coordinate (x, y).
+// Node returns the NodeID at coordinate (x, y). It panics when the
+// coordinate lies outside the mesh: the row-major arithmetic would
+// otherwise alias an out-of-range coordinate onto a valid but wrong node
+// and the error would surface much later as misrouted traffic.
 func (m Mesh) Node(x, y int) NodeID {
+	if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+		panic(fmt.Sprintf("topology: coordinate (%d,%d) outside %dx%d mesh", x, y, m.Width, m.Height))
+	}
 	return NodeID(y*m.Width + x)
 }
 
@@ -214,6 +220,39 @@ func (m Mesh) ProductiveDirs(cur, dst NodeID, buf []Dir) []Dir {
 		buf = append(buf, North)
 	}
 	return buf
+}
+
+// ProdSet is a packed productive-direction set: at most two directions
+// exist on a 2D mesh (one per dimension), stored in preference order.
+type ProdSet struct {
+	N uint8
+	D [2]Dir
+}
+
+// RouteTable holds one source node's per-destination routing decisions,
+// precomputed so router hot paths replace DORNext's division arithmetic
+// with a single table load. Both slices are indexed by destination NodeID
+// and hold exactly what DORNext / ProductiveDirs return.
+type RouteTable struct {
+	DOR  []Dir
+	Prod []ProdSet
+}
+
+// Routes returns cur's precomputed route table.
+func (m Mesh) Routes(cur NodeID) RouteTable {
+	t := RouteTable{
+		DOR:  make([]Dir, m.Nodes()),
+		Prod: make([]ProdSet, m.Nodes()),
+	}
+	var buf [2]Dir
+	for n := 0; n < m.Nodes(); n++ {
+		dst := NodeID(n)
+		t.DOR[n] = m.DORNext(cur, dst)
+		dirs := m.ProductiveDirs(cur, dst, buf[:0])
+		t.Prod[n].N = uint8(len(dirs))
+		copy(t.Prod[n].D[:], dirs)
+	}
+	return t
 }
 
 func abs(v int) int {

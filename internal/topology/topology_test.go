@@ -209,3 +209,94 @@ func TestContains(t *testing.T) {
 		t.Error("invalid nodes accepted")
 	}
 }
+
+// TestNewMeshValidation is the table-driven guard against degenerate
+// meshes: non-positive or sub-minimum dimensions must panic instead of
+// silently constructing a mesh whose direction arithmetic is undefined.
+func TestNewMeshValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		w, h   int
+		panics bool
+	}{
+		{"zero both", 0, 0, true},
+		{"zero width", 0, 4, true},
+		{"zero height", 4, 0, true},
+		{"negative width", -3, 4, true},
+		{"negative height", 4, -1, true},
+		{"one by five", 1, 5, true},
+		{"five by one", 5, 1, true},
+		{"minimum", 2, 2, false},
+		{"paper mesh", 3, 3, false},
+		{"large radix", 16, 16, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); (r != nil) != c.panics {
+					t.Errorf("NewMesh(%d,%d) panic = %v, want panic %v", c.w, c.h, r, c.panics)
+				}
+			}()
+			m := NewMesh(c.w, c.h)
+			if !c.panics && m.Nodes() != c.w*c.h {
+				t.Errorf("NewMesh(%d,%d).Nodes() = %d", c.w, c.h, m.Nodes())
+			}
+		})
+	}
+}
+
+// TestNodeValidation checks Mesh.Node panics on out-of-range coordinates
+// instead of aliasing them onto a valid but wrong NodeID.
+func TestNodeValidation(t *testing.T) {
+	m := NewMesh(4, 3)
+	cases := []struct {
+		name   string
+		x, y   int
+		panics bool
+	}{
+		{"origin", 0, 0, false},
+		{"last", 3, 2, false},
+		{"x too big", 4, 0, true},
+		{"y too big", 0, 3, true},
+		{"x negative", -1, 1, true},
+		{"y negative", 1, -1, true},
+		{"wraps to valid id", 4, 1, true}, // y*W+x = 8 is a valid NodeID of the wrong node
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); (r != nil) != c.panics {
+					t.Errorf("Node(%d,%d) panic = %v, want panic %v", c.x, c.y, r, c.panics)
+				}
+			}()
+			n := m.Node(c.x, c.y)
+			if !c.panics && !m.Contains(n) {
+				t.Errorf("Node(%d,%d) = %d not contained", c.x, c.y, n)
+			}
+		})
+	}
+}
+
+// TestRoutesMatchDOR checks the precomputed per-source route tables hold
+// exactly what DORNext and ProductiveDirs compute.
+func TestRoutesMatchDOR(t *testing.T) {
+	m := NewMesh(5, 4)
+	for cur := NodeID(0); cur < NodeID(m.Nodes()); cur++ {
+		rt := m.Routes(cur)
+		for dst := NodeID(0); dst < NodeID(m.Nodes()); dst++ {
+			if rt.DOR[dst] != m.DORNext(cur, dst) {
+				t.Fatalf("Routes(%d).DOR[%d] = %s, want %s", cur, dst, rt.DOR[dst], m.DORNext(cur, dst))
+			}
+			want := m.ProductiveDirs(cur, dst, nil)
+			ps := rt.Prod[dst]
+			if int(ps.N) != len(want) {
+				t.Fatalf("Routes(%d).Prod[%d] has %d dirs, want %d", cur, dst, ps.N, len(want))
+			}
+			for i, d := range want {
+				if ps.D[i] != d {
+					t.Fatalf("Routes(%d).Prod[%d][%d] = %s, want %s", cur, dst, i, ps.D[i], d)
+				}
+			}
+		}
+	}
+}

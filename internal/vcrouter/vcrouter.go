@@ -86,6 +86,19 @@ type Router struct {
 
 	cands [topology.NumPorts]candidate
 
+	// cols, when non-nil, is the arena's columnar flit bank; route
+	// computation and credit bookkeeping read destination and virtual
+	// network through it (nil = -nocolumnar struct reference path).
+	cols *flit.Columns
+
+	// nbr lists the directions with a wired neighbor, so the per-cycle
+	// receive loops skip the empty ports of edge and corner routers.
+	nbr []topology.Dir
+
+	// dor is node's precomputed DOR next-hop table, indexed by
+	// destination (see topology.Routes).
+	dor []topology.Dir
+
 	// held counts flits currently in the input buffers (maintained at the
 	// enqueue/dequeue sites) so quiescence and drain checks are O(1).
 	held int
@@ -143,11 +156,21 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
 		r.injVC[vn] = flit.NoVC
 	}
 	r.srcCount, _ = src.(router.QueuedCounter)
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil {
+			r.nbr = append(r.nbr, d)
+		}
+	}
+	r.dor = mesh.Routes(node).DOR
 	return r
 }
 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
+
+// SetColumns attaches the columnar flit banks the router reads hot
+// per-flit state through. Nil selects the struct-field reference path.
+func (r *Router) SetColumns(c *flit.Columns) { r.cols = c }
 
 // Reset rewinds the router to its freshly constructed state, keeping
 // every buffer's backing array: VC queues empty, packet state closed,
@@ -212,8 +235,8 @@ func (r *Router) Tick(now uint64) {
 
 // receiveCredits consumes credit backflow from downstream routers.
 func (r *Router) receiveCredits(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if pl.CreditIn == nil {
 			continue
 		}
@@ -271,14 +294,14 @@ func (r *Router) eligible(now uint64, p topology.Dir, v int) bool {
 			}
 			return r.out[vc.route][vc.ovc].credits > 0
 		}
-		route := r.mesh.DORNext(r.node, f.Dst)
+		route := r.dor[r.cols.FlitDst(f)]
 		if route == topology.Local {
 			vc.route = route
 			vc.ovc = flit.NoVC
-			vc.pktOpen = f.Len > 1
+			vc.pktOpen = r.cols.FlitLen(f) > 1
 			return true
 		}
-		ovc := r.allocVC(route, f.VN)
+		ovc := r.allocVC(route, r.cols.FlitVN(f))
 		if ovc == flit.NoVC {
 			return false
 		}
@@ -379,7 +402,7 @@ func (r *Router) sendWinner(now uint64, in, out topology.Dir) {
 	// Return a credit upstream for the freed buffer slot.
 	if in != topology.Local {
 		if pl := r.wires.Ports[in]; pl.CreditOut != nil {
-			pl.CreditOut.Send(now, link.Credit{VC: c.vc, VN: f.VN})
+			pl.CreditOut.Send(now, link.Credit{VC: c.vc, VN: r.cols.FlitVN(f)})
 			if r.meter != nil {
 				r.meter.Credit()
 			}
@@ -419,6 +442,10 @@ func (r *Router) sendWinner(now uint64, in, out topology.Dir) {
 // network interface into the local input port — the Garnet-style NI model
 // where each virtual network has its own injection path.
 func (r *Router) inject(now uint64) {
+	// Empty NI: every peek below would return nil.
+	if r.srcCount != nil && r.srcCount.QueuedFlits() == 0 {
+		return
+	}
 	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
 		f := r.src.Peek(vn)
 		if f == nil {
@@ -446,7 +473,7 @@ func (r *Router) inject(now uint64) {
 		}); ok {
 			st.StampInjection(now, f)
 		} else {
-			f.InjectedAt = now
+			f.SetInjected(now)
 		}
 		vc.q = append(vc.q, entry{f: f, readyAt: now + 1})
 		r.held++
@@ -486,8 +513,8 @@ func (r *Router) injectionVC(vn flit.VN, f *flit.Flit) int {
 // receive buffers this cycle's link arrivals. Credits guarantee space; an
 // overflow is an invariant violation.
 func (r *Router) receive(now uint64) {
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		pl := r.wires.Ports[d]
+	for _, d := range r.nbr {
+		pl := &r.wires.Ports[d]
 		if pl.In == nil {
 			continue
 		}
@@ -519,7 +546,7 @@ func (r *Router) Quiescent(now uint64) bool {
 	if r.held != 0 {
 		return false
 	}
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.In != nil && pl.In.InFlight() != 0 {
 			return false
