@@ -14,23 +14,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The three bit-for-bit equivalence gates under the race detector: the
+# The four bit-for-bit equivalence gates under the race detector: the
 # active-set kernel against the dense reference, the pooled memory
 # engine (arena recycling + cross-cell network reuse) against the
-# no-pool reference, and the columnar flit banks against the
-# struct-field reference — each serial and 8-way parallel with the
-# invariant checker attached. `race` already covers them via ./...; this
-# target exists so CI names them explicitly and a -short or cached run
-# cannot skip them.
+# no-pool reference, the columnar flit banks against the struct-field
+# reference, and the sharded two-phase tick against the serial kernel —
+# each with the invariant checker attached. The sharded gate is the one
+# the race detector bites hardest: any unsynchronized cross-shard access
+# in the barrier is a hard failure there, not a flaky diff. `race`
+# already covers them via ./...; this target exists so CI names them
+# explicitly and a -short or cached run cannot skip them.
 race-equality:
-	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool|TestColumnarEqualsReference)$$' ./internal/experiments
+	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool|TestColumnarEqualsReference|TestShardedEqualsSerial)$$' ./internal/experiments
 
-# The large-radix smoke cell: a short 16x16 AFC run with the invariant
-# checker attached (see TestLargeMesh16x16Smoke), so the regime the
-# columnar banks target is exercised on every CI run even though the
-# paper's own experiments stop at 3x3.
+# The large-radix smoke cells: a short 16x16 AFC run with the invariant
+# checker attached, serial and through the sharded tick at 8 shards (see
+# TestLargeMesh16x16Smoke / TestLargeMesh16x16ShardedSmoke), so the
+# regime the columnar banks and the sharded barrier target is exercised
+# on every CI run even though the paper's own experiments stop at 3x3.
 smoke-16x16:
-	$(GO) test -short -count=1 -run='^TestLargeMesh16x16Smoke$$' ./internal/network
+	$(GO) test -short -count=1 -run='^TestLargeMesh16x16(Sharded)?Smoke$$' ./internal/network
 
 # Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
 # and allocs/op plus low-load vs saturation cell wall times (minimum of
@@ -56,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzConfig$$' -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz='^FuzzNetworkStep$$' -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz='^FuzzArenaHandles$$' -fuzztime=10s ./internal/flit
+	$(GO) test -run='^$$' -fuzz='^FuzzShardBarrier$$' -fuzztime=10s ./internal/network
 
 # One tiny sweep with every observability flag on: the run must succeed,
 # leave a heap profile behind, and produce a manifest that records the

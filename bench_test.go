@@ -104,6 +104,34 @@ func BenchmarkKernelStep16x16(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelStep16x16Sharded is BenchmarkKernelStep16x16 through
+// the sharded tick at 8 shards (two rows per band) — the regime the
+// two-phase barrier targets: one large network whose cycle is wide
+// enough to split across cores. Results are bit-identical to the serial
+// bench's network (TestShardedEqualsSerial); what this bench tracks is
+// the wall-clock ratio against BenchmarkKernelStep16x16 (reported by
+// cmd/benchjson as a speedup on multi-core hosts; on a single-core host
+// the barrier is pure overhead and the ratio inverts) and that the
+// parallel arena keeps the steady state allocation-free.
+func BenchmarkKernelStep16x16Sharded(b *testing.B) {
+	net := network.New(network.Config{
+		Kind: network.AFC, Seed: 1, MeterEnergy: true, Shards: 8,
+		System: config.DefaultWithMesh(topology.NewMesh(16, 16)),
+	})
+	defer net.Close()
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.08,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(5000) // reach steady state before measuring (large mesh: longer fill)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
 // BenchmarkKernelStepLowLoad is BenchmarkKernelStep at a near-idle
 // injection rate — the regime where active-set scheduling pays: most
 // routers are quiescent most cycles, so the per-cycle cost should be a

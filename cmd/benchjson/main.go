@@ -35,8 +35,15 @@
 // shared-machine noise while still catching real regressions).
 //
 // Snapshot schema: afcnet-bench/v2 adds the 16x16 large-radix kernel
-// number (kernelStep16x16NsPerOp). bench-smoke reads v1 snapshots
-// backward-compatibly — metrics a v1 baseline lacks are skipped.
+// number (kernelStep16x16NsPerOp); afcnet-bench/v3 adds the sharded-tick
+// variant of that cell (kernelStep16x16ShardedNsPerOp, measured at
+// kernel.shards row bands) plus the host's core count, since the sharded
+// number is only meaningful relative to the serial one on the same
+// machine width. bench-smoke reads v1 and v2 snapshots
+// backward-compatibly — metrics an older baseline lacks are skipped. The
+// sharded speedup is gated only on hosts with at least as many CPUs as
+// shards; on narrower machines the barrier cannot pay and the ratio is
+// recorded for the trajectory, not judged.
 package main
 
 import (
@@ -63,13 +70,17 @@ import (
 
 // Snapshot is the recorded BENCH_<n>.json schema.
 type Snapshot struct {
-	Schema     string `json:"schema"`
-	Label      string `json:"label,omitempty"`
-	GoVersion  string `json:"goVersion"`
-	Dense      bool   `json:"denseKernel"`
-	NoPool     bool   `json:"noPool"`
-	NoColumnar bool   `json:"noColumnar"`
-	Runs       int    `json:"runs"`
+	Schema    string `json:"schema"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"goVersion"`
+	// Cores/MaxProcs (schema v3) record the machine width the snapshot
+	// was taken on: the sharded kernel number is a function of it.
+	Cores      int  `json:"cores,omitempty"`
+	MaxProcs   int  `json:"maxProcs,omitempty"`
+	Dense      bool `json:"denseKernel"`
+	NoPool     bool `json:"noPool"`
+	NoColumnar bool `json:"noColumnar"`
+	Runs       int  `json:"runs"`
 
 	Kernel struct {
 		StepNsPerOp            float64 `json:"stepNsPerOp"`
@@ -82,6 +93,16 @@ type Snapshot struct {
 		// v1 snapshots, which predate the field.
 		Step16x16NsPerOp     float64 `json:"kernelStep16x16NsPerOp"`
 		Step16x16AllocsPerOp float64 `json:"kernelStep16x16AllocsPerOp"`
+		// Shards and the sharded-step fields (schema v3) measure the same
+		// 16x16 cell through the sharded two-phase tick at Shards row
+		// bands. Bit-identical results to the serial cell by construction
+		// (TestShardedEqualsSerial); the interesting quantities are the
+		// ns/op ratio against Step16x16NsPerOp on a multi-core host and
+		// the allocs/op, which the parallel arena must keep at zero. Zero
+		// in v1/v2 snapshots, which predate the fields.
+		Shards                      int     `json:"shards,omitempty"`
+		Step16x16ShardedNsPerOp     float64 `json:"kernelStep16x16ShardedNsPerOp"`
+		Step16x16ShardedAllocsPerOp float64 `json:"kernelStep16x16ShardedAllocsPerOp"`
 		// SteadyAllocsPerOp is the worst (max) of the steady-state
 		// allocs/op measurements above — the single number the smoke
 		// gate compares. With pooling on this is 0 by construction.
@@ -144,28 +165,36 @@ func main() {
 // the single low-load cell and fewer repetitions, so CI stays fast.
 func measure(dense, nopool, nocolumnar bool, runs int, label string, smoke bool) Snapshot {
 	var s Snapshot
-	s.Schema = "afcnet-bench/v2"
+	s.Schema = "afcnet-bench/v3"
 	s.Label = label
 	s.GoVersion = runtime.Version()
+	s.Cores = runtime.NumCPU()
+	s.MaxProcs = runtime.GOMAXPROCS(0)
 	s.Dense = dense
 	s.NoPool = nopool
 	s.NoColumnar = nocolumnar
 	s.Runs = runs
 
-	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, 3, 1000, dense, nopool, nocolumnar) })
+	r := testing.Benchmark(func(b *testing.B) { benchStep(b, 0.3, 3, 1000, 0, dense, nopool, nocolumnar) })
 	s.Kernel.StepNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepAllocsPerOp = float64(r.AllocsPerOp())
-	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, 3, 1000, dense, nopool, nocolumnar) })
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.02, 3, 1000, 0, dense, nopool, nocolumnar) })
 	s.Kernel.StepLowLoadNsPerOp = float64(r.NsPerOp())
 	s.Kernel.StepLowLoadAllocsPerOp = float64(r.AllocsPerOp())
 	// Large-radix cell: 16x16 under sub-saturation uniform load (0.3
 	// would sit past the bisection limit of the bigger mesh, where queues
 	// and allocations grow without bound; see BenchmarkKernelStep16x16).
-	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.08, 16, 5000, dense, nopool, nocolumnar) })
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.08, 16, 5000, 0, dense, nopool, nocolumnar) })
 	s.Kernel.Step16x16NsPerOp = float64(r.NsPerOp())
 	s.Kernel.Step16x16AllocsPerOp = float64(r.AllocsPerOp())
+	// The same cell through the sharded tick, eight two-row bands
+	// (see BenchmarkKernelStep16x16Sharded).
+	s.Kernel.Shards = 8
+	r = testing.Benchmark(func(b *testing.B) { benchStep(b, 0.08, 16, 5000, s.Kernel.Shards, dense, nopool, nocolumnar) })
+	s.Kernel.Step16x16ShardedNsPerOp = float64(r.NsPerOp())
+	s.Kernel.Step16x16ShardedAllocsPerOp = float64(r.AllocsPerOp())
 	s.Kernel.SteadyAllocsPerOp = s.Kernel.StepAllocsPerOp
-	for _, a := range []float64{s.Kernel.StepLowLoadAllocsPerOp, s.Kernel.Step16x16AllocsPerOp} {
+	for _, a := range []float64{s.Kernel.StepLowLoadAllocsPerOp, s.Kernel.Step16x16AllocsPerOp, s.Kernel.Step16x16ShardedAllocsPerOp} {
 		if a > s.Kernel.SteadyAllocsPerOp {
 			s.Kernel.SteadyAllocsPerOp = a
 		}
@@ -193,12 +222,13 @@ func measure(dense, nopool, nocolumnar bool, runs int, label string, smoke bool)
 // benchStep is the cmd-side mirror of BenchmarkKernelStep /
 // BenchmarkKernelStep16x16 in bench_test.go (test files cannot be
 // imported from a command).
-func benchStep(b *testing.B, rate float64, side, warmup int, dense, nopool, nocolumnar bool) {
+func benchStep(b *testing.B, rate float64, side, warmup, shards int, dense, nopool, nocolumnar bool) {
 	net := network.New(network.Config{
 		Kind: network.AFC, Seed: 1, MeterEnergy: true,
 		System:      config.DefaultWithMesh(topology.NewMesh(side, side)),
-		DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar,
+		DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar, Shards: shards,
 	})
+	defer net.Close()
 	gen := traffic.NewGenerator(net, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: net.Mesh()},
 		Rate:    rate,
@@ -310,7 +340,7 @@ func runSmoke(dense, nopool, nocolumnar bool, baselinePath string) error {
 		return fmt.Errorf("%s: %v", baselinePath, err)
 	}
 	switch base.Schema {
-	case "afcnet-bench/v1", "afcnet-bench/v2":
+	case "afcnet-bench/v1", "afcnet-bench/v2", "afcnet-bench/v3":
 	default:
 		return fmt.Errorf("%s: unknown schema %q", baselinePath, base.Schema)
 	}
@@ -375,16 +405,37 @@ func runSmoke(dense, nopool, nocolumnar bool, baselinePath string) error {
 	compareFail("step ns/op", base.Kernel.StepNsPerOp, cur.Kernel.StepNsPerOp, 15)
 	compare("step lowload ns/op", base.Kernel.StepLowLoadNsPerOp, cur.Kernel.StepLowLoadNsPerOp, 25)
 	compare("step 16x16 ns/op", base.Kernel.Step16x16NsPerOp, cur.Kernel.Step16x16NsPerOp, 25)
+	compare("step 16x16 sharded ns/op", base.Kernel.Step16x16ShardedNsPerOp, cur.Kernel.Step16x16ShardedNsPerOp, 25)
 	compare("lowload cell wall ms", base.Cells.LowLoadCellWallSecs*1000, cur.Cells.LowLoadCellWallSecs*1000, 50)
 	compareAlloc("step allocs/op", base.Kernel.StepAllocsPerOp, cur.Kernel.StepAllocsPerOp, 0)
 	compareAlloc("steady allocs/op", base.Kernel.SteadyAllocsPerOp, cur.Kernel.SteadyAllocsPerOp, 0)
 	compareAlloc("lowload cell alloc KB", float64(base.Cells.LowLoadCellTotalAllocBytes)/1024,
 		float64(cur.Cells.LowLoadCellTotalAllocBytes)/1024, 10)
 	// Absolute gate: with pooling on, the kernel steady state allocates
-	// nothing. This holds regardless of what the baseline recorded.
+	// nothing. This holds regardless of what the baseline recorded. The
+	// sharded cell is included via SteadyAllocsPerOp: the parallel arena
+	// must not allocate either.
 	if !nopool && cur.Kernel.SteadyAllocsPerOp > 0 {
 		fmt.Printf("  steady allocs/op is %.1f with pooling on (want 0)  <-- FAIL\n", cur.Kernel.SteadyAllocsPerOp)
 		failed = true
+	}
+	// Sharded speedup gate, conditional on machine width: with at least
+	// as many CPUs as shards the two-phase barrier must pay for itself
+	// (>= 1.5x on the 16x16 cell). On narrower machines — where phase A
+	// serializes onto too few cores and the barrier is pure overhead —
+	// the ratio is reported for the record, not judged.
+	if speedup := cur.Kernel.Step16x16NsPerOp / cur.Kernel.Step16x16ShardedNsPerOp; cur.Kernel.Shards > 0 {
+		if runtime.NumCPU() >= cur.Kernel.Shards {
+			if speedup < 1.5 {
+				fmt.Printf("  sharded 16x16 speedup %.2fx on %d CPUs (want >= 1.5x)  <-- FAIL\n", speedup, runtime.NumCPU())
+				failed = true
+			} else {
+				fmt.Printf("  sharded 16x16 speedup %.2fx on %d CPUs (gate: >= 1.5x)\n", speedup, runtime.NumCPU())
+			}
+		} else {
+			fmt.Printf("  sharded 16x16 speedup %.2fx on %d CPUs (gate needs >= %d CPUs; recorded only)\n",
+				speedup, runtime.NumCPU(), cur.Kernel.Shards)
+		}
 	}
 	if failed {
 		return fmt.Errorf("bench-smoke regression (see above)")

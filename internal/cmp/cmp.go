@@ -176,6 +176,25 @@ type System struct {
 	wbHeld     []int               // per-core writebacks held awaiting grant
 	wbRequests uint64
 	wbMaxHeld  int
+
+	// cells, non-nil exactly when the network runs the sharded tick, is
+	// the per-shard staging of onPacket's cross-shard mutations. The
+	// handler fires inside the parallel phase (deliveries happen in
+	// router ticks), where everything it touches is destination-local
+	// except the bank-job heap and the global counters; those stage here
+	// and drainStaged merges them shard-ascending — serial node order —
+	// via the network's drain hook.
+	cells []shardCell
+}
+
+// shardCell stages one shard's cross-shard CMP effects for one cycle.
+type shardCell struct {
+	jobs       []bankJob
+	completed  uint64
+	writebacks uint64
+	wbReqs     uint64
+	fullDelta  int
+	maxHeld    int
 }
 
 // NewSystem attaches a CMP running the given workload to net. seeds mints
@@ -209,6 +228,10 @@ func NewSystem(net *network.Network, p Params, seeds func() *rand.Rand) *System 
 		}
 		nif := net.NI(node)
 		nif.SetHandler(s.onPacket)
+	}
+	if net.ShardCount() > 1 {
+		s.cells = make([]shardCell, net.ShardCount())
+		net.AddDrainHook(s.drainStaged)
 	}
 	net.AddTicker(s)
 	return s
@@ -244,7 +267,47 @@ func (s *System) Reattach(p Params) {
 	}
 	s.wbRequests = 0
 	s.wbMaxHeld = 0
+	for i := range s.cells {
+		s.cells[i].jobs = s.cells[i].jobs[:0]
+		s.cells[i] = shardCell{jobs: s.cells[i].jobs}
+	}
+	if s.cells != nil {
+		// Reset dropped the previous cell's drain hooks along with its
+		// tickers; re-register ours exactly as NewSystem did.
+		s.net.AddDrainHook(s.drainStaged)
+	}
 	s.net.AddTicker(s)
+}
+
+// cell returns the staging cell of node's shard, nil on a serial
+// network (mutate the globals inline).
+func (s *System) cell(node topology.NodeID) *shardCell {
+	if s.cells == nil {
+		return nil
+	}
+	return &s.cells[s.net.ShardOf(node)]
+}
+
+// drainStaged merges the per-shard staging cells into the global state,
+// shard-ascending: each cell holds its shard's effects in tick order and
+// the bands are ascending node ranges, so the merged order — and hence
+// the job heap's layout under equal due times — matches the serial
+// kernel exactly.
+func (s *System) drainStaged(now uint64) {
+	for i := range s.cells {
+		c := &s.cells[i]
+		for _, j := range c.jobs {
+			s.jobs.push(j)
+		}
+		s.totalCompleted += c.completed
+		s.writebacksSent += c.writebacks
+		s.wbRequests += c.wbReqs
+		s.fullCores += c.fullDelta
+		if c.maxHeld > s.wbMaxHeld {
+			s.wbMaxHeld = c.maxHeld
+		}
+		*c = shardCell{jobs: c.jobs[:0]}
+	}
 }
 
 // Params returns the workload parameters.
@@ -362,17 +425,31 @@ func (s *System) onPacket(now uint64, d ni.Delivered) {
 		if s.rngs[d.Dst].Float64() < s.params.MemFraction {
 			lat += uint64(s.params.MemLatency)
 		}
-		s.jobs.push(bankJob{due: now + lat, bank: d.Dst, core: d.Src, tx: payloadTx(d.Payload)})
+		j := bankJob{due: now + lat, bank: d.Dst, core: d.Src, tx: payloadTx(d.Payload)}
+		if cell := s.cell(d.Dst); cell != nil {
+			cell.jobs = append(cell.jobs, j)
+		} else {
+			s.jobs.push(j)
+		}
 	case msgResponse:
 		// The miss completes: the MSHR frees; occasionally the evicted
 		// line is dirty and must be written back to its own home bank.
+		cell := s.cell(d.Dst)
 		c := &s.cores[d.Dst]
 		if c.outstanding == s.params.MSHRs {
-			s.fullCores--
+			if cell != nil {
+				cell.fullDelta--
+			} else {
+				s.fullCores--
+			}
 		}
 		c.outstanding--
 		c.completed++
-		s.totalCompleted++
+		if cell != nil {
+			cell.completed++
+		} else {
+			s.totalCompleted++
+		}
 		if c.outstanding < 0 {
 			panic(fmt.Sprintf("cmp: node %d completed more misses than issued", d.Dst))
 		}
@@ -381,15 +458,28 @@ func (s *System) onPacket(now uint64, d ni.Delivered) {
 			home := s.pickHome(d.Dst, rng)
 			if s.params.WritebackPreAlloc {
 				// Hold the dirty line; request a receive buffer first.
+				// The peak-held maximum stages per shard: a max of maxes
+				// over the same observations equals the serial running max.
 				s.wbHeld[d.Dst]++
-				if s.wbHeld[d.Dst] > s.wbMaxHeld {
-					s.wbMaxHeld = s.wbHeld[d.Dst]
+				if cell != nil {
+					if s.wbHeld[d.Dst] > cell.maxHeld {
+						cell.maxHeld = s.wbHeld[d.Dst]
+					}
+					cell.wbReqs++
+				} else {
+					if s.wbHeld[d.Dst] > s.wbMaxHeld {
+						s.wbMaxHeld = s.wbHeld[d.Dst]
+					}
+					s.wbRequests++
 				}
-				s.wbRequests++
 				s.net.NI(d.Dst).SendPacket(now, home, flit.VNReq,
 					flit.ControlPacketFlits, payload(msgWBRequest, 0))
 			} else {
-				s.writebacksSent++
+				if cell != nil {
+					cell.writebacks++
+				} else {
+					s.writebacksSent++
+				}
 				s.net.NI(d.Dst).SendPacket(now, home, flit.VNData,
 					flit.DataPacketFlits, payload(msgWriteback, 0))
 			}
@@ -410,7 +500,11 @@ func (s *System) onPacket(now uint64, d ni.Delivered) {
 		if s.wbHeld[d.Dst] < 0 {
 			panic(fmt.Sprintf("cmp: node %d acked more writebacks than held", d.Dst))
 		}
-		s.writebacksSent++
+		if cell := s.cell(d.Dst); cell != nil {
+			cell.writebacks++
+		} else {
+			s.writebacksSent++
+		}
 		s.net.NI(d.Dst).SendPacket(now, d.Src, flit.VNData,
 			flit.DataPacketFlits, payload(msgWriteback, 0))
 	case msgWriteback:

@@ -159,7 +159,13 @@ type Router struct {
 	esc    [topology.NumPorts][]escape
 	escCap int
 	down   [topology.NumDirs]downstream
-	defl   *router.Deflector
+	// trackedDirs counts the directions with down[d].tracking set,
+	// maintained at every tracking toggle, so the gossip checks in
+	// decideMode and Quiescent are a register compare in the common
+	// (no buffered neighbor) case instead of a scan over the cold
+	// down array.
+	trackedDirs int
+	defl        *router.Deflector
 	// nbr lists the directions with a wired neighbor (data, credit and
 	// control pipes all exist exactly there), so the per-cycle receive
 	// loops skip the empty ports of edge and corner routers.
@@ -289,6 +295,7 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			if wires.Ports[d].Exists() {
 				r.down[d] = downstream{tracking: true, credits: cfg.VCsPerVN}
+				r.trackedDirs++
 			}
 		}
 	} else {
@@ -343,9 +350,11 @@ func (r *Router) Reset(seed int64) {
 	r.escapeEvents = 0
 	if r.alwaysBuffered {
 		r.mode = ModeBuffered
+		r.trackedDirs = 0
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			if r.wires.Ports[d].Exists() {
 				r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
+				r.trackedDirs++
 			} else {
 				r.down[d] = downstream{}
 			}
@@ -355,6 +364,7 @@ func (r *Router) Reset(seed int64) {
 		}
 	} else {
 		r.mode = ModeBless
+		r.trackedDirs = 0
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			r.down[d] = downstream{}
 		}
@@ -417,9 +427,22 @@ func (r *Router) LatchedFlits() int { return len(r.latches) }
 //     a clear window the EWMA decays monotonically, and the last
 //     decideMode already proved it at or below the threshold (under the
 //     misroute-threshold ablation policy the EWMA is not consulted at
-//     all, and neither the misroute trip nor gossip can fire without
-//     traffic). Gossip state is frozen while no credits or control
-//     notifications arrive.
+//     all, and the misroute trip cannot fire without traffic).
+//   - A ModeBless router whose gossip condition currently holds must
+//     tick: decideMode would begin a forward switch. The condition can be
+//     true while everything else is idle — a reverse switch lands the
+//     router in ModeBless without re-evaluating gossip that same cycle,
+//     and a tracked downstream may still be below the watermark — so it
+//     is checked here rather than argued frozen-false. While no credits
+//     or control notifications arrive the credit mirrors cannot change,
+//     so once the condition is false it stays false across skipped
+//     cycles.
+//
+// This is exactly the contract the sharded tick (internal/network)
+// leans on: whenever Quiescent is true, Tick is bit-for-bit equivalent
+// to FastForward(1), so a skip decision made from a start-of-cycle view
+// of the pipe counters (which cannot see same-cycle sends parked in
+// staged boundary registers) still produces serial-identical state.
 func (r *Router) Quiescent(now uint64) bool {
 	if r.held != 0 || len(r.latches) != 0 {
 		return false
@@ -433,6 +456,9 @@ func (r *Router) Quiescent(now uint64) bool {
 		}
 	case ModeBless:
 		if r.misrouteThreshold == 0 && !r.monitor.WindowClear() {
+			return false
+		}
+		if r.gossipTriggered() {
 			return false
 		}
 	}
@@ -565,10 +591,16 @@ func (r *Router) receiveCtrl(now uint64) {
 		case link.CtrlStartCredits:
 			// The neighbor's buffers are empty at the announcement, so
 			// the initial credit count is the full per-VN capacity.
+			if !r.down[d].tracking {
+				r.trackedDirs++
+			}
 			r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
 		case link.CtrlStopCredits:
 			// Per the paper, occupancy is considered empty immediately;
 			// in-flight credits for the stopped neighbor are ignored.
+			if r.down[d].tracking {
+				r.trackedDirs--
+			}
 			r.down[d] = downstream{}
 		}
 	}

@@ -41,6 +41,9 @@ func (r *Router) decideMode(now uint64) {
 // per VN: once one VN's free count falls below X, flits of that VN could
 // soon find the port unusable and pile up locally.
 func (r *Router) gossipTriggered() bool {
+	if r.trackedDirs == 0 {
+		return false
+	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
 		ds := &r.down[d]
 		if !ds.tracking {

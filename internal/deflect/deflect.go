@@ -291,7 +291,11 @@ func (r *Router) receive(now uint64) {
 // An idle tick draws no randomness (Assign returns early on an empty
 // flit set) and mutates only the meter, the injection round-robin
 // pointer, and the idle injection registers — all replayed exactly by
-// FastForward.
+// FastForward. The sharded tick (internal/network/shard.go) depends on
+// that Tick == FastForward(1) equivalence being exact: its skip
+// decision cannot see same-cycle sends parked in staged boundary
+// registers, which is only sound because skipping such a router
+// changes nothing.
 func (r *Router) Quiescent(now uint64) bool {
 	if len(r.latches) != 0 {
 		return false

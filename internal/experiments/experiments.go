@@ -67,6 +67,12 @@ type Options struct {
 	// are bit-for-bit identical either way; the flag exists for
 	// equivalence tests.
 	NoColumnar bool
+	// Shards builds every network with the sharded tick
+	// (network.Config.Shards): each cycle's router bank splits across a
+	// persistent worker group with a deterministic two-phase barrier.
+	// Results match the serial kernel for any shard count; <= 1 keeps
+	// the serial reference path.
+	Shards int
 }
 
 // newNetwork builds one cell's network, attaching an invariant checker
@@ -77,6 +83,9 @@ func (o Options) newNetwork(cfg network.Config) *network.Network {
 	cfg.DenseKernel = cfg.DenseKernel || o.Dense
 	cfg.NoPool = cfg.NoPool || o.NoPool
 	cfg.NoColumnar = cfg.NoColumnar || o.NoColumnar
+	if cfg.Shards <= 1 {
+		cfg.Shards = o.Shards
+	}
 	net := network.New(cfg)
 	if o.Check {
 		check.Attach(net)
@@ -133,6 +142,9 @@ func (w *workerState) acquire(cfg network.Config) *workerEnt {
 	cfg.DenseKernel = cfg.DenseKernel || w.opt.Dense
 	cfg.NoPool = cfg.NoPool || w.opt.NoPool
 	cfg.NoColumnar = cfg.NoColumnar || w.opt.NoColumnar
+	if cfg.Shards <= 1 {
+		cfg.Shards = w.opt.Shards
+	}
 	e := w.ents[cfg.Kind]
 	if e == nil || !e.net.Reset(cfg) {
 		e = &workerEnt{net: network.New(cfg)}

@@ -1,6 +1,9 @@
 package flit
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // maxPooledLen bounds the packet lengths the arena recycles. Both packet
 // classes in the simulated system (1 and 17 flits) fit far below it; a
@@ -30,7 +33,9 @@ type block struct {
 // Packet.Flits form, Recycle returns them at the points a flit is
 // consumed (NI delivery, drop retirement). Steady state allocates
 // nothing — every packet reuses a block of its length class. An Arena,
-// like the network owning it, is single-goroutine state.
+// like the network owning it, is single-goroutine state — except inside
+// a sharded tick's parallel phase, bracketed by BeginParallel and
+// EndParallel, where the shared free lists go behind a mutex.
 type Arena struct {
 	free [maxPooledLen + 1][]*block
 	all  []*block
@@ -39,6 +44,18 @@ type Arena struct {
 	// hot per-flit state; every block minted afterwards gets a contiguous
 	// row range in it. Nil is the -nocolumnar reference path.
 	cols *Columns
+
+	// Parallel-phase state for the sharded tick. While parallel is set,
+	// Packetize and Recycle take mu around the shared free lists and the
+	// live counter, and Packetize never mints: minting would grow the
+	// columnar banks, racing the slice-header reads of every other shard.
+	// A starved length falls back to heap flits for that packet and is
+	// tallied here; EndParallel mints replacement blocks serially, so a
+	// steady-state workload stops starving (and stops allocating) once
+	// the pool has grown to the workload's concurrent footprint.
+	mu       sync.Mutex
+	parallel bool
+	starved  [maxPooledLen + 1]uint32
 }
 
 // NewArena returns an empty arena.
@@ -62,6 +79,53 @@ func (a *Arena) Columns() *Columns {
 	return a.cols
 }
 
+// BeginParallel switches the arena into parallel mode for one sharded
+// compute phase: shared state goes behind the mutex and minting is
+// deferred. No-op on a nil arena. Must be called from the serial side
+// of the barrier.
+func (a *Arena) BeginParallel() {
+	if a == nil {
+		return
+	}
+	a.parallel = true
+}
+
+// EndParallel leaves parallel mode and, serially, mints a replacement
+// block for every starved Packetize of the phase, topping the free
+// lists back up so the pool converges on zero steady-state allocation.
+// No-op on a nil arena.
+func (a *Arena) EndParallel() {
+	if a == nil {
+		return
+	}
+	a.parallel = false
+	for l := range a.starved {
+		for ; a.starved[l] > 0; a.starved[l]-- {
+			a.free[l] = append(a.free[l], a.mint(l))
+		}
+	}
+}
+
+// mint allocates a fresh block of the given length, growing the
+// columnar banks when enabled. Serial-phase only: growing the banks
+// moves their slice headers under every concurrent reader.
+func (a *Arena) mint(length int) *block {
+	b := &block{
+		backing: make([]Flit, length),
+		ptrs:    make([]*Flit, length),
+		owner:   a,
+		base:    NoRef,
+	}
+	if a.cols != nil {
+		b.base = a.cols.grow(length)
+	}
+	for i := range b.backing {
+		b.ptrs[i] = &b.backing[i]
+	}
+	a.all = append(a.all, b)
+	return b
+}
+
 // Packetize expands p into flits like Packet.Flits, reusing a recycled
 // block when one of the right length is free. A nil arena (or an
 // out-of-range length) falls back to heap allocation, which is the
@@ -71,28 +135,33 @@ func (a *Arena) Packetize(p Packet) []*Flit {
 		return p.Flits()
 	}
 	var b *block
-	if fl := a.free[p.Len]; len(fl) > 0 {
-		b = fl[len(fl)-1]
-		a.free[p.Len] = fl[:len(fl)-1]
+	if a.parallel {
+		a.mu.Lock()
+		if fl := a.free[p.Len]; len(fl) > 0 {
+			b = fl[len(fl)-1]
+			a.free[p.Len] = fl[:len(fl)-1]
+			a.live += p.Len
+		} else {
+			a.starved[p.Len]++
+		}
+		a.mu.Unlock()
+		if b == nil {
+			// Free list dry mid-phase: heap flits for this packet (nil
+			// handles, Recycle no-op), replacement minted at EndParallel.
+			return p.Flits()
+		}
 	} else {
-		b = &block{
-			backing: make([]Flit, p.Len),
-			ptrs:    make([]*Flit, p.Len),
-			owner:   a,
-			base:    NoRef,
+		if fl := a.free[p.Len]; len(fl) > 0 {
+			b = fl[len(fl)-1]
+			a.free[p.Len] = fl[:len(fl)-1]
+		} else {
+			b = a.mint(p.Len)
 		}
-		if a.cols != nil {
-			b.base = a.cols.grow(p.Len)
-		}
-		for i := range b.backing {
-			b.ptrs[i] = &b.backing[i]
-		}
-		a.all = append(a.all, b)
+		a.live += p.Len
 	}
 	b.gen++
 	b.live = p.Len
 	b.returned = 0
-	a.live += p.Len
 	for i := range b.backing {
 		ref := NoRef
 		if b.base != NoRef {
@@ -131,6 +200,16 @@ func Recycle(f *Flit) {
 	b := f.blk
 	if b == nil {
 		return
+	}
+	// Flits of one block can be consumed by different shards in the same
+	// parallel phase (a dropped packet's flits retire at whichever drop
+	// routers hold them), so the block's bookkeeping shares the arena
+	// mutex with the free lists while parallel mode is on. The flag only
+	// changes on the serial side of the barrier, so this unlocked read is
+	// stable for the whole phase.
+	if b.owner.parallel {
+		b.owner.mu.Lock()
+		defer b.owner.mu.Unlock()
 	}
 	if f.gen != b.gen {
 		panic(fmt.Sprintf("flit: use-after-free recycle of %v (handle gen %d, block gen %d)", f, f.gen, b.gen))

@@ -30,6 +30,19 @@ type Pipe[T any] struct {
 	occupied []bool
 	inflight int
 	sends    uint64
+
+	// Staged-send mode for pipes that cross a shard boundary (see the
+	// sharded tick in internal/network). When staged, Send parks the
+	// value in a sender-owned register instead of touching the ring, so
+	// the sending and receiving shards never write the same memory
+	// within a parallel phase; CommitStaged applies the parked send
+	// during the serial drain. One register suffices because the
+	// one-value-per-cycle discipline already forbids a second Send
+	// before the commit.
+	staged    bool
+	stagedSet bool
+	stagedAt  uint64
+	stagedVal T
 }
 
 // NewPipe returns a pipe with the given latency. It panics if lat < 1:
@@ -64,6 +77,11 @@ func (p *Pipe[T]) Reset() {
 	}
 	p.inflight = 0
 	p.sends = 0
+	// Clear any parked send but keep the staged-mode flag itself: like
+	// the latency, staging is build-time wiring owned by the network.
+	p.stagedVal = zero
+	p.stagedSet = false
+	p.stagedAt = 0
 }
 
 // Sends returns the total number of values sent, for stats and energy
@@ -83,7 +101,22 @@ func (p *Pipe[T]) CanSend(now uint64) bool {
 
 // Send schedules v to arrive at now+Latency(). It panics if a value was
 // already sent this cycle, since physical links carry one value per cycle.
+// On a staged pipe the send is parked sender-side until CommitStaged —
+// timing is unchanged because the commit happens within the same cycle.
 func (p *Pipe[T]) Send(now uint64, v T) {
+	if p.staged {
+		if p.stagedSet {
+			panic(fmt.Sprintf("link: double send at cycle %d", now))
+		}
+		p.stagedVal = v
+		p.stagedAt = now
+		p.stagedSet = true
+		return
+	}
+	p.send(now, v)
+}
+
+func (p *Pipe[T]) send(now uint64, v T) {
 	s := p.slot(now + uint64(p.lat))
 	if p.occupied[s] {
 		panic(fmt.Sprintf("link: double send at cycle %d", now))
@@ -92,6 +125,34 @@ func (p *Pipe[T]) Send(now uint64, v T) {
 	p.occupied[s] = true
 	p.inflight++
 	p.sends++
+}
+
+// SetStaged switches the pipe into (or out of) staged-send mode. The
+// network marks the pipes whose sender and receiver land in different
+// shards; all other pipes keep the direct path with zero new work.
+func (p *Pipe[T]) SetStaged(on bool) { p.staged = on }
+
+// Staged reports whether the pipe is in staged-send mode.
+func (p *Pipe[T]) Staged() bool { return p.staged }
+
+// CommitStaged applies the send parked by a staged-mode Send, if any.
+// Called from the serial drain of the sharded tick, in a fixed global
+// order, before any other component of the cycle observes the pipe.
+func (p *Pipe[T]) CommitStaged() {
+	if !p.stagedSet {
+		return
+	}
+	v, at := p.stagedVal, p.stagedAt
+	var zero T
+	p.stagedVal = zero
+	p.stagedSet = false
+	p.send(at, v)
+}
+
+// Committer is the type-erased handle the network keeps per staged pipe
+// so its drain can commit data, credit and control pipes uniformly.
+type Committer interface {
+	CommitStaged()
 }
 
 // Recv returns the value arriving at cycle now, if any, and clears the

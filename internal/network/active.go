@@ -2,6 +2,7 @@ package network
 
 import (
 	"os"
+	"strconv"
 
 	"afcnet/internal/core"
 	"afcnet/internal/deflect"
@@ -40,6 +41,22 @@ const NoColumnarEnvVar = "AFCSIM_NOCOLUMNAR"
 // "no" or "off" disables the columnar flit banks.
 func NoColumnarFromEnv() bool {
 	return envSet(NoColumnarEnvVar)
+}
+
+// ShardsEnvVar sets the default shard count of the sharded tick in every
+// harness that consults ShardsFromEnv (cmd/afcsim, cmd/figures,
+// cmd/sweep, cmd/benchjson). Values <= 1 (or anything unparseable) keep
+// the serial reference path.
+const ShardsEnvVar = "AFCSIM_SHARDS"
+
+// ShardsFromEnv returns the shard count requested via AFCSIM_SHARDS, or
+// 0 (serial) when unset or not a positive integer.
+func ShardsFromEnv() int {
+	v, err := strconv.Atoi(os.Getenv(ShardsEnvVar))
+	if err != nil || v < 0 {
+		return 0
+	}
+	return v
 }
 
 func envSet(name string) bool {
@@ -184,8 +201,16 @@ func (b *coreBank) FastForward(cycles uint64) {
 }
 
 // registerRouterBank wraps n.routers in the concrete bank for the
-// network's kind and registers it as a single kernel entry.
+// network's kind and registers it as a single kernel entry. With the
+// sharded tick enabled the bank is the sharded one (shard.go), which
+// runs the same per-router loops through the worker-group barrier.
 func (n *Network) registerRouterBank() {
+	if n.shards > 1 {
+		if b := n.newShardedBank(); b != nil {
+			n.kernel.Register(b)
+			return
+		}
+	}
 	switch n.cfg.Kind {
 	case Backpressured, BackpressuredIdealBypass:
 		b := &vcBank{dense: n.cfg.DenseKernel}

@@ -17,10 +17,25 @@ import (
 // deliver and drain without losing a flit. The cycle counts are kept
 // small so the cell stays cheap enough to run on every CI invocation.
 func TestLargeMesh16x16Smoke(t *testing.T) {
+	largeMesh16x16Smoke(t, 0)
+}
+
+// TestLargeMesh16x16ShardedSmoke is the same cell through the sharded
+// tick at 8 shards (two rows per band): every boundary behavior — staged
+// pipes, effect journals, the parallel arena — under the checker, cheap
+// enough for every CI invocation. TestShardedEqualsSerial proves
+// bit-equality to serial exhaustively; this cell just keeps the sharded
+// path exercised in short mode.
+func TestLargeMesh16x16ShardedSmoke(t *testing.T) {
+	largeMesh16x16Smoke(t, 8)
+}
+
+func largeMesh16x16Smoke(t *testing.T, shards int) {
 	n := network.New(network.Config{
-		Kind: network.AFC, Seed: 7, MeterEnergy: true,
+		Kind: network.AFC, Seed: 7, MeterEnergy: true, Shards: shards,
 		System: config.DefaultWithMesh(topology.NewMesh(16, 16)),
 	})
+	defer n.Close()
 	check.Attach(n)
 	gen := traffic.NewGenerator(n, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: n.Mesh()},

@@ -118,6 +118,14 @@ type Config struct {
 	// equivalence tests (see also NoColumnarEnvVar). NoPool implies it:
 	// without an arena there are no columnar rows to read.
 	NoColumnar bool
+	// Shards splits the router bank's tick across a persistent worker
+	// group: the mesh is partitioned into contiguous row bands, each
+	// band's routers tick in parallel with all cross-shard effects staged
+	// and drained in a fixed global order, so results match the serial
+	// kernel for any shard count (see internal/network/shard.go). Values
+	// above the mesh height clamp to one shard per row. Shards <= 1 is
+	// the untouched serial reference path (see also ShardsEnvVar).
+	Shards int
 }
 
 // Network is a fully wired mesh NoC.
@@ -143,6 +151,24 @@ type Network struct {
 	nackPending map[uint64]bool
 
 	resetCycle uint64
+
+	// Sharded-tick state (see shard.go). shards is the effective shard
+	// count (1 = serial); shardOf maps node to shard; group is the
+	// persistent worker set; committers holds the boundary pipes in fixed
+	// (src-shard, dst-shard) drain order; journals stages the per-shard
+	// cross-shard effects of one parallel phase; drainHooks run at the
+	// end of each drain (the CMP substrate registers one); inParallel is
+	// true exactly while the worker group is inside a compute phase —
+	// shared-state mutators (NACK scheduling, ACK clears, create hooks)
+	// consult it to decide between acting inline and journaling.
+	shards     int
+	shardOf    []int
+	bands      []Band
+	group      *sim.ShardGroup
+	committers []stagedPipe
+	journals   [][]shardEffect
+	drainHooks []func(now uint64)
+	inParallel bool
 }
 
 // New builds a network. It panics on an invalid system configuration
@@ -181,11 +207,15 @@ func (n *Network) build() {
 	nodes := n.mesh.Nodes()
 	n.wires = make([]router.Wires, nodes)
 	wires := n.wires
+	n.initShards()
 
 	dataLat := sys.LinkLatency + 1 // switch traversal folded into the link
 	sideLat := sys.LinkLatency
 
-	// Create one set of channels per directed edge.
+	// Create one set of channels per directed edge. Pipes whose endpoints
+	// land in different shards go into staged-send mode: their sends park
+	// sender-side during the parallel phase and commit in the drain (see
+	// shard.go); stagePipes collects them in fixed drain order.
 	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			nb, ok := n.mesh.Neighbor(node, d)
@@ -206,8 +236,11 @@ func (n *Network) build() {
 			wires[nb].Ports[op].In = data
 			wires[nb].Ports[op].CreditOut = credit
 			wires[nb].Ports[op].CtrlIn = ctrl
+
+			n.stagePipes(node, nb, data, credit, ctrl)
 		}
 	}
+	n.sortCommitters()
 
 	n.nis = make([]*ni.NI, nodes)
 	n.meters = make([]*energy.Meter, nodes)
@@ -215,6 +248,16 @@ func (n *Network) build() {
 	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
 		n.nis[node] = ni.New(node)
 		n.nis[node].SetArena(n.arena)
+		if n.shards > 1 {
+			// Create hooks (trace recording) write cross-shard state, so
+			// while a parallel phase is running the NI journals the packet
+			// shard-locally; the drain replays it in serial node order.
+			sh := n.shardOf[node]
+			nd := node
+			n.nis[node].SetCreateDefer(&n.inParallel, func(p flit.Packet) {
+				n.journals[sh] = append(n.journals[sh], shardEffect{kind: effCreate, node: nd, packet: p})
+			})
+		}
 		var meter *energy.Meter
 		if n.cfg.MeterEnergy {
 			meter = n.newMeter()
@@ -267,7 +310,14 @@ func (n *Network) newRouter(node topology.NodeID, w router.Wires, meter *energy.
 		nif.SetRetain(true)
 		// ACK the source on delivery so it stops retransmitting; the
 		// paper's drop designs carry ACKs on the dedicated NACK fabric.
+		// During a sharded parallel phase the clear targets another
+		// shard's NI, so it is journaled and replayed in the drain.
 		nif.SetAckHook(func(_ uint64, d ni.Delivered) {
+			if n.inParallel {
+				sh := n.shardOf[node]
+				n.journals[sh] = append(n.journals[sh], shardEffect{kind: effAck, src: d.Src, pkt: d.ID})
+				return
+			}
 			n.nis[d.Src].ClearRetained(d.ID)
 		})
 		return deflect.NewDrop(n.mesh, node, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
@@ -377,6 +427,14 @@ func (n *Network) Reset(cfg Config) bool {
 	n.nacks = n.nacks[:0]
 	clear(n.nackPending)
 	n.resetCycle = 0
+	// Sharded-tick state: journals are drained every cycle and hooks are
+	// re-registered by whoever reattaches (like tickers), but clear both
+	// so a cell abandoned mid-cycle cannot leak effects into the next.
+	for i := range n.journals {
+		n.journals[i] = n.journals[i][:0]
+	}
+	n.drainHooks = n.drainHooks[:0]
+	n.inParallel = false
 	return true
 }
 
@@ -441,27 +499,44 @@ type nodeNacker struct {
 	node topology.NodeID
 }
 
-// Nack implements deflect.Nacker.
+// Nack implements deflect.Nacker. The drop site recycles the flit right
+// after this call, so the staged path captures the fields it needs by
+// value; scheduling itself touches network-global state (pending set,
+// source-NI epoch, NACK heap) and therefore runs inline only outside a
+// parallel phase, journaled otherwise.
 func (nk *nodeNacker) Nack(now uint64, f *flit.Flit) {
 	n := nk.net
-	if n.nackPending[f.PacketID] {
+	if n.inParallel {
+		sh := n.shardOf[nk.node]
+		n.journals[sh] = append(n.journals[sh], shardEffect{
+			kind: effNack, node: nk.node, src: f.Src, pkt: f.PacketID, retx: f.Retransmits,
+		})
+		return
+	}
+	n.scheduleNack(now, nk.node, f.Src, f.PacketID, f.Retransmits)
+}
+
+// scheduleNack schedules a source retransmission for a flit dropped at
+// node, unless a retransmission is already pending or the NACK is stale.
+func (n *Network) scheduleNack(now uint64, node, src topology.NodeID, pkt uint64, retransmits int) {
+	if n.nackPending[pkt] {
 		return // a retransmission of this packet is already scheduled
 	}
-	epoch := n.nis[f.Src].Epoch(f.PacketID)
-	if f.Retransmits != epoch {
+	epoch := n.nis[src].Epoch(pkt)
+	if retransmits != epoch {
 		return // stale NACK from a superseded or delivered copy
 	}
 	// NACK flight time back to the source plus exponential backoff per
 	// retransmission: without backoff, synchronized retransmitted copies
 	// contend forever (congestion livelock).
-	dist := n.mesh.Distance(nk.node, f.Src)
+	dist := n.mesh.Distance(node, src)
 	delay := uint64((dist + 1) * (n.cfg.System.LinkLatency + 2))
 	if epoch > 8 {
 		epoch = 8
 	}
 	delay <<= uint(epoch)
-	n.nackPending[f.PacketID] = true
-	heap.Push(&n.nacks, nackEntry{due: now + delay, src: f.Src, pkt: f.PacketID})
+	n.nackPending[pkt] = true
+	heap.Push(&n.nacks, nackEntry{due: now + delay, src: src, pkt: pkt})
 }
 
 type nackEntry struct {

@@ -1,0 +1,441 @@
+package network
+
+// The sharded tick: one network's cycle split across a persistent worker
+// group, bit-identical to the serial kernel for any shard count.
+//
+// The mesh is partitioned into contiguous row bands (Bands), one shard
+// per band. Each cycle the router bank runs a two-phase barrier:
+//
+//   Phase A (parallel): every shard ticks its own routers in node order,
+//   with the per-router quiescence skip of the serial banks. All state a
+//   router touches is shard-local by construction — its own latches and
+//   meters, its NI, and the pipes it owns an end of — except for three
+//   cross-shard effects, which are intercepted:
+//     - sends on pipes whose other end lives in another shard park in a
+//       sender-owned register (link.Pipe staged mode);
+//     - drop-NACK scheduling, delivery ACK clears and create hooks,
+//       which touch network-global or another shard's state, append to
+//       the ticking shard's effect journal instead of acting.
+//   The flit arena is the one genuinely shared structure; its free lists
+//   go behind a mutex for the duration (flit.Arena.BeginParallel), and
+//   it never mints mid-phase so the columnar banks cannot move under
+//   concurrent readers.
+//
+//   Phase B (serial drain, same cycle, inside the bank's Tick): journals
+//   replay shard-ascending — bands are ascending node ranges and each
+//   journal is in tick order, so the concatenation is exactly the serial
+//   kernel's node order — then the staged boundary pipes commit in fixed
+//   (src-shard, dst-shard) mailbox order, then registered drain hooks
+//   (the CMP substrate) merge their own staged state. Pipe-commit order
+//   cannot affect results (a committed value becomes visible no earlier
+//   than the next cycle), but keeping it fixed makes every run of every
+//   interleaving byte-for-byte reproducible.
+//
+// Everything else — housekeeping, traffic, CMP ticker, probes, the
+// invariant checker — stays a serial kernel ticker and runs after the
+// bank, observing fully committed state, exactly as in the serial path.
+
+import (
+	"runtime"
+	"sort"
+
+	"afcnet/internal/core"
+	"afcnet/internal/deflect"
+	"afcnet/internal/flit"
+	"afcnet/internal/link"
+	"afcnet/internal/sim"
+	"afcnet/internal/topology"
+	"afcnet/internal/vcrouter"
+)
+
+// Band is one shard's node range [Lo, Hi): a contiguous run of whole
+// mesh rows.
+type Band struct {
+	Lo, Hi topology.NodeID
+}
+
+// Bands partitions a mesh's rows into contiguous bands, one per shard.
+// The shard count clamps to [1, Height]; when the height does not divide
+// evenly the first Height%shards bands get one extra row. The bands
+// cover every node exactly once, in ascending node order — the property
+// the drain's ordering argument rests on (and that the partitioner
+// property test asserts).
+func Bands(mesh topology.Mesh, shards int) []Band {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > mesh.Height {
+		shards = mesh.Height
+	}
+	bands := make([]Band, shards)
+	base := mesh.Height / shards
+	extra := mesh.Height % shards
+	row := 0
+	for s := range bands {
+		rows := base
+		if s < extra {
+			rows++
+		}
+		bands[s] = Band{
+			Lo: topology.NodeID(row * mesh.Width),
+			Hi: topology.NodeID((row + rows) * mesh.Width),
+		}
+		row += rows
+	}
+	return bands
+}
+
+// initShards resolves cfg.Shards into the partition, the effect
+// journals and the worker group. Serial (Shards <= 1) leaves everything
+// nil so the rest of the network pays nothing for the feature.
+func (n *Network) initShards() {
+	n.shards = 1
+	if n.cfg.Shards <= 1 {
+		return
+	}
+	n.bands = Bands(n.mesh, n.cfg.Shards)
+	n.shards = len(n.bands)
+	if n.shards <= 1 {
+		n.bands = nil
+		return
+	}
+	n.shardOf = make([]int, n.mesh.Nodes())
+	for s, b := range n.bands {
+		for v := b.Lo; v < b.Hi; v++ {
+			n.shardOf[v] = s
+		}
+	}
+	n.journals = make([][]shardEffect, n.shards)
+	n.group = sim.NewShardGroup(n.shards)
+	// Backstop for abandoned networks: the workers reference only their
+	// channels, so they cannot keep the network alive, and this finalizer
+	// (which captures the group, not the network) reaps them when the
+	// network is collected without an explicit Close.
+	g := n.group
+	runtime.SetFinalizer(n, func(*Network) { g.Close() })
+}
+
+// Close stops the sharded tick's worker goroutines. Optional — an
+// abandoned network's finalizer does the same — but deterministic for
+// tests that build many sharded networks. The network must not be
+// stepped afterwards.
+func (n *Network) Close() {
+	if n.group != nil {
+		n.group.Close()
+		runtime.SetFinalizer(n, nil)
+	}
+}
+
+// ShardCount returns the effective number of shards (1 = serial).
+func (n *Network) ShardCount() int { return n.shards }
+
+// ShardOf returns the shard owning node.
+func (n *Network) ShardOf(node topology.NodeID) int {
+	if n.shards <= 1 {
+		return 0
+	}
+	return n.shardOf[node]
+}
+
+// ShardBands returns the partition, nil when serial.
+func (n *Network) ShardBands() []Band { return n.bands }
+
+// AddDrainHook registers a callback run at the end of every sharded
+// drain, after journals replay and pipes commit. Components that stage
+// their own cross-shard state during the parallel phase (the CMP
+// substrate) merge it here. Like tickers, hooks are dropped by Reset
+// and re-registered on reattach.
+func (n *Network) AddDrainHook(h func(now uint64)) {
+	n.drainHooks = append(n.drainHooks, h)
+}
+
+// stagedPipe is one boundary pipe — a (src-shard, dst-shard) mailbox
+// slot — with its sort keys for the fixed drain order.
+type stagedPipe struct {
+	srcShard, dstShard int
+	seq                int
+	c                  link.Committer
+}
+
+// stagePipes switches the three pipes of the directed edge node->nb into
+// staged-send mode when the endpoints straddle a shard boundary, and
+// records them for the drain. The data and ctrl pipes are sent by node;
+// the credit pipe flows the other way.
+func (n *Network) stagePipes(node, nb topology.NodeID, data *link.Data, credit *link.CreditLink, ctrl *link.CtrlLink) {
+	if n.shards <= 1 || n.shardOf[node] == n.shardOf[nb] {
+		return
+	}
+	s, d := n.shardOf[node], n.shardOf[nb]
+	data.SetStaged(true)
+	credit.SetStaged(true)
+	ctrl.SetStaged(true)
+	n.committers = append(n.committers,
+		stagedPipe{srcShard: s, dstShard: d, seq: len(n.committers), c: data},
+		stagedPipe{srcShard: d, dstShard: s, seq: len(n.committers) + 1, c: credit},
+		stagedPipe{srcShard: s, dstShard: d, seq: len(n.committers) + 2, c: ctrl},
+	)
+}
+
+// sortCommitters fixes the global drain order of the boundary pipes:
+// grouped by (src-shard, dst-shard) mailbox, build order within a group.
+func (n *Network) sortCommitters() {
+	sort.Slice(n.committers, func(i, j int) bool {
+		a, b := &n.committers[i], &n.committers[j]
+		if a.srcShard != b.srcShard {
+			return a.srcShard < b.srcShard
+		}
+		if a.dstShard != b.dstShard {
+			return a.dstShard < b.dstShard
+		}
+		return a.seq < b.seq
+	})
+}
+
+// effKind tags a journaled cross-shard effect.
+type effKind uint8
+
+const (
+	// effAck: delivery ACK — clear retransmission state at the source NI.
+	effAck effKind = iota
+	// effNack: drop NACK — schedule a source retransmission.
+	effNack
+	// effCreate: replay a deferred NI create hook (trace recording).
+	effCreate
+)
+
+// shardEffect is one journaled effect, fields captured by value at the
+// staging site (the flit that carried them may be recycled before the
+// drain runs).
+type shardEffect struct {
+	kind   effKind
+	node   topology.NodeID // NACK drop site / create-hook NI
+	src    topology.NodeID // packet source (ack, nack)
+	pkt    uint64
+	retx   int
+	packet flit.Packet // create
+}
+
+// drain is phase B: replay the effect journals in serial node order,
+// commit the boundary-pipe mailboxes, run the drain hooks. Runs on the
+// caller's goroutine after the barrier; nothing here allocates in steady
+// state (journals keep their capacity across cycles).
+func (n *Network) drain(now uint64) {
+	for s := range n.journals {
+		j := n.journals[s]
+		for i := range j {
+			e := &j[i]
+			switch e.kind {
+			case effAck:
+				n.nis[e.src].ClearRetained(e.pkt)
+			case effNack:
+				n.scheduleNack(now, e.node, e.src, e.pkt, e.retx)
+			case effCreate:
+				n.nis[e.node].InvokeCreateHook(e.packet)
+			}
+		}
+		n.journals[s] = j[:0]
+	}
+	for i := range n.committers {
+		n.committers[i].c.CommitStaged()
+	}
+	for _, h := range n.drainHooks {
+		h(now)
+	}
+}
+
+// shardedBank is the sharded counterpart of the per-kind serial banks in
+// active.go: one kernel entry ticking the whole mesh, but through the
+// worker group with the two-phase barrier. Exactly one of the per-kind
+// slices is non-nil (networks are homogeneous); each holds one sub-slice
+// of concrete routers per shard, so the hot loops stay devirtualized.
+type shardedBank struct {
+	n     *Network
+	dense bool
+	vc    [][]*vcrouter.Router
+	defl  [][]*deflect.Router
+	drop  [][]*deflect.DropRouter
+	afc   [][]*core.Router
+	// tick is the stored tickShard method value, so group.Run closes over
+	// nothing per cycle.
+	tick func(shard int, now uint64)
+}
+
+// newShardedBank slices n.routers by band into a shardedBank, or returns
+// nil for a kind without a concrete bank (the caller falls back to the
+// serial per-router registration).
+func (n *Network) newShardedBank() *shardedBank {
+	b := &shardedBank{n: n, dense: n.cfg.DenseKernel}
+	switch n.cfg.Kind {
+	case Backpressured, BackpressuredIdealBypass:
+		b.vc = make([][]*vcrouter.Router, n.shards)
+		for s, band := range n.bands {
+			for v := band.Lo; v < band.Hi; v++ {
+				b.vc[s] = append(b.vc[s], n.routers[v].(*vcrouter.Router))
+			}
+		}
+	case Bless:
+		b.defl = make([][]*deflect.Router, n.shards)
+		for s, band := range n.bands {
+			for v := band.Lo; v < band.Hi; v++ {
+				b.defl[s] = append(b.defl[s], n.routers[v].(*deflect.Router))
+			}
+		}
+	case BlessDrop:
+		b.drop = make([][]*deflect.DropRouter, n.shards)
+		for s, band := range n.bands {
+			for v := band.Lo; v < band.Hi; v++ {
+				b.drop[s] = append(b.drop[s], n.routers[v].(*deflect.DropRouter))
+			}
+		}
+	case AFC, AFCAlwaysBuffered:
+		b.afc = make([][]*core.Router, n.shards)
+		for s, band := range n.bands {
+			for v := band.Lo; v < band.Hi; v++ {
+				b.afc[s] = append(b.afc[s], n.routers[v].(*core.Router))
+			}
+		}
+	default:
+		return nil
+	}
+	b.tick = b.tickShard
+	return b
+}
+
+// Tick implements sim.Ticker: the full two-phase barrier for one cycle.
+func (b *shardedBank) Tick(now uint64) {
+	n := b.n
+	n.inParallel = true
+	n.arena.BeginParallel()
+	n.group.Run(now, b.tick)
+	n.arena.EndParallel()
+	n.inParallel = false
+	n.drain(now)
+}
+
+// tickShard is phase A for one shard: the same per-router quiescence
+// skip as the serial banks, in node order within the band.
+//
+// The skip stays bit-identical to serial even though a shard's view of
+// the pipe in-flight counters is not serial's. In serial node order a
+// router's Quiescent sees same-cycle sends from lower-numbered routers;
+// with row bands the only lower-numbered cross-shard sender is the North
+// neighbor (v-Width) of the band's first row, and its same-cycle sends
+// sit parked in staged boundary registers — invisible to the counters
+// until the drain. A first-row router can therefore fast-forward where
+// serial ticked. That is harmless because of the Quiescent contract
+// (documented on each router's Quiescent): whenever Quiescent is true,
+// Tick is bit-for-bit equivalent to FastForward(1). The in-flight flit
+// serial saw arrives no earlier than the next cycle (link latency >= 1),
+// so serial's Tick received nothing and changed nothing FastForward does
+// not replay; and at the arrival cycle the send is committed, visible to
+// both views, and both tick. Every other router's view matches serial
+// exactly: same-shard upstreams tick in serial relative order before it,
+// and South-side senders are higher-numbered, so serial did not see
+// their same-cycle sends either.
+func (b *shardedBank) tickShard(shard int, now uint64) {
+	switch {
+	case b.vc != nil:
+		for _, r := range b.vc[shard] {
+			if !b.dense && r.Quiescent(now) {
+				r.FastForward(1)
+			} else {
+				r.Tick(now)
+			}
+		}
+	case b.defl != nil:
+		for _, r := range b.defl[shard] {
+			if !b.dense && r.Quiescent(now) {
+				r.FastForward(1)
+			} else {
+				r.Tick(now)
+			}
+		}
+	case b.drop != nil:
+		for _, r := range b.drop[shard] {
+			if !b.dense && r.Quiescent(now) {
+				r.FastForward(1)
+			} else {
+				r.Tick(now)
+			}
+		}
+	case b.afc != nil:
+		for _, r := range b.afc[shard] {
+			if !b.dense && r.Quiescent(now) {
+				r.FastForward(1)
+			} else {
+				r.Tick(now)
+			}
+		}
+	}
+}
+
+// Quiescent implements sim.Quiescer. Serial-side call between cycles, so
+// the plain reads race with nothing.
+func (b *shardedBank) Quiescent(now uint64) bool {
+	switch {
+	case b.vc != nil:
+		for _, rs := range b.vc {
+			for _, r := range rs {
+				if !r.Quiescent(now) {
+					return false
+				}
+			}
+		}
+	case b.defl != nil:
+		for _, rs := range b.defl {
+			for _, r := range rs {
+				if !r.Quiescent(now) {
+					return false
+				}
+			}
+		}
+	case b.drop != nil:
+		for _, rs := range b.drop {
+			for _, r := range rs {
+				if !r.Quiescent(now) {
+					return false
+				}
+			}
+		}
+	case b.afc != nil:
+		for _, rs := range b.afc {
+			for _, r := range rs {
+				if !r.Quiescent(now) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FastForward implements sim.Quiescer: skipped cycles advance serially —
+// fast-forward bodies are cheap static bookkeeping, not worth a barrier.
+func (b *shardedBank) FastForward(cycles uint64) {
+	switch {
+	case b.vc != nil:
+		for _, rs := range b.vc {
+			for _, r := range rs {
+				r.FastForward(cycles)
+			}
+		}
+	case b.defl != nil:
+		for _, rs := range b.defl {
+			for _, r := range rs {
+				r.FastForward(cycles)
+			}
+		}
+	case b.drop != nil:
+		for _, rs := range b.drop {
+			for _, r := range rs {
+				r.FastForward(cycles)
+			}
+		}
+	case b.afc != nil:
+		for _, rs := range b.afc {
+			for _, r := range rs {
+				r.FastForward(cycles)
+			}
+		}
+	}
+}

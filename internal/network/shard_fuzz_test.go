@@ -1,0 +1,104 @@
+package network_test
+
+import (
+	"reflect"
+	"testing"
+
+	"afcnet/internal/check"
+	"afcnet/internal/config"
+	"afcnet/internal/flit"
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+)
+
+// FuzzShardBarrier drives a sharded network and its serial twin through
+// an identical byte-programmed schedule of injections, single steps,
+// multi-cycle runs and drain attempts, with the invariant checker
+// attached to both, and demands bit-identical outcomes. The fuzzer's job
+// is to find an interleaving of boundary-crossing traffic and kernel
+// coasting that the two-phase barrier orders differently from the serial
+// kernel; any such input fails the DeepEqual below (and checker
+// violations panic outright). make fuzz-smoke gives it a short budget on
+// every CI run; longer local runs just raise -fuzztime.
+func FuzzShardBarrier(f *testing.F) {
+	f.Add([]byte{0, 2, 9, 1, 17, 33, 2, 0, 3})
+	f.Add([]byte{4, 3, 6, 14, 6, 41, 1, 7, 6, 22, 3, 3})
+	f.Add([]byte{2, 1, 5, 0, 5, 63, 5, 127, 1, 15, 3})
+	f.Add([]byte{5, 2, 9, 9, 9, 9, 1, 200, 3, 9, 48, 1, 30, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 || len(data) > 64 {
+			t.Skip("schedule out of bounds")
+		}
+		kind := network.Kind(int(data[0]) % int(network.NumKinds))
+		shards := []int{2, 3, 4}[int(data[1])%3]
+		data = data[2:]
+
+		build := func(shards int) *network.Network {
+			n := network.New(network.Config{
+				Kind: kind, Seed: 11, Shards: shards,
+				System: config.DefaultWithMesh(topology.NewMesh(4, 4)),
+			})
+			check.Attach(n)
+			return n
+		}
+		run := func(shards int) (snap struct {
+			Now                uint64
+			Counters           network.Counters
+			Created, Delivered uint64
+			Drained            bool
+		}) {
+			n := build(shards)
+			defer n.Close()
+			nodes := uint64(n.Nodes())
+			var budget uint64 = 4096 // cap total simulated cycles per twin
+			for i := 0; i < len(data); i++ {
+				op := data[i]
+				switch op % 4 {
+				case 0: // one cycle
+					if budget == 0 {
+						continue
+					}
+					budget--
+					n.Step()
+				case 1: // burst of cycles
+					c := uint64(op/4) + 1
+					if c > budget {
+						c = budget
+					}
+					budget -= c
+					n.Run(c)
+				case 2: // inject one packet src->dst
+					src := topology.NodeID(uint64(op/4) % nodes)
+					var b byte
+					if i+1 < len(data) {
+						i++
+						b = data[i]
+					}
+					dst := topology.NodeID(uint64(b) % nodes)
+					if dst == src {
+						dst = topology.NodeID((uint64(dst) + 1) % nodes)
+					}
+					vn := flit.VN(uint64(b/16) % flit.NumVNs)
+					length := int(uint64(b/4)%4) + 1
+					n.NI(src).SendPacket(n.Now(), dst, vn, length, uint64(op))
+				default: // drain attempt (bounded; may time out, twin must too)
+					n.RunUntil(n.Drained, 2048)
+				}
+			}
+			n.RunUntil(n.Drained, 8192)
+			snap.Now = n.Now()
+			snap.Counters = n.Counters()
+			snap.Created = n.CreatedPackets()
+			snap.Delivered = n.DeliveredPackets()
+			snap.Drained = n.Drained()
+			return snap
+		}
+
+		serial := run(0)
+		sharded := run(shards)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("%v at %d shards diverged from serial:\nserial:  %+v\nsharded: %+v",
+				kind, shards, serial, sharded)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package network
+
+import (
+	"testing"
+
+	"afcnet/internal/topology"
+)
+
+// TestBandsExactCover is the partitioner property test: for every mesh
+// from 2x2 to 16x16 and every requested shard count from 1 up past the
+// row count, Bands must return ascending, contiguous, non-empty
+// whole-row bands that cover every node exactly once. The drain's
+// ordering argument (shard-ascending journal replay == serial node
+// order) rests on exactly these properties.
+func TestBandsExactCover(t *testing.T) {
+	for w := 2; w <= 16; w++ {
+		for h := 2; h <= 16; h++ {
+			mesh := topology.NewMesh(w, h)
+			for shards := 1; shards <= h+3; shards++ {
+				bands := Bands(mesh, shards)
+				want := shards
+				if want > h {
+					want = h
+				}
+				if len(bands) != want {
+					t.Fatalf("%dx%d shards=%d: got %d bands, want %d",
+						w, h, shards, len(bands), want)
+				}
+				next := topology.NodeID(0)
+				for s, b := range bands {
+					if b.Lo != next {
+						t.Fatalf("%dx%d shards=%d band %d: Lo=%d, want %d (gap or overlap)",
+							w, h, shards, s, b.Lo, next)
+					}
+					if b.Hi <= b.Lo {
+						t.Fatalf("%dx%d shards=%d band %d: empty band [%d,%d)",
+							w, h, shards, s, b.Lo, b.Hi)
+					}
+					if int(b.Hi-b.Lo)%w != 0 {
+						t.Fatalf("%dx%d shards=%d band %d: [%d,%d) is not whole rows",
+							w, h, shards, s, b.Lo, b.Hi)
+					}
+					next = b.Hi
+				}
+				if int(next) != mesh.Nodes() {
+					t.Fatalf("%dx%d shards=%d: bands end at %d, want %d",
+						w, h, shards, next, mesh.Nodes())
+				}
+				// Band sizes must differ by at most one row (balance).
+				minRows, maxRows := h, 0
+				for _, b := range bands {
+					rows := int(b.Hi-b.Lo) / w
+					if rows < minRows {
+						minRows = rows
+					}
+					if rows > maxRows {
+						maxRows = rows
+					}
+				}
+				if maxRows-minRows > 1 {
+					t.Fatalf("%dx%d shards=%d: unbalanced bands (%d..%d rows)",
+						w, h, shards, minRows, maxRows)
+				}
+			}
+		}
+	}
+}
+
+// TestBandsDegenerate pins the partitioner's clamping edges.
+func TestBandsDegenerate(t *testing.T) {
+	mesh := topology.NewMesh(4, 4)
+	if got := Bands(mesh, 0); len(got) != 1 || got[0].Lo != 0 || int(got[0].Hi) != mesh.Nodes() {
+		t.Fatalf("shards=0 should clamp to one full band, got %+v", got)
+	}
+	if got := Bands(mesh, 100); len(got) != 4 {
+		t.Fatalf("shards=100 on 4 rows should clamp to 4 bands, got %d", len(got))
+	}
+}
+
+// TestShardOfMatchesBands checks the node->shard index a built network
+// derives from its bands.
+func TestShardOfMatchesBands(t *testing.T) {
+	n := New(Config{Kind: AFC, Seed: 1, Shards: 3})
+	defer n.Close()
+	if n.ShardCount() != 3 {
+		t.Fatalf("ShardCount=%d, want 3", n.ShardCount())
+	}
+	for s, b := range n.ShardBands() {
+		for v := b.Lo; v < b.Hi; v++ {
+			if n.ShardOf(v) != s {
+				t.Fatalf("ShardOf(%d)=%d, want %d", v, n.ShardOf(v), s)
+			}
+		}
+	}
+}

@@ -93,6 +93,16 @@ type NI struct {
 	ackHook    Handler // network-internal delivery hook (drop-variant ACKs)
 	createHook func(flit.Packet)
 
+	// Create-hook deferral for the sharded tick: while *createDeferOn is
+	// true (the network's parallel phase), SendPacket hands the packet to
+	// createDefer — which journals it shard-locally — instead of invoking
+	// the user's createHook inline, because that hook (trace recording)
+	// writes state shared across shards. The drain replays the journal in
+	// serial node order via InvokeCreateHook. Network-owned wiring, like
+	// retain and ackHook, so it survives Reset.
+	createDeferOn *bool
+	createDefer   func(flit.Packet)
+
 	// retained packets for the drop-based backpressureless variant, and
 	// the set of already-delivered packet IDs (so stray duplicate flits
 	// from retransmitted copies are discarded instead of re-delivered)
@@ -162,6 +172,23 @@ func (n *NI) SetAckHook(h Handler) { n.ackHook = h }
 // this NI (trace recording).
 func (n *NI) SetCreateHook(h func(flit.Packet)) { n.createHook = h }
 
+// SetCreateDefer wires the sharded-tick deferral of the create hook:
+// while *active, packets are journaled through deferFn instead of
+// reaching the hook inline. The network owns this wiring.
+func (n *NI) SetCreateDefer(active *bool, deferFn func(flit.Packet)) {
+	n.createDeferOn = active
+	n.createDefer = deferFn
+}
+
+// InvokeCreateHook replays a deferred create against the registered
+// hook; the network's drain calls it in serial node order. No-op when
+// no hook is registered.
+func (n *NI) InvokeCreateHook(p flit.Packet) {
+	if n.createHook != nil {
+		n.createHook(p)
+	}
+}
+
 // ClearRetained drops the retransmission state of a packet (called on the
 // source NI when the destination ACKs delivery).
 func (n *NI) ClearRetained(packetID uint64) {
@@ -195,7 +222,11 @@ func (n *NI) SendPacket(now uint64, dst topology.NodeID, vn flit.VN, length int,
 	}
 	n.createdPackets++
 	if n.createHook != nil {
-		n.createHook(p)
+		if n.createDeferOn != nil && *n.createDeferOn {
+			n.createDefer(p)
+		} else {
+			n.createHook(p)
+		}
 	}
 	if n.retain {
 		n.retained[p.ID] = p

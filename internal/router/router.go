@@ -19,6 +19,18 @@ import (
 // Router is one mesh router. Tick performs one cycle of operation:
 // process arrivals latched in previous cycles, arbitrate, transmit, and
 // latch this cycle's arrivals.
+//
+// Shard safety: the sharded tick (internal/network's two-phase barrier)
+// runs whole row bands of routers concurrently within one cycle, so
+// Tick must touch only state the router owns — its own registers and
+// meters, its local NI, and the pipes it holds an end of. Anything
+// network-global or belonging to another node must go through a staged
+// pipe or the network's effect journals; see internal/network/shard.go.
+// Implementations must also keep the Quiescer contract exact: whenever
+// Quiescent reports true, Tick is bit-for-bit equivalent to
+// FastForward(1) — the sharded skip decision is made from a
+// start-of-cycle view of the pipe counters and leans on that
+// equivalence to stay serial-identical.
 type Router interface {
 	sim.Ticker
 	Node() topology.NodeID

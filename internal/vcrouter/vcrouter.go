@@ -541,7 +541,11 @@ func (r *Router) receive(now uint64) {
 // inject. An idle tick's only side effect is the static-energy accrual
 // FastForward reproduces — arbitration picks without an eligible
 // candidate do not advance any round-robin pointer. (The control line
-// is not part of the check because this router never reads it.)
+// is not part of the check because this router never reads it.) The
+// sharded tick (internal/network/shard.go) depends on this
+// Tick == FastForward(1) equivalence being exact: its skip decision
+// cannot see same-cycle sends parked in staged boundary registers,
+// which is only sound because skipping such a router changes nothing.
 func (r *Router) Quiescent(now uint64) bool {
 	if r.held != 0 {
 		return false
