@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-equality smoke-16x16 bench-json bench-smoke fuzz-smoke obs-smoke cover ci
+.PHONY: build vet test race race-equality smoke-16x16 bench-json bench-smoke fuzz-smoke obs-smoke scenario-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,11 @@ race:
 # the race detector bites hardest: any unsynchronized cross-shard access
 # in the barrier is a hard failure there, not a flaky diff. `race`
 # already covers them via ./...; this target exists so CI names them
-# explicitly and a -short or cached run cannot skip them.
+# explicitly and a -short or cached run cannot skip them. The explicit
+# -timeout overrides go test's 600s default: on a single-core machine
+# the sharded gate alone can exceed it under the race detector.
 race-equality:
-	$(GO) test -race -count=1 -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool|TestColumnarEqualsReference|TestShardedEqualsSerial)$$' ./internal/experiments
+	$(GO) test -race -count=1 -timeout 45m -run='^(TestActiveSetEqualsDense|TestPoolEqualsNoPool|TestColumnarEqualsReference|TestShardedEqualsSerial)$$' ./internal/experiments
 
 # The large-radix smoke cells: a short 16x16 AFC run with the invariant
 # checker attached, serial and through the sharded tick at 8 shards (see
@@ -60,6 +62,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzNetworkStep$$' -fuzztime=10s ./internal/check
 	$(GO) test -run='^$$' -fuzz='^FuzzArenaHandles$$' -fuzztime=10s ./internal/flit
 	$(GO) test -run='^$$' -fuzz='^FuzzShardBarrier$$' -fuzztime=10s ./internal/network
+	$(GO) test -run='^$$' -fuzz='^FuzzParse$$' -fuzztime=10s ./internal/scenario
 
 # One tiny sweep with every observability flag on: the run must succeed,
 # leave a heap profile behind, and produce a manifest that records the
@@ -75,6 +78,15 @@ obs-smoke:
 	@rm -f obs-manifest.json obs-mem.pprof
 	@echo "obs smoke ok"
 
+# The scenario-layer gates under the race detector: the determinism
+# test (same spec bit-for-bit identical across experiment parallelism
+# and shard counts, checker attached — covers deflective and buffered
+# kinds with a ramp, burst, hotspot move, dead link, dead router and a
+# duty-cycled throttle) plus the mid-run dead-link fault test (deflective
+# kinds reroute, buffered kinds degrade gracefully, conservation holds).
+scenario-smoke:
+	$(GO) test -race -count=1 -timeout 45m -run='^(TestScenarioEqualsSerial|TestScenarioFaultCompletion|TestScenarioDenseEqualsActiveSet)$$' ./internal/experiments
+
 # Whole-repo statement coverage, compared against the checked-in
 # baseline (coverage-baseline.txt) with half a point of slack so
 # refactors can't silently shed tests.
@@ -85,4 +97,4 @@ cover:
 	base=$$(cat coverage-baseline.txt); \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
 
-ci: build vet race race-equality smoke-16x16 bench-smoke fuzz-smoke obs-smoke cover
+ci: build vet race race-equality smoke-16x16 bench-smoke fuzz-smoke obs-smoke scenario-smoke cover

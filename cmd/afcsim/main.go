@@ -12,6 +12,11 @@
 // serial run. Trace recording (-record) forces serial execution because
 // every run writes the same trace file.
 //
+// -scenario runs a JSON scenario spec (internal/scenario) instead of a
+// closed-loop workload: open-loop traffic whose rate, pattern, bursting,
+// link throttling and fault state change at scheduled cycles, reported
+// as per-phase completion-time percentiles.
+//
 // -check (or AFCSIM_CHECK=1) attaches the internal/check invariant
 // checker to every network; results are identical, runs are slower, and
 // any violation aborts with a diagnostic.
@@ -35,10 +40,12 @@ import (
 	"afcnet/internal/check"
 	"afcnet/internal/cmp"
 	"afcnet/internal/config"
+	"afcnet/internal/experiments"
 	"afcnet/internal/network"
 	"afcnet/internal/obs"
 	"afcnet/internal/router"
 	"afcnet/internal/runner"
+	"afcnet/internal/scenario"
 	"afcnet/internal/topology"
 	"afcnet/internal/trace"
 )
@@ -66,6 +73,7 @@ func main() {
 		prealloc   = flag.Bool("wb-prealloc", false, "use the writeback pre-allocation protocol variant (Section II)")
 		realVCA    = flag.Bool("realistic-vca", false, "model the 3-stage backpressured pipeline (non-speculative VCA)")
 		meshFlag   = flag.String("mesh", "3x3", "mesh dimensions WxH (the paper uses 3x3; Sec. V-B uses 8x8)")
+		scenarioF  = flag.String("scenario", "", "instead of a workload, run the JSON scenario spec at this path open-loop and report per-phase completion-time percentiles")
 		recordTo   = flag.String("record", "", "record the created packet trace to this file")
 		replayOf   = flag.String("replay", "", "instead of a workload, replay a trace file recorded with -record")
 		parallel   = flag.Int("parallel", runner.FromEnv(), "worker-pool size; <=0 means all CPUs, 1 is serial (results are identical either way)")
@@ -153,6 +161,15 @@ func main() {
 		stopCPU()
 	}
 
+	if *scenarioF != "" {
+		if err := runScenario(*scenarioF, kinds, mesh, *seed, *parallel, *checked, *dense, *nopool, *nocolumnar, *shards, ob); err != nil {
+			finish()
+			log.Fatal(err)
+		}
+		finish()
+		return
+	}
+
 	if *replayOf != "" {
 		for _, k := range kinds {
 			if err := replayOne(*replayOf, k, *seed, *checked, *dense, *nopool, *nocolumnar, *shards, ob); err != nil {
@@ -197,6 +214,37 @@ func main() {
 	for _, r := range reports {
 		os.Stdout.Write(r.Bytes())
 	}
+}
+
+// runScenario runs a scenario spec across the selected kinds and prints
+// the per-phase completion-time report. The spec's timeline replaces the
+// closed-loop workload entirely.
+func runScenario(path string, kinds []network.Kind, mesh topology.Mesh, seed int64, parallel int, checked, dense, nopool, nocolumnar bool, shards int, ob *obs.Observer) error {
+	spec, err := scenario.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	if err := spec.ValidateFor(mesh); err != nil {
+		return err
+	}
+	opt := experiments.Options{
+		Seeds:       []int64{seed},
+		Parallelism: parallel,
+		Check:       checked,
+		Dense:       dense,
+		NoPool:      nopool,
+		NoColumnar:  nocolumnar,
+		Shards:      shards,
+		System:      config.DefaultWithMesh(mesh),
+		Obs:         ob,
+	}
+	rs, err := experiments.Scenario(kinds, spec, opt)
+	if err != nil {
+		return err
+	}
+	ob.RecordScenario(spec, rs)
+	experiments.WriteScenario(os.Stdout, spec.Name, rs)
+	return nil
 }
 
 // parseMesh parses "WxH" into a mesh.

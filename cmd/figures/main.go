@@ -24,6 +24,10 @@
 //
 // Artifacts: 2a 2b 2c 2d 3a 3b duty rates sweep quadrant gossip
 // lazyvca thresholds sizing pipeline metric ejectwidth
+//
+// -scenario <spec.json> additionally runs a scenario (internal/scenario)
+// across the comparison kinds and prints per-phase completion-time
+// percentiles; alone it runs just the scenario, with -fig it rides along.
 package main
 
 import (
@@ -35,10 +39,12 @@ import (
 
 	invcheck "afcnet/internal/check"
 	"afcnet/internal/cmp"
+	"afcnet/internal/config"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
 	"afcnet/internal/obs"
 	"afcnet/internal/runner"
+	"afcnet/internal/scenario"
 )
 
 func main() {
@@ -46,6 +52,7 @@ func main() {
 	log.SetPrefix("figures: ")
 	var (
 		fig        = flag.String("fig", "all", "artifact to regenerate (see command doc)")
+		scenarioF  = flag.String("scenario", "", "also run the JSON scenario spec at this path and print its per-phase completion-time percentiles")
 		quick      = flag.Bool("quick", false, "reduced run lengths")
 		svgDir     = flag.String("svg", "", "also render the main figures as SVG into this directory")
 		jsonOut    = flag.String("json", "", "run the complete evaluation and write it as JSON to this file")
@@ -62,6 +69,13 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and expvar simulator counters on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	// -scenario alone runs just the scenario; combine with an explicit
+	// -fig to regenerate artifacts in the same invocation.
+	figSet := false
+	flag.Visit(func(f *flag.Flag) { figSet = figSet || f.Name == "fig" })
+	if *scenarioF != "" && !figSet {
+		*fig = "none"
+	}
 
 	stopCPU, err := obs.StartCPUProfile(*cpuprof)
 	if err != nil {
@@ -212,6 +226,20 @@ func main() {
 		rows, err := experiments.AblationEjectWidth([]int{1, 2, 3}, opt)
 		check(err)
 		experiments.WriteEjectWidth(out, rows)
+		ran = true
+	}
+	if *scenarioF != "" {
+		spec, err := scenario.ParseFile(*scenarioF)
+		check(err)
+		check(spec.ValidateFor(config.Default().Mesh))
+		kinds := []network.Kind{
+			network.Backpressured, network.Bless, network.BlessDrop,
+			network.AFCAlwaysBuffered, network.AFC,
+		}
+		rs, err := experiments.Scenario(kinds, spec, opt)
+		check(err)
+		ob.RecordScenario(spec, rs)
+		experiments.WriteScenario(out, spec.Name, rs)
 		ran = true
 	}
 	if *jsonOut != "" {

@@ -9,6 +9,11 @@
 //	      [-min 0.05] [-max 0.6] [-step 0.05] [-seeds 2]
 //	      [-warmup 10000] [-measure 30000] [-parallel N]
 //
+// -scenario replaces the rate sweep with a JSON scenario spec
+// (internal/scenario): scheduled mid-run rate/pattern/burst changes,
+// link throttling and fault injection, reported as per-phase
+// completion-time percentiles.
+//
 // Sweep cells (kind × rate × seed) run on a worker pool sized by
 // -parallel (or AFCSIM_PARALLEL; default all CPUs). Results are
 // bit-for-bit independent of the worker count. -check (or
@@ -31,10 +36,12 @@ import (
 	"strings"
 
 	"afcnet/internal/check"
+	"afcnet/internal/config"
 	"afcnet/internal/experiments"
 	"afcnet/internal/network"
 	"afcnet/internal/obs"
 	"afcnet/internal/runner"
+	"afcnet/internal/scenario"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
@@ -65,6 +72,7 @@ func main() {
 	var (
 		kindList   = flag.String("kinds", "backpressured,backpressureless,drop,afc", "comma-separated router kinds")
 		pattern    = flag.String("pattern", "uniform", "traffic pattern: uniform|transpose|bitcomp|neighbor|hotspot")
+		scenarioF  = flag.String("scenario", "", "instead of a rate sweep, run the JSON scenario spec at this path and report per-phase completion-time percentiles")
 		minRate    = flag.Float64("min", 0.05, "minimum offered load (flits/node/cycle)")
 		maxRate    = flag.Float64("max", 0.60, "maximum offered load")
 		step       = flag.Float64("step", 0.05, "offered-load step")
@@ -141,19 +149,42 @@ func main() {
 	})
 	opt.Obs = ob
 
+	finish := func() {
+		ob.Finish()
+		if err := ob.WriteManifestFile(*manifest); err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.WriteHeapProfile(*memprof); err != nil {
+			log.Fatal(err)
+		}
+		stopCPU()
+	}
+
+	if *scenarioF != "" {
+		spec, err := scenario.ParseFile(*scenarioF)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := spec.ValidateFor(config.Default().Mesh); err != nil {
+			log.Fatal(err)
+		}
+		rs, err := experiments.Scenario(kinds, spec, opt)
+		if err != nil {
+			finish()
+			log.Fatal(err)
+		}
+		ob.RecordScenario(spec, rs)
+		finish()
+		experiments.WriteScenario(os.Stdout, spec.Name, rs)
+		return
+	}
+
 	mk, ok := patterns[*pattern]
 	if !ok {
 		log.Fatalf("unknown pattern %q", *pattern)
 	}
 	pts := experiments.LatencySweepPattern(kinds, rates, mk, opt)
-	ob.Finish()
-	if err := ob.WriteManifestFile(*manifest); err != nil {
-		log.Fatal(err)
-	}
-	if err := obs.WriteHeapProfile(*memprof); err != nil {
-		log.Fatal(err)
-	}
-	stopCPU()
+	finish()
 	experiments.WriteSweep(os.Stdout, pts)
 	fmt.Println("note: 'saturated' means mean total latency (including source queueing) exceeded the bound; see internal/experiments.")
 }

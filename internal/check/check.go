@@ -238,9 +238,14 @@ type flitHolder interface {
 func (c *Checker) checkConservationAndAges(now uint64) {
 	var injected, ejected uint64
 	inNet := 0
+	// With dead links or routers in play, flits stranded behind them are
+	// expected to age without bound — the age oracle would misreport the
+	// intended fault as livelock. Conservation still holds (stranded
+	// flits stay enumerable), so only the age check is suspended.
+	ageChecked := !c.net.FaultsActive()
 	countFlit := func(f *flit.Flit) {
 		inNet++
-		if age := now - f.InjectedAt; age > c.cfg.MaxFlitAge {
+		if age := now - f.InjectedAt; ageChecked && age > c.cfg.MaxFlitAge {
 			c.fail(now, "age bound: flit pkt=%#x seq=%d src=%d dst=%d injected at %d is %d cycles old (bound %d) — livelock or leak",
 				f.PacketID, f.Seq, f.Src, f.Dst, f.InjectedAt, age, c.cfg.MaxFlitAge)
 		}
@@ -284,6 +289,12 @@ func (c *Checker) checkReassembly(now uint64) {
 func (c *Checker) checkVCLedgers(now uint64) {
 	for ei := range c.edges {
 		e := &c.edges[ei]
+		// A killed link loses credits for good: flits already in flight
+		// when it died may still land downstream, but the return credit is
+		// suppressed, so the ledger can never rebalance on this edge.
+		if c.net.LinkDead(e.from, e.dir) {
+			continue
+		}
 		a := c.net.Router(e.from).(*vcrouter.Router)
 		b := c.net.Router(e.to).(*vcrouter.Router)
 		pl := c.net.Wires(e.from).Ports[e.dir]
@@ -318,6 +329,14 @@ func (c *Checker) checkVCLedgers(now uint64) {
 func (c *Checker) checkAFCEdges(now uint64) {
 	for ei := range c.edges {
 		e := &c.edges[ei]
+		// A killed link stops carrying credits and control, and a dead
+		// endpoint router stops consuming what is already in flight, so
+		// the shadow ledger diverges from the frozen real one by design.
+		if c.net.LinkDead(e.from, e.dir) {
+			e.tracking = false
+			e.pending = e.pending[:0]
+			continue
+		}
 		a := c.net.Router(e.from).(*core.Router)
 		_, tracking := a.Credits(e.dir, 0)
 		if !tracking {
@@ -421,6 +440,11 @@ func (c *Checker) checkAFCOccupancy(now uint64) {
 // backpressured: the switching window is mandatory.
 func (c *Checker) checkModes(now uint64) {
 	for node := range c.modes {
+		// A killed router freezes: its duty cycles stop advancing, which
+		// the one-cycle accounting below would flag. Nothing to validate.
+		if c.net.RouterDead(topology.NodeID(node)) {
+			continue
+		}
 		r := c.net.Router(topology.NodeID(node)).(*core.Router)
 		cur := modeState{
 			init:       true,

@@ -66,6 +66,9 @@ func (r *Router) blessSend(now uint64, d topology.Dir, f *flit.Flit) {
 	if ds := &r.down[d]; ds.tracking {
 		vn := r.vnOf(f)
 		ds.credits[vn]--
+		if ds.credits[vn] == r.cfg.GossipFreeSlots-1 {
+			r.gossipLow++
+		}
 		if ds.credits[vn] < 0 {
 			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, d, vn))
 		}

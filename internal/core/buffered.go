@@ -120,7 +120,7 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 		if r.meter != nil {
 			r.meter.BufRead()
 		}
-		if in != topology.Local {
+		if in != topology.Local && !r.deadOut[in] {
 			if pl := r.wires.Ports[in]; pl.CreditOut != nil {
 				pl.CreditOut.Send(now, link.Credit{VC: c.slot, VN: r.vnOf(f)})
 				if r.meter != nil {
@@ -144,6 +144,9 @@ func (r *Router) sendBuffered(now uint64, in, out topology.Dir) {
 	if ds := &r.down[out]; ds.tracking {
 		vn := r.vnOf(f)
 		ds.credits[vn]--
+		if ds.credits[vn] == r.cfg.GossipFreeSlots-1 {
+			r.gossipLow++
+		}
 		if ds.credits[vn] < 0 {
 			panic(fmt.Sprintf("afc %d: negative credits toward %s vn %s", r.node, out, vn))
 		}

@@ -165,6 +165,25 @@ type Router struct {
 	// (no buffered neighbor) case instead of a scan over the cold
 	// down array.
 	trackedDirs int
+	// gossipLow counts the (tracked direction, virtual network) pairs
+	// whose mirrored credit count sits below the gossip watermark,
+	// maintained at every credit/tracking mutation. It makes
+	// gossipTriggered — called from Quiescent every cycle since the
+	// sharded tick landed — a register compare instead of a per-VN scan
+	// over the down array (the BENCH_4 low-load regression).
+	gossipLow int
+	// blockedOut marks output ports whose data link is fault-blocked
+	// (dead, or throttled closed this duty window): usableOut treats
+	// them like missing links, so routing steers around the fault.
+	blockedOut [topology.NumDirs]bool
+	// deadOut marks output ports whose link is permanently dead; unlike
+	// a throttle it also suppresses credit and control sends (a dead
+	// wire carries nothing — the invariant checker excludes such edges).
+	deadOut [topology.NumDirs]bool
+	// dead freezes the whole router (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true, so held
+	// flits stay parked — and countable — forever.
+	dead bool
 	defl        *router.Deflector
 	// nbr lists the directions with a wired neighbor (data, credit and
 	// control pipes all exist exactly there), so the per-cycle receive
@@ -296,6 +315,7 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 			if wires.Ports[d].Exists() {
 				r.down[d] = downstream{tracking: true, credits: cfg.VCsPerVN}
 				r.trackedDirs++
+				r.gossipLow += r.gossipLowFull()
 			}
 		}
 	} else {
@@ -348,13 +368,18 @@ func (r *Router) Reset(seed int64) {
 	r.reverseSwitches = 0
 	r.gossipSwitches = 0
 	r.escapeEvents = 0
+	r.blockedOut = [topology.NumDirs]bool{}
+	r.deadOut = [topology.NumDirs]bool{}
+	r.dead = false
 	if r.alwaysBuffered {
 		r.mode = ModeBuffered
 		r.trackedDirs = 0
+		r.gossipLow = 0
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			if r.wires.Ports[d].Exists() {
 				r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
 				r.trackedDirs++
+				r.gossipLow += r.gossipLowFull()
 			} else {
 				r.down[d] = downstream{}
 			}
@@ -365,6 +390,7 @@ func (r *Router) Reset(seed int64) {
 	} else {
 		r.mode = ModeBless
 		r.trackedDirs = 0
+		r.gossipLow = 0
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			r.down[d] = downstream{}
 		}
@@ -373,6 +399,24 @@ func (r *Router) Reset(seed int64) {
 		}
 	}
 }
+
+// SetPortBlocked marks (or clears) output d as fault-blocked for data:
+// usableOut then treats the link as missing, so flits route around it.
+// Scenario link throttling toggles this at duty-window boundaries.
+func (r *Router) SetPortBlocked(d topology.Dir, blocked bool) { r.blockedOut[d] = blocked }
+
+// SetPortDead marks output d permanently dead: data is blocked and
+// credit/control notifications stop flowing on the wire.
+func (r *Router) SetPortDead(d topology.Dir) {
+	r.blockedOut[d] = true
+	r.deadOut[d] = true
+}
+
+// SetDead freezes the router entirely (scenario dead-router fault): Tick
+// and FastForward become no-ops, Quiescent reports true, and any held
+// flits stay parked — still visible to ForEachFlit, so the checker's
+// conservation ledger keeps balancing.
+func (r *Router) SetDead() { r.dead = true }
 
 // Mode returns the router's current operating mode.
 func (r *Router) Mode() Mode { return r.mode }
@@ -444,6 +488,9 @@ func (r *Router) LatchedFlits() int { return len(r.latches) }
 // of the pipe counters (which cannot see same-cycle sends parked in
 // staged boundary registers) still produces serial-identical state.
 func (r *Router) Quiescent(now uint64) bool {
+	if r.dead {
+		return true
+	}
 	if r.held != 0 || len(r.latches) != 0 {
 		return false
 	}
@@ -493,6 +540,9 @@ func (r *Router) Quiescent(now uint64) bool {
 // via armInjection's empty-queue branch; the buffered datapath's
 // injection touches neither.
 func (r *Router) FastForward(k uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTicks(k)
 	}
@@ -548,6 +598,9 @@ func (r *Router) ForEachFlit(fn func(*flit.Flit)) {
 
 // Tick implements one cycle of AFC operation.
 func (r *Router) Tick(now uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTick()
 	}
@@ -594,13 +647,16 @@ func (r *Router) receiveCtrl(now uint64) {
 			if !r.down[d].tracking {
 				r.trackedDirs++
 			}
+			r.gossipLow -= r.gossipLowAt(d)
 			r.down[d] = downstream{tracking: true, credits: r.cfg.VCsPerVN}
+			r.gossipLow += r.gossipLowFull()
 		case link.CtrlStopCredits:
 			// Per the paper, occupancy is considered empty immediately;
 			// in-flight credits for the stopped neighbor are ignored.
 			if r.down[d].tracking {
 				r.trackedDirs--
 			}
+			r.gossipLow -= r.gossipLowAt(d)
 			r.down[d] = downstream{}
 		}
 	}
@@ -622,6 +678,9 @@ func (r *Router) receiveCredits(now uint64) {
 			continue // stale credit after a stop notification
 		}
 		ds.credits[c.VN]++
+		if ds.credits[c.VN] == r.cfg.GossipFreeSlots {
+			r.gossipLow--
+		}
 		if ds.credits[c.VN] > r.cfg.VCsPerVN[c.VN] {
 			panic(fmt.Sprintf("afc %d: credit overflow toward %s vn %s", r.node, d, c.VN))
 		}
@@ -641,7 +700,7 @@ func (r *Router) vnOf(f *flit.Flit) flit.VN          { return r.cols.FlitVN(f) }
 // usableOut reports whether output d can carry f this cycle, ignoring
 // same-cycle port contention (the caller masks taken ports).
 func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
-	if !r.wires.Ports[d].Exists() {
+	if !r.wires.Ports[d].Exists() || r.blockedOut[d] {
 		return false
 	}
 	ds := &r.down[d]

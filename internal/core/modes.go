@@ -40,23 +40,41 @@ func (r *Router) decideMode(now uint64) {
 // Credits are per-VN under lazy VC allocation, so the watermark applies
 // per VN: once one VN's free count falls below X, flits of that VN could
 // soon find the port unusable and pile up locally.
-func (r *Router) gossipTriggered() bool {
-	if r.trackedDirs == 0 {
-		return false
-	}
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		ds := &r.down[d]
-		if !ds.tracking {
-			continue
+//
+// The condition is read every cycle by Quiescent (see the "Shard safety"
+// notes there), so it is maintained incrementally: gossipLow counts the
+// below-watermark (tracked direction, VN) pairs, updated at every credit
+// increment/decrement and tracking toggle, making this a register
+// compare on the idle path.
+func (r *Router) gossipTriggered() bool { return r.gossipLow > 0 }
+
+// gossipLowFull returns how many virtual networks sit below the gossip
+// watermark at full credits — nonzero only in the unusual configuration
+// where the watermark exceeds a VN's buffer capacity.
+func (r *Router) gossipLowFull() int {
+	n := 0
+	for _, c := range r.cfg.VCsPerVN {
+		if c < r.cfg.GossipFreeSlots {
+			n++
 		}
-		for vn, c := range ds.credits {
-			_ = vn
-			if c < r.cfg.GossipFreeSlots {
-				return true
-			}
+	}
+	return n
+}
+
+// gossipLowAt returns how many of direction d's tracked per-VN credit
+// counts currently sit below the gossip watermark (0 when untracked).
+func (r *Router) gossipLowAt(d topology.Dir) int {
+	ds := &r.down[d]
+	if !ds.tracking {
+		return 0
+	}
+	n := 0
+	for _, c := range ds.credits {
+		if c < r.cfg.GossipFreeSlots {
+			n++
 		}
 	}
-	return false
+	return n
 }
 
 // beginForwardSwitch starts the 2L-cycle transition to backpressured mode
@@ -95,6 +113,9 @@ func (r *Router) beginReverseSwitch(now uint64) {
 
 func (r *Router) notifyNeighbors(now uint64, c link.Ctrl) {
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		if r.deadOut[d] {
+			continue // dead wire: the notification is lost with the link
+		}
 		if pl := r.wires.Ports[d]; pl.CtrlOut != nil {
 			pl.CtrlOut.Send(now, c)
 		}

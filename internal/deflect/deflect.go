@@ -67,6 +67,21 @@ type Router struct {
 	// srcCount is src when it can report its queue total in O(1).
 	srcCount router.QueuedCounter
 
+	// blockedOut marks output ports whose data link is fault-blocked
+	// (dead, or throttled closed this duty window); port assignment
+	// treats them like missing links and deflects around the fault.
+	blockedOut   [topology.NumDirs]bool
+	blockedCount int
+	// parked counts overflow flits held back by the fault transient
+	// (more latched flits than surviving outputs). While backlog is
+	// draining the no-output condition stays legitimate even after a
+	// throttled link reopens and blockedCount returns to zero.
+	parked int
+	// dead freezes the router entirely (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true; latched
+	// flits stay parked and countable.
+	dead bool
+
 	// Stats
 	routedFlits  uint64
 	deflections  uint64
@@ -119,11 +134,40 @@ func (r *Router) Reset(seed int64) {
 	r.latches = r.latches[:0]
 	r.flits = r.flits[:0]
 	r.injArmedAt = [flit.NumVNs]uint64{}
+	r.blockedOut = [topology.NumDirs]bool{}
+	r.blockedCount = 0
+	r.parked = 0
+	r.dead = false
 	r.routedFlits = 0
 	r.deflections = 0
 	r.ejectedFlits = 0
 	r.injected = 0
 }
+
+// SetPortBlocked marks (or clears) output d as fault-blocked: port
+// assignment then treats the link as missing and deflects around it.
+// Scenario link throttling toggles this at duty-window boundaries.
+func (r *Router) SetPortBlocked(d topology.Dir, blocked bool) {
+	if r.blockedOut[d] != blocked {
+		r.blockedOut[d] = blocked
+		if blocked {
+			r.blockedCount++
+		} else {
+			r.blockedCount--
+		}
+	}
+}
+
+// SetPortDead marks output d permanently dead. Deflection routers carry
+// neither credits nor control on their links, so dead and blocked
+// coincide here.
+func (r *Router) SetPortDead(d topology.Dir) { r.SetPortBlocked(d, true) }
+
+// SetDead freezes the router entirely (scenario dead-router fault):
+// Tick and FastForward become no-ops and Quiescent reports true, so
+// latched flits stay parked — still visible to ForEachFlit, keeping the
+// checker's conservation ledger balanced.
+func (r *Router) SetDead() { r.dead = true }
 
 // RoutedFlits returns the number of flits dispatched by this router.
 func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
@@ -135,6 +179,9 @@ func (r *Router) Deflections() uint64 { return r.deflections }
 // deflection-router invariant), inject if a port remains, then latch this
 // cycle's arrivals.
 func (r *Router) Tick(now uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTick()
 	}
@@ -147,14 +194,26 @@ func (r *Router) Tick(now uint64) {
 		r.flits = append(r.flits, l.f)
 	}
 	r.latches = r.latches[:0]
+	carried := r.parked
+	r.parked = 0
 
-	assignments := r.defl.Assign(r.flits, func(_ *flit.Flit, d topology.Dir) bool {
-		return r.wires.Ports[d].Exists()
-	}, r.ejectWidth)
+	assignments := r.defl.Assign(r.flits, r.usable, r.ejectWidth)
 	var taken [topology.NumDirs]bool
 	for i, a := range assignments {
 		f := r.flits[i]
 		if !a.OK {
+			// Impossible on a healthy mesh (outputs >= latched inputs).
+			// With fault-blocked links the transient after a fault can
+			// leave more latched flits than surviving outputs — and the
+			// backlog can outlive the block itself when a throttled link
+			// reopens. Park the overflow for next cycle instead of
+			// panicking — the graceful-degradation half of scenario
+			// fault injection.
+			if r.blockedCount > 0 || carried > 0 {
+				r.latches = append(r.latches, latched{f: f, arrivedAt: now})
+				r.parked++
+				continue
+			}
 			panic(fmt.Sprintf("deflect %d: no output for flit %v", r.node, f))
 		}
 		if a.Dir == topology.Local {
@@ -171,6 +230,12 @@ func (r *Router) Tick(now uint64) {
 
 	r.inject(now, &taken)
 	r.receive(now)
+}
+
+// usable reports whether output d can carry a flit: the link must be
+// wired and not fault-blocked.
+func (r *Router) usable(_ *flit.Flit, d topology.Dir) bool {
+	return r.wires.Ports[d].Exists() && !r.blockedOut[d]
 }
 
 func (r *Router) eject(now uint64, f *flit.Flit) {
@@ -228,7 +293,7 @@ func (r *Router) inject(now uint64, taken *[topology.NumDirs]bool) {
 		}
 		free := false
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
-			if r.wires.Ports[d].Exists() && !taken[d] {
+			if r.usable(nil, d) && !taken[d] {
 				free = true
 				break
 			}
@@ -246,8 +311,8 @@ func (r *Router) inject(now uint64, taken *[topology.NumDirs]bool) {
 		r.injected++
 
 		one := []*flit.Flit{f}
-		a := r.defl.Assign(one, func(_ *flit.Flit, d topology.Dir) bool {
-			return r.wires.Ports[d].Exists() && !taken[d]
+		a := r.defl.Assign(one, func(ff *flit.Flit, d topology.Dir) bool {
+			return r.usable(ff, d) && !taken[d]
 		}, 0)[0]
 		if !a.OK {
 			panic(fmt.Sprintf("deflect %d: injection with no free port", r.node))
@@ -297,6 +362,9 @@ func (r *Router) receive(now uint64) {
 // registers, which is only sound because skipping such a router
 // changes nothing.
 func (r *Router) Quiescent(now uint64) bool {
+	if r.dead {
+		return true
+	}
 	if len(r.latches) != 0 {
 		return false
 	}
@@ -322,6 +390,9 @@ func (r *Router) Quiescent(now uint64) bool {
 // register via armInjection's empty-queue branch — the register is
 // already zero after the first idle cycle, so zeroing now is exact.
 func (r *Router) FastForward(k uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTicks(k)
 	}

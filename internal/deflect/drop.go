@@ -52,6 +52,15 @@ type DropRouter struct {
 	// srcCount is src when it can report its queue total in O(1).
 	srcCount router.QueuedCounter
 
+	// blockedOut marks output ports whose data link is fault-blocked;
+	// productiveFree treats them like missing links, so a flit whose
+	// productive ports all died is dropped and NACKed — the drop kind's
+	// natural fault response.
+	blockedOut [topology.NumDirs]bool
+	// dead freezes the router entirely (fault injection); see
+	// Router.SetDead.
+	dead bool
+
 	// Stats
 	routedFlits  uint64
 	droppedFlits uint64
@@ -102,10 +111,25 @@ func (r *DropRouter) Reset(seed int64) {
 	r.latches = r.latches[:0]
 	r.order = r.order[:0]
 	r.injArmedAt = [flit.NumVNs]uint64{}
+	r.blockedOut = [topology.NumDirs]bool{}
+	r.dead = false
 	r.routedFlits = 0
 	r.droppedFlits = 0
 	r.ejectedFlits = 0
 }
+
+// SetPortBlocked marks (or clears) output d as fault-blocked: flits
+// whose remaining productive ports are all blocked get dropped and
+// NACKed for retransmission.
+func (r *DropRouter) SetPortBlocked(d topology.Dir, blocked bool) { r.blockedOut[d] = blocked }
+
+// SetPortDead marks output d permanently dead (no credits or control
+// exist on this kind, so dead and blocked coincide).
+func (r *DropRouter) SetPortDead(d topology.Dir) { r.blockedOut[d] = true }
+
+// SetDead freezes the router entirely (scenario dead-router fault); see
+// Router.SetDead.
+func (r *DropRouter) SetDead() { r.dead = true }
 
 // DroppedFlits returns the number of flits dropped by this router.
 func (r *DropRouter) DroppedFlits() uint64 { return r.droppedFlits }
@@ -123,6 +147,9 @@ func (r *DropRouter) LatchedFlits() int { return len(r.latches) }
 // tick draws no randomness: rand.Shuffle over zero latched flits makes
 // no swaps and no calls into the generator.
 func (r *DropRouter) Quiescent(now uint64) bool {
+	if r.dead {
+		return true
+	}
 	if len(r.latches) != 0 {
 		return false
 	}
@@ -145,6 +172,9 @@ func (r *DropRouter) Quiescent(now uint64) bool {
 // FastForward applies k skipped idle cycles (sim.Quiescer); see
 // Router.FastForward — identical idle-tick side effects.
 func (r *DropRouter) FastForward(k uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTicks(k)
 	}
@@ -164,6 +194,9 @@ func (r *DropRouter) ForEachFlit(fn func(*flit.Flit)) {
 // a productive port, or is dropped with a NACK; then at most one flit is
 // injected if a productive port remains.
 func (r *DropRouter) Tick(now uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTick()
 	}
@@ -218,12 +251,12 @@ func (r *DropRouter) productiveFree(f *flit.Flit, taken *[topology.NumDirs]bool)
 	if dst == r.node {
 		return 0, false // ejection port busy; dst flits cannot be misrouted here
 	}
-	if d := r.routes.DOR[dst]; !taken[d] && r.wires.Ports[d].Exists() {
+	if d := r.routes.DOR[dst]; !taken[d] && r.wires.Ports[d].Exists() && !r.blockedOut[d] {
 		return d, true
 	}
 	ps := &r.routes.Prod[dst]
 	for _, d := range ps.D[:ps.N] {
-		if !taken[d] && r.wires.Ports[d].Exists() {
+		if !taken[d] && r.wires.Ports[d].Exists() && !r.blockedOut[d] {
 			return d, true
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"afcnet/internal/check"
 	"afcnet/internal/cmp"
+	"afcnet/internal/config"
 	"afcnet/internal/energy"
 	"afcnet/internal/network"
 	"afcnet/internal/obs"
@@ -67,6 +68,10 @@ type Options struct {
 	// are bit-for-bit identical either way; the flag exists for
 	// equivalence tests.
 	NoColumnar bool
+	// System overrides the machine configuration (mesh size, buffer
+	// depths, …) for every network the harnesses build; the zero value
+	// keeps config.Default(). A cell that sets its own System wins.
+	System config.System
 	// Shards builds every network with the sharded tick
 	// (network.Config.Shards): each cycle's router bank splits across a
 	// persistent worker group with a deterministic two-phase barrier.
@@ -80,6 +85,9 @@ type Options struct {
 // metrics. Each cell owns its attachments, so observed runs parallelize
 // exactly like plain ones.
 func (o Options) newNetwork(cfg network.Config) *network.Network {
+	if cfg.System.Mesh.Width == 0 {
+		cfg.System = o.System
+	}
 	cfg.DenseKernel = cfg.DenseKernel || o.Dense
 	cfg.NoPool = cfg.NoPool || o.NoPool
 	cfg.NoColumnar = cfg.NoColumnar || o.NoColumnar
@@ -139,6 +147,9 @@ func (o Options) oneShot() *workerState {
 // rebuilt entry has nil sys/gen — the caller's cue to construct its
 // traffic layer instead of reattaching it.
 func (w *workerState) acquire(cfg network.Config) *workerEnt {
+	if cfg.System.Mesh.Width == 0 {
+		cfg.System = w.opt.System
+	}
 	cfg.DenseKernel = cfg.DenseKernel || w.opt.Dense
 	cfg.NoPool = cfg.NoPool || w.opt.NoPool
 	cfg.NoColumnar = cfg.NoColumnar || w.opt.NoColumnar

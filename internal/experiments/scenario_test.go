@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"afcnet/internal/config"
+	"afcnet/internal/network"
+	"afcnet/internal/scenario"
+	"afcnet/internal/topology"
+)
+
+// detScenario is the determinism workload: every scheduled-change
+// mechanism fires at least once (rate ramp, pattern move, bursting,
+// dead link, dead router, throttling) on an 8x8 mesh so shard count 8
+// is genuinely eight row bands.
+func detScenario() *scenario.Spec {
+	r := 0.22
+	return &scenario.Spec{
+		Name:     "det",
+		Duration: 3000,
+		Rate:     0.08,
+		Events: []scenario.Event{
+			{At: 500, Label: "ramp", Rate: &r},
+			{At: 1000, Label: "burst", Pattern: "hotspot:27:0.5",
+				Burst: &scenario.Burst{Period: 60, On: 20}},
+			{At: 1500, Label: "fault",
+				DeadLinks:   []scenario.LinkRef{{Node: 9, Dir: "E"}},
+				DeadRouters: []int{36}},
+			{At: 2200, Label: "throttle", Burst: &scenario.Burst{},
+				Throttles: &[]scenario.Throttle{{Node: 18, Dir: "S", Period: 16, On: 8}}},
+		},
+	}
+}
+
+// TestScenarioEqualsSerial is the determinism gate on the scenario
+// layer: the same spec, across experiment-level parallelism and every
+// sharded-tick width, with the invariant checker attached, must produce
+// bit-for-bit identical per-phase results. The engine mutates run
+// conditions from serial ticker context and the NI delivered hooks
+// record into per-node state only, so nothing here may depend on worker
+// or shard count.
+func TestScenarioEqualsSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-configuration scenario runs are slow")
+	}
+	kinds := []network.Kind{network.Backpressured, network.Bless, network.BlessDrop, network.AFC}
+	spec := detScenario()
+	base := Options{
+		Seeds:       []int64{1, 2},
+		Parallelism: 1,
+		Check:       true,
+		System:      config.DefaultWithMesh(topology.NewMesh(8, 8)),
+	}
+	want, err := Scenario(kinds, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name        string
+		parallelism int
+		shards      int
+	}{
+		{"parallel8", 8, 0},
+		{"shards2", 1, 2},
+		{"shards8", 1, 8},
+		{"parallel8-shards2", 8, 2},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			opt := base
+			opt.Parallelism = v.parallelism
+			opt.Shards = v.shards
+			got, err := Scenario(kinds, spec, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("results diverge from serial reference:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioFaultCompletion kills a center link mid-run on the default
+// 3x3 mesh and checks graceful degradation per router kind: deflective
+// kinds reroute around the dead link and keep delivering; buffered kinds
+// keep delivering on unaffected routes (flits already XY-committed to
+// the dead link strand, which the checker tolerates under active
+// faults). The checker stays attached throughout — a conservation or
+// ledger violation fails the run.
+func TestScenarioFaultCompletion(t *testing.T) {
+	spec := &scenario.Spec{
+		Name:     "dead-link",
+		Duration: 4000,
+		Rate:     0.05,
+		Events: []scenario.Event{
+			{At: 2000, Label: "after-fault",
+				DeadLinks: []scenario.LinkRef{{Node: 4, Dir: "E"}}},
+		},
+	}
+	kinds := []network.Kind{
+		network.Backpressured, network.Bless, network.BlessDrop, network.AFC, network.AFCAlwaysBuffered,
+	}
+	rs, err := Scenario(kinds, spec, Options{Seeds: []int64{3}, Parallelism: 1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if len(r.Phases) != 2 {
+			t.Fatalf("%s: got %d phases, want 2", r.Kind, len(r.Phases))
+		}
+		pre, post := r.Phases[0], r.Phases[1]
+		if pre.Delivered == 0 || post.Delivered == 0 {
+			t.Errorf("%s: deliveries pre=%d post=%d, want both positive", r.Kind, pre.Delivered, post.Delivered)
+			continue
+		}
+		// Graceful degradation: the surviving links still carry most of
+		// the offered low-load traffic after the fault.
+		if post.Delivered*2 < pre.Delivered {
+			t.Errorf("%s: post-fault deliveries collapsed: pre=%d post=%d", r.Kind, pre.Delivered, post.Delivered)
+		}
+		if post.NetP50 == 0 || post.NetP999 < post.NetP50 {
+			t.Errorf("%s: post-fault percentiles malformed: %d/%d/%d", r.Kind, post.NetP50, post.NetP99, post.NetP999)
+		}
+	}
+}
+
+// TestScenarioDenseEqualsActiveSet pins the engine's Quiescer/Sleeper
+// contract: coasting between scheduled actions must not change any
+// result relative to the dense reference kernel.
+func TestScenarioDenseEqualsActiveSet(t *testing.T) {
+	spec := detScenario()
+	kinds := []network.Kind{network.Bless, network.AFC}
+	base := Options{
+		Seeds:       []int64{5},
+		Parallelism: 1,
+		Check:       true,
+		System:      config.DefaultWithMesh(topology.NewMesh(8, 8)),
+	}
+	want, err := Scenario(kinds, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := base
+	dense.Dense = true
+	got, err := Scenario(kinds, spec, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dense kernel diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

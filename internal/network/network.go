@@ -169,6 +169,14 @@ type Network struct {
 	journals   [][]shardEffect
 	drainHooks []func(now uint64)
 	inParallel bool
+
+	// Fault-injection state (see fault.go). deadLinks records the
+	// directed halves of killed links; deadNodes the frozen routers.
+	// Lazily allocated — nil until the first fault — and cleared by
+	// Reset (the routers' own Reset clears their port masks).
+	deadLinks map[faultEdge]bool
+	deadNodes []bool
+	haveFault bool
 }
 
 // New builds a network. It panics on an invalid system configuration
@@ -435,6 +443,9 @@ func (n *Network) Reset(cfg Config) bool {
 	}
 	n.drainHooks = n.drainHooks[:0]
 	n.inParallel = false
+	clear(n.deadLinks)
+	clear(n.deadNodes)
+	n.haveFault = false
 	return true
 }
 

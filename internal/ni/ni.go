@@ -92,6 +92,12 @@ type NI struct {
 	handler    Handler
 	ackHook    Handler // network-internal delivery hook (drop-variant ACKs)
 	createHook func(flit.Packet)
+	// deliveredHook is an extra per-delivery callback alongside the user
+	// handler (the scenario layer records per-phase completion-time
+	// samples through it). On sharded runs it fires on a worker
+	// goroutine during the parallel phase, so it must only touch
+	// per-node state. Cleared by Reset, like the user handler.
+	deliveredHook Handler
 
 	// Create-hook deferral for the sharded tick: while *createDeferOn is
 	// true (the network's parallel phase), SendPacket hands the packet to
@@ -161,6 +167,11 @@ func (n *NI) SetArena(a *flit.Arena) {
 
 // SetHandler registers the delivered-packet callback.
 func (n *NI) SetHandler(h Handler) { n.handler = h }
+
+// SetDeliveredHook registers an additional delivered-packet callback,
+// independent of the user handler (see the deliveredHook field for the
+// shard-safety contract). Pass nil to clear.
+func (n *NI) SetDeliveredHook(h Handler) { n.deliveredHook = h }
 
 // SetAckHook registers a network-internal delivery callback, invoked in
 // addition to the user handler. The drop-based variant uses it to ACK the
@@ -410,6 +421,9 @@ func (n *NI) deliver(now uint64, f *flit.Flit) {
 	}
 	n.netLatency.Add(d.NetLatency)
 	n.totalLatency.Add(d.TotalLatency)
+	if n.deliveredHook != nil {
+		n.deliveredHook(now, d)
+	}
 	if n.ackHook != nil {
 		n.ackHook(now, d)
 	}
@@ -557,6 +571,7 @@ func (n *NI) Reset() {
 	clear(n.reassembly)
 	n.handler = nil
 	n.createHook = nil
+	n.deliveredHook = nil
 	clear(n.retained)
 	clear(n.completed)
 	clear(n.epoch)

@@ -39,6 +39,12 @@ type Manifest struct {
 	// numbers separate the engine's sequential runner invocations (e.g.
 	// cmd/figures runs one batch per harness).
 	Cells []CellRecord `json:"cells"`
+	// Scenario and ScenarioResults record a -scenario run: the spec the
+	// run was driven by and the per-(kind, seed) per-phase metrics. Typed
+	// as any so obs stays free of a scenario-package dependency; the
+	// values marshal with the scenario package's JSON schema.
+	Scenario        any `json:"scenario,omitempty"`
+	ScenarioResults any `json:"scenarioResults,omitempty"`
 }
 
 // CellRecord is one executed cell's manifest entry. The memory fields

@@ -121,6 +121,19 @@ func New(cfg Config) *Observer {
 	return o
 }
 
+// RecordScenario attaches a scenario spec and its per-phase results to
+// the manifest (no-op without one). The values are stored as-is and
+// marshal when the manifest is written.
+func (o *Observer) RecordScenario(spec, results any) {
+	if o == nil || o.manifest == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.manifest.Scenario = spec
+	o.manifest.ScenarioResults = results
+}
+
 // Hook installs the observer's callbacks on a runner.Options. Nil-safe;
 // existing callbacks are overwritten (the engine builds fresh Options
 // per batch).

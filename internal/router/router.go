@@ -160,6 +160,23 @@ func (r *RoundRobin) Advance(k uint64) {
 // Reset rewinds the pointer to slot 0, the state of a fresh arbiter.
 func (r *RoundRobin) Reset() { r.next = 0 }
 
+// FaultInjectable is implemented by every router kind to support the
+// scenario layer's fault injection (internal/scenario). All calls come
+// from serial ticker context (never inside a sharded parallel phase).
+type FaultInjectable interface {
+	// SetPortBlocked marks (or clears) the data path of output d as
+	// unusable: routing treats the link as missing. Used both for
+	// permanent dead links and for duty-cycle link throttling.
+	SetPortBlocked(d topology.Dir, blocked bool)
+	// SetPortDead permanently kills output d: data is blocked and, on
+	// kinds that carry them, credit/control traffic stops too.
+	SetPortDead(d topology.Dir)
+	// SetDead freezes the whole router: Tick and FastForward become
+	// no-ops and Quiescent reports true. Held flits stay parked but
+	// remain visible to ForEachFlit, so conservation ledgers balance.
+	SetDead()
+}
+
 // QueuedCounter is implemented by local sources that can report their
 // total queued flits in O(1) (the network interface does). Routers use
 // it to cheapen the per-cycle quiescence check; they fall back to

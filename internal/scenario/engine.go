@@ -1,0 +1,324 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"afcnet/internal/network"
+	"afcnet/internal/ni"
+	"afcnet/internal/stats"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// phaseCap is the retained-sample capacity of each per-node per-phase
+// latency histogram (stride thinning keeps percentiles representative
+// beyond it; see stats.Histogram).
+const phaseCap = 1024
+
+// noAction marks "no further scheduled cycle".
+const noAction = math.MaxUint64
+
+// Engine applies a Spec to a running network. It is a serial end-of-
+// cycle ticker: register it with Network.AddTicker *before* the traffic
+// generator, so an event at cycle c changes conditions after the router
+// bank of cycle c but before the generator injects at c. On sharded
+// runs AddTicker clients run serially after the two-phase barrier, so
+// the engine's mutations are deterministic at any shard count.
+//
+// The engine implements the kernel's Quiescer+Sleeper contract — it
+// acts only at scheduled cycles (event timestamps, burst edges,
+// throttle-window edges) and tells the kernel the next one, so
+// active-set coasting never jumps past a scheduled change.
+type Engine struct {
+	net  *network.Network
+	gen  *traffic.Generator
+	spec *Spec
+	mesh topology.Mesh
+
+	eventIdx int
+	// phase is the report bucket delivered packets are attributed to:
+	// the index of the last applied event plus one (0 before any). Only
+	// the engine's serial Tick writes it; the NI delivered hooks read it
+	// (concurrently across nodes on sharded runs — the shard barrier
+	// orders those reads after the write).
+	phase int
+
+	burst      Burst // Period == 0: no bursting
+	burstStart uint64
+	burstOn    bool
+
+	throttles      []Throttle
+	throttleStart  uint64
+	throttleClosed []bool
+
+	// nextAt is the next cycle Tick must act at (noAction when the
+	// schedule is exhausted). Quiescent is a single compare against it.
+	nextAt uint64
+
+	// Per-node per-phase completion-time samples, written by this
+	// node's delivered hook (shard-local: each NI delivers only from
+	// its own router's tick) and merged across nodes at report time.
+	netHist   [][]*stats.Histogram // [node][phase]
+	totHist   [][]*stats.Histogram
+	delivered [][]uint64
+}
+
+// NewEngine builds an engine for spec over net and gen and attaches its
+// delivered-packet hooks to every NI. It panics on a spec that fails
+// ValidateFor (parse-time callers validate first); construction is
+// programmer-facing, like network.New. The caller must still register
+// the engine: net.AddTicker(engine) before net.AddTicker(gen).
+func NewEngine(net *network.Network, gen *traffic.Generator, spec *Spec) *Engine {
+	if err := spec.ValidateFor(net.Mesh()); err != nil {
+		panic(err)
+	}
+	e := &Engine{
+		net:  net,
+		gen:  gen,
+		spec: spec,
+		mesh: net.Mesh(),
+	}
+	nodes := net.Nodes()
+	phases := len(spec.Events) + 1
+	e.netHist = make([][]*stats.Histogram, nodes)
+	e.totHist = make([][]*stats.Histogram, nodes)
+	e.delivered = make([][]uint64, nodes)
+	for n := 0; n < nodes; n++ {
+		e.netHist[n] = make([]*stats.Histogram, phases)
+		e.totHist[n] = make([]*stats.Histogram, phases)
+		e.delivered[n] = make([]uint64, phases)
+		for p := 0; p < phases; p++ {
+			e.netHist[n][p] = stats.NewHistogram(phaseCap)
+			e.totHist[n][p] = stats.NewHistogram(phaseCap)
+		}
+		nh, th, dc := e.netHist[n], e.totHist[n], e.delivered[n]
+		net.NI(topology.NodeID(n)).SetDeliveredHook(func(now uint64, d ni.Delivered) {
+			ph := e.phase
+			nh[ph].Add(d.NetLatency)
+			th[ph].Add(d.TotalLatency)
+			dc[ph]++
+		})
+	}
+	e.computeNext(0)
+	return e
+}
+
+// Quiescent implements sim.Quiescer: ticking the engine is a no-op at
+// every cycle before the next scheduled action.
+func (e *Engine) Quiescent(now uint64) bool { return now < e.nextAt }
+
+// FastForward implements sim.Quiescer: an idle engine tick has no side
+// effects, so skipping k of them needs none either.
+func (e *Engine) FastForward(k uint64) {}
+
+// NextWake implements sim.Sleeper: the next scheduled event, burst edge
+// or throttle edge, so active-set coasting stops exactly there.
+func (e *Engine) NextWake(now uint64) (uint64, bool) {
+	return e.nextAt, e.nextAt != noAction
+}
+
+// Tick implements sim.Ticker. It acts only at scheduled cycles (the
+// dense reference kernel calls it every cycle; the early return keeps
+// both kernels bit-identical).
+func (e *Engine) Tick(now uint64) {
+	if now < e.nextAt {
+		return
+	}
+	for e.eventIdx < len(e.spec.Events) && e.spec.Events[e.eventIdx].At <= now {
+		e.apply(now, &e.spec.Events[e.eventIdx])
+		e.eventIdx++
+		e.phase = e.eventIdx
+	}
+	e.applyBurst(now)
+	e.applyThrottles(now)
+	e.computeNext(now)
+}
+
+// apply effects one event at cycle now (== ev.At).
+func (e *Engine) apply(now uint64, ev *Event) {
+	switch {
+	case len(ev.NodeRates) > 0:
+		e.gen.SetNodeRates(ev.NodeRates)
+	case ev.Rate != nil:
+		e.gen.SetRate(*ev.Rate)
+	}
+	if ev.Pattern != "" {
+		p, err := ParsePattern(ev.Pattern, e.mesh)
+		if err != nil {
+			panic(err) // unreachable: ValidateFor vetted every pattern
+		}
+		e.gen.SetPattern(p)
+	}
+	if ev.Burst != nil {
+		if ev.Burst.Period == 0 {
+			e.burst = Burst{}
+			if !e.burstOn {
+				e.gen.SetScale(1)
+			}
+			e.burstOn = true
+		} else {
+			e.burst = *ev.Burst
+			e.burstStart = now
+			// burstOn reflects the current generator scale; applyBurst
+			// right after will open the first window.
+		}
+	}
+	for _, l := range ev.DeadLinks {
+		d, _ := ParseDir(l.Dir)
+		e.net.KillLink(topology.NodeID(l.Node), d)
+	}
+	for _, r := range ev.DeadRouters {
+		e.net.KillRouter(topology.NodeID(r))
+		e.gen.MarkDead(topology.NodeID(r))
+	}
+	if ev.Throttles != nil {
+		// Replacing the set reopens whatever the old set held closed.
+		for i, closed := range e.throttleClosed {
+			if closed {
+				d, _ := ParseDir(e.throttles[i].Dir)
+				e.net.SetLinkBlocked(topology.NodeID(e.throttles[i].Node), d, false)
+			}
+		}
+		e.throttles = *ev.Throttles
+		e.throttleStart = now
+		e.throttleClosed = make([]bool, len(e.throttles))
+	}
+}
+
+// window reports whether now falls in the on-window of a duty cycle
+// anchored at start, and the cycle of the next window edge.
+func window(now, start, period, on uint64) (open bool, edge uint64) {
+	within := (now - start) % period
+	if within < on {
+		return true, now + (on - within)
+	}
+	return false, now + (period - within)
+}
+
+func (e *Engine) applyBurst(now uint64) {
+	if e.burst.Period == 0 {
+		return
+	}
+	on, _ := window(now, e.burstStart, e.burst.Period, e.burst.On)
+	if on != e.burstOn {
+		e.burstOn = on
+		if on {
+			e.gen.SetScale(1)
+		} else {
+			e.gen.SetScale(0)
+		}
+	}
+}
+
+func (e *Engine) applyThrottles(now uint64) {
+	for i := range e.throttles {
+		t := &e.throttles[i]
+		open, _ := window(now, e.throttleStart, t.Period, t.On)
+		if closed := !open; closed != e.throttleClosed[i] {
+			e.throttleClosed[i] = closed
+			d, _ := ParseDir(t.Dir)
+			e.net.SetLinkBlocked(topology.NodeID(t.Node), d, closed)
+		}
+	}
+}
+
+// computeNext recomputes the next scheduled cycle after now.
+func (e *Engine) computeNext(now uint64) {
+	next := uint64(noAction)
+	if e.eventIdx < len(e.spec.Events) {
+		if at := e.spec.Events[e.eventIdx].At; at < next {
+			next = at
+		}
+	}
+	if e.burst.Period > 0 {
+		if _, edge := window(now, e.burstStart, e.burst.Period, e.burst.On); edge < next {
+			next = edge
+		}
+	}
+	for i := range e.throttles {
+		t := &e.throttles[i]
+		if _, edge := window(now, e.throttleStart, t.Period, t.On); edge < next {
+			next = edge
+		}
+	}
+	e.nextAt = next
+}
+
+// PhaseStats summarizes the packet completions of one scenario phase.
+type PhaseStats struct {
+	Label      string
+	Start, End uint64 // [Start, End) in cycles
+	Delivered  uint64 // packets completed while the phase was active
+	// Completion-time percentiles over the phase's deliveries, in
+	// cycles; Net counts injection to delivery, Total creation to
+	// delivery (source queueing included). Zero when nothing delivered.
+	NetP50, NetP99, NetP999 uint64
+	TotP50, TotP99, TotP999 uint64
+	NetMean, TotMean        float64
+}
+
+// Phases merges the per-node samples and returns one PhaseStats per
+// phase, in order. Deterministic: nodes merge in index order.
+func (e *Engine) Phases() []PhaseStats {
+	phases := len(e.spec.Events) + 1
+	out := make([]PhaseStats, phases)
+	mergedNet := stats.NewHistogram(64 * phaseCap)
+	mergedTot := stats.NewHistogram(64 * phaseCap)
+	for p := 0; p < phases; p++ {
+		ps := &out[p]
+		if p == 0 {
+			ps.Label = "start"
+		} else if ev := &e.spec.Events[p-1]; ev.Label != "" {
+			ps.Label = ev.Label
+		} else {
+			ps.Label = fmt.Sprintf("phase%d", p)
+		}
+		if p > 0 {
+			ps.Start = e.spec.Events[p-1].At
+		}
+		if p < phases-1 {
+			ps.End = e.spec.Events[p].At
+		} else {
+			ps.End = e.spec.Duration
+		}
+		mergedNet.Reset()
+		mergedTot.Reset()
+		var netSum, totSum, count float64
+		for n := range e.netHist {
+			ps.Delivered += e.delivered[n][p]
+			merge(mergedNet, e.netHist[n][p])
+			merge(mergedTot, e.totHist[n][p])
+			// Means come from the exact per-node count/sum, not from the
+			// stride-weighted merge (which only approximates counts).
+			c := float64(e.netHist[n][p].Count())
+			count += c
+			netSum += e.netHist[n][p].Mean() * c
+			totSum += e.totHist[n][p].Mean() * c
+		}
+		if mergedNet.Count() > 0 {
+			ps.NetP50 = mergedNet.Percentile(50)
+			ps.NetP99 = mergedNet.Percentile(99)
+			ps.NetP999 = mergedNet.Percentile(99.9)
+			ps.TotP50 = mergedTot.Percentile(50)
+			ps.TotP99 = mergedTot.Percentile(99)
+			ps.TotP999 = mergedTot.Percentile(99.9)
+		}
+		if count > 0 {
+			ps.NetMean = netSum / count
+			ps.TotMean = totSum / count
+		}
+	}
+	return out
+}
+
+// merge folds src's retained samples into dst, each weighted by src's
+// thinning stride so counts stay proportionate across nodes.
+func merge(dst, src *stats.Histogram) {
+	st := uint64(src.Stride())
+	src.EachRetained(func(v uint64) {
+		for i := uint64(0); i < st; i++ {
+			dst.Add(v)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"testing"
+
+	"afcnet/internal/network"
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+func newTestNet(t *testing.T, kind network.Kind) (*network.Network, *traffic.Generator, func(*Spec) *Engine) {
+	t.Helper()
+	net := network.New(network.Config{Kind: kind, Seed: 7})
+	build := func(spec *Spec) *Engine {
+		gen := traffic.NewGenerator(net, spec.TrafficConfig(net.Mesh()), net.RandStream)
+		eng := NewEngine(net, gen, spec)
+		net.AddTicker(eng)
+		net.AddTicker(gen)
+		return eng
+	}
+	return net, nil, build
+}
+
+// TestEngineSchedule drives the engine like the dense kernel (a Tick at
+// every cycle) and checks that events, burst edges and throttle edges
+// act exactly at their scheduled cycles, that faults land in the
+// network, and that the Quiescer/Sleeper answers always agree with the
+// schedule.
+func TestEngineSchedule(t *testing.T) {
+	net, _, build := newTestNet(t, network.Bless)
+	r3 := 0.3
+	spec := &Spec{
+		Duration: 1000,
+		Rate:     0.1,
+		Events: []Event{
+			{At: 100, Rate: &r3, Burst: &Burst{Period: 20, On: 5}},
+			{At: 200, DeadLinks: []LinkRef{{Node: 1, Dir: "E"}}, DeadRouters: []int{4}},
+			{At: 300, Throttles: &[]Throttle{{Node: 0, Dir: "S", Period: 10, On: 5}}},
+			{At: 400, Burst: &Burst{}, Throttles: &[]Throttle{}},
+		},
+	}
+	eng := build(spec)
+
+	if got, ok := eng.NextWake(0); got != 100 || !ok {
+		t.Fatalf("NextWake(0) = %d, %v; want 100, true", got, ok)
+	}
+	if !eng.Quiescent(50) || eng.Quiescent(100) {
+		t.Fatal("Quiescent disagrees with the first event at 100")
+	}
+
+	checks := map[uint64]func(){
+		100: func() {
+			if eng.phase != 1 {
+				t.Errorf("cycle 100: phase = %d, want 1", eng.phase)
+			}
+			if !eng.burstOn {
+				t.Error("cycle 100: burst window should open immediately")
+			}
+			// Next action is the burst's falling edge, not event 2.
+			if eng.nextAt != 105 {
+				t.Errorf("cycle 100: nextAt = %d, want burst edge 105", eng.nextAt)
+			}
+		},
+		105: func() {
+			if eng.burstOn {
+				t.Error("cycle 105: burst window should have closed")
+			}
+			if eng.nextAt != 120 {
+				t.Errorf("cycle 105: nextAt = %d, want next window 120", eng.nextAt)
+			}
+		},
+		200: func() {
+			if !net.LinkDead(1, topology.East) || !net.LinkDead(2, topology.West) {
+				t.Error("cycle 200: link 1-E should be dead in both directions")
+			}
+			if !net.RouterDead(4) || !net.FaultsActive() {
+				t.Error("cycle 200: router 4 should be dead")
+			}
+		},
+		305: func() {
+			if len(eng.throttleClosed) != 1 || !eng.throttleClosed[0] {
+				t.Error("cycle 305: throttle window should have closed")
+			}
+		},
+		400: func() {
+			if eng.phase != 4 {
+				t.Errorf("cycle 400: phase = %d, want 4", eng.phase)
+			}
+			if eng.burst.Period != 0 || len(eng.throttles) != 0 {
+				t.Error("cycle 400: burst and throttles should be cleared")
+			}
+			if eng.nextAt != noAction {
+				t.Errorf("cycle 400: nextAt = %d, want none", eng.nextAt)
+			}
+			if _, ok := eng.NextWake(400); ok {
+				t.Error("cycle 400: NextWake should report no further action")
+			}
+		},
+	}
+	for now := uint64(0); now < 500; now++ {
+		if q := eng.Quiescent(now); !q {
+			if now != eng.nextAt {
+				t.Fatalf("cycle %d: not quiescent but nextAt = %d", now, eng.nextAt)
+			}
+		}
+		eng.Tick(now)
+		if chk := checks[now]; chk != nil {
+			chk()
+		}
+	}
+	if !eng.Quiescent(500) {
+		t.Error("schedule exhausted but engine not quiescent")
+	}
+}
+
+// TestEnginePhases runs a two-phase scenario on a real network and
+// checks the per-phase report: boundaries, labels, deliveries in both
+// phases, and ordered percentiles.
+func TestEnginePhases(t *testing.T) {
+	net, _, build := newTestNet(t, network.Bless)
+	spec := &Spec{
+		Duration: 2000,
+		Rate:     0.15,
+		Events:   []Event{{At: 1000, Label: "after", Pattern: "hotspot:4:0.6"}},
+	}
+	eng := build(spec)
+	net.Run(spec.Duration)
+
+	ps := eng.Phases()
+	if len(ps) != 2 {
+		t.Fatalf("got %d phases, want 2", len(ps))
+	}
+	if ps[0].Label != "start" || ps[0].Start != 0 || ps[0].End != 1000 {
+		t.Errorf("phase 0 = %q [%d, %d), want start [0, 1000)", ps[0].Label, ps[0].Start, ps[0].End)
+	}
+	if ps[1].Label != "after" || ps[1].Start != 1000 || ps[1].End != 2000 {
+		t.Errorf("phase 1 = %q [%d, %d), want after [1000, 2000)", ps[1].Label, ps[1].Start, ps[1].End)
+	}
+	var total uint64
+	for i, p := range ps {
+		if p.Delivered == 0 {
+			t.Errorf("phase %d delivered nothing", i)
+			continue
+		}
+		total += p.Delivered
+		if !(p.NetP50 <= p.NetP99 && p.NetP99 <= p.NetP999) {
+			t.Errorf("phase %d net percentiles out of order: %d/%d/%d", i, p.NetP50, p.NetP99, p.NetP999)
+		}
+		if !(p.TotP50 <= p.TotP99 && p.TotP99 <= p.TotP999) {
+			t.Errorf("phase %d total percentiles out of order: %d/%d/%d", i, p.TotP50, p.TotP99, p.TotP999)
+		}
+		if p.TotP50 < p.NetP50 {
+			t.Errorf("phase %d total p50 %d below net p50 %d", i, p.TotP50, p.NetP50)
+		}
+		if p.NetMean <= 0 || p.TotMean < p.NetMean {
+			t.Errorf("phase %d means inconsistent: net %.2f total %.2f", i, p.NetMean, p.TotMean)
+		}
+	}
+	if total != net.DeliveredPackets() {
+		t.Errorf("phase deliveries sum to %d, network delivered %d", total, net.DeliveredPackets())
+	}
+}
+
+// TestEngineRejectsInvalidSpec pins the constructor contract: specs are
+// validated against the concrete mesh before any hook is installed.
+func TestEngineRejectsInvalidSpec(t *testing.T) {
+	net, _, _ := newTestNet(t, network.Bless)
+	gen := traffic.NewGenerator(net, traffic.Config{Rate: 0.1, Pattern: traffic.Uniform{Mesh: net.Mesh()}}, net.RandStream)
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEngine accepted a spec naming node 99 on a 9-node mesh")
+		}
+	}()
+	NewEngine(net, gen, &Spec{Duration: 100, Rate: 0.1, Events: []Event{{At: 10, DeadRouters: []int{99}}}})
+}

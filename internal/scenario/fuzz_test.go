@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"testing"
+
+	"afcnet/internal/topology"
+)
+
+// FuzzParse asserts the parser's no-panic contract on arbitrary bytes,
+// and that any spec it accepts survives mesh-bound validation and
+// traffic-config construction without panicking either.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"duration": 100, "rate": 0.1}`))
+	f.Add([]byte(`{"duration": 5000, "rate": 0.05, "pattern": "hotspot:3:0.9",
+		"events": [
+			{"at": 1000, "rate": 0.3, "burst": {"period": 40, "on": 10}},
+			{"at": 2000, "deadLinks": [{"node": 5, "dir": "w"}], "deadRouters": [6]},
+			{"at": 3000, "throttles": [{"node": 1, "dir": "n", "period": 16, "on": 8}]}
+		]}`))
+	f.Add([]byte(`{"duration": 1, "nodeRates": [1, 0, 0.5]}`))
+	f.Add([]byte(`not json`))
+	mesh := topology.NewMesh(4, 4)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// A spec that passed structural validation may still fail against
+		// a concrete mesh — but never by panicking.
+		if err := s.ValidateFor(mesh); err != nil {
+			return
+		}
+		_ = s.TrafficConfig(mesh)
+	})
+}

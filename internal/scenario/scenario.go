@@ -1,0 +1,347 @@
+// Package scenario is the declarative schedule layer that mutates run
+// conditions mid-simulation at exact cycle boundaries: piecewise
+// injection-rate ramps, bursty on/off traffic, hotspot relocation,
+// link-capacity throttling, and fault injection (dead links and dead
+// routers). A Spec — parsed from JSON — lists timestamped events; an
+// Engine applies them deterministically from serial ticker context, so
+// serial, experiment-parallel and sharded-tick runs produce bit-for-bit
+// identical results.
+//
+// The events between two consecutive timestamps define a phase; the
+// Engine records per-phase packet-completion-time distributions
+// (network and total latency) and reports p50/p99/p999 per phase.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"afcnet/internal/topology"
+	"afcnet/internal/traffic"
+)
+
+// LinkRef names one mesh link by its source node and direction.
+type LinkRef struct {
+	Node int    `json:"node"`
+	Dir  string `json:"dir"` // E|W|N|S (or east|west|north|south)
+}
+
+// Burst describes on/off bursty injection: sources inject for the first
+// On cycles of every Period-cycle window, measured from the cycle the
+// burst took effect, and are silent for the rest.
+type Burst struct {
+	Period uint64 `json:"period"`
+	On     uint64 `json:"on"`
+}
+
+// Throttle describes duty-cycled link-capacity throttling: the named
+// link carries data for the first On cycles of every Period-cycle
+// window and is closed for the rest. Credits and control traffic keep
+// flowing while closed, so backpressured credit ledgers stay intact.
+type Throttle struct {
+	Node   int    `json:"node"`
+	Dir    string `json:"dir"`
+	Period uint64 `json:"period"`
+	On     uint64 `json:"on"`
+}
+
+// Event is one timestamped change of run conditions. Zero-valued /
+// absent fields leave the corresponding condition untouched; DeadLinks
+// and DeadRouters are cumulative and permanent, Throttles replaces the
+// active throttle set (an empty non-nil list clears it).
+type Event struct {
+	// At is the cycle the event takes effect (applied after the router
+	// bank of that cycle, before the traffic generator's tick).
+	At uint64 `json:"at"`
+	// Label names the phase this event opens (reports default to
+	// "phaseN" when empty).
+	Label string `json:"label,omitempty"`
+
+	// Rate switches every node to this uniform injection rate
+	// (flits/node/cycle). Nil leaves rates untouched.
+	Rate *float64 `json:"rate,omitempty"`
+	// NodeRates switches to per-node injection rates (len must equal
+	// the node count). Overrides Rate when both are set.
+	NodeRates []float64 `json:"nodeRates,omitempty"`
+	// Pattern switches the destination pattern; see ParsePattern.
+	Pattern string `json:"pattern,omitempty"`
+	// Burst installs (Period > 0) or clears (Period == 0 with the field
+	// present) bursty on/off injection.
+	Burst *Burst `json:"burst,omitempty"`
+
+	// DeadLinks permanently kills the named links (both directions).
+	DeadLinks []LinkRef `json:"deadLinks,omitempty"`
+	// DeadRouters permanently freezes the named routers, kills all
+	// their links, and retargets traffic away from them.
+	DeadRouters []int `json:"deadRouters,omitempty"`
+	// Throttles replaces the set of duty-cycled link throttles.
+	Throttles *[]Throttle `json:"throttles,omitempty"`
+}
+
+// Spec is a complete scenario: the initial traffic conditions, the
+// total run length, and the timestamped events.
+type Spec struct {
+	Name string `json:"name,omitempty"`
+	// Duration is the total cycles to run.
+	Duration uint64 `json:"duration"`
+	// Rate / NodeRates / Pattern are the phase-0 traffic conditions
+	// (defaults: uniform pattern at Rate; Rate 0 with no NodeRates is
+	// rejected — a scenario with no traffic measures nothing).
+	Rate      float64   `json:"rate,omitempty"`
+	NodeRates []float64 `json:"nodeRates,omitempty"`
+	Pattern   string    `json:"pattern,omitempty"`
+	Events    []Event   `json:"events,omitempty"`
+}
+
+// Parse decodes and structurally validates a JSON scenario spec. It
+// never panics on malformed input (fuzzed); mesh-dependent range checks
+// happen in ValidateFor.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads and parses a JSON scenario spec from path.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// rateOK bounds an injection rate: finite, non-negative, and at most 8
+// flits/node/cycle — far past saturation for every router kind, so the
+// cap only rejects nonsense (the generator itself would just clamp the
+// per-cycle packet probability at 1).
+func rateOK(r float64) bool {
+	return !math.IsNaN(r) && !math.IsInf(r, 0) && r >= 0 && r <= 8
+}
+
+func validBurst(b Burst) error {
+	if b.Period == 0 {
+		if b.On != 0 {
+			return fmt.Errorf("scenario: burst with on=%d but period=0", b.On)
+		}
+		return nil // explicit clear
+	}
+	if b.On == 0 || b.On > b.Period {
+		return fmt.Errorf("scenario: burst on=%d outside [1, period=%d]", b.On, b.Period)
+	}
+	return nil
+}
+
+// Validate checks everything that does not require a mesh: ordering,
+// rate domains, burst/throttle windows, and direction syntax.
+func (s *Spec) Validate() error {
+	if s.Duration == 0 {
+		return fmt.Errorf("scenario: duration must be positive")
+	}
+	if !rateOK(s.Rate) {
+		return fmt.Errorf("scenario: rate %v outside [0, 8]", s.Rate)
+	}
+	if len(s.NodeRates) == 0 && s.Rate == 0 {
+		return fmt.Errorf("scenario: no initial traffic (rate 0 and no nodeRates)")
+	}
+	for _, r := range s.NodeRates {
+		if !rateOK(r) {
+			return fmt.Errorf("scenario: node rate %v outside [0, 8]", r)
+		}
+	}
+	var prev uint64
+	for i := range s.Events {
+		ev := &s.Events[i]
+		if i > 0 && ev.At <= prev {
+			return fmt.Errorf("scenario: event %d at cycle %d not after its predecessor at %d", i, ev.At, prev)
+		}
+		prev = ev.At
+		if ev.At >= s.Duration {
+			return fmt.Errorf("scenario: event %d at cycle %d outside run duration %d", i, ev.At, s.Duration)
+		}
+		if ev.Rate != nil && !rateOK(*ev.Rate) {
+			return fmt.Errorf("scenario: event %d rate %v outside [0, 8]", i, *ev.Rate)
+		}
+		for _, r := range ev.NodeRates {
+			if !rateOK(r) {
+				return fmt.Errorf("scenario: event %d node rate %v outside [0, 8]", i, r)
+			}
+		}
+		if ev.Burst != nil {
+			if err := validBurst(*ev.Burst); err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
+		}
+		for _, l := range ev.DeadLinks {
+			if l.Node < 0 {
+				return fmt.Errorf("scenario: event %d dead link at negative node %d", i, l.Node)
+			}
+			if _, err := ParseDir(l.Dir); err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
+		}
+		for _, n := range ev.DeadRouters {
+			if n < 0 {
+				return fmt.Errorf("scenario: event %d dead router at negative node %d", i, n)
+			}
+		}
+		if ev.Throttles != nil {
+			for _, t := range *ev.Throttles {
+				if t.Node < 0 {
+					return fmt.Errorf("scenario: event %d throttle at negative node %d", i, t.Node)
+				}
+				if _, err := ParseDir(t.Dir); err != nil {
+					return fmt.Errorf("event %d: %w", i, err)
+				}
+				if t.Period == 0 || t.On == 0 || t.On > t.Period {
+					return fmt.Errorf("scenario: event %d throttle on=%d outside [1, period=%d]", i, t.On, t.Period)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateFor completes validation against a concrete mesh: node
+// indices in range, NodeRates lengths, and pattern syntax.
+func (s *Spec) ValidateFor(mesh topology.Mesh) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	nodes := mesh.Nodes()
+	checkRates := func(rs []float64, what string) error {
+		if len(rs) != 0 && len(rs) != nodes {
+			return fmt.Errorf("scenario: %s has %d entries for a %d-node mesh", what, len(rs), nodes)
+		}
+		return nil
+	}
+	checkNode := func(n int, what string) error {
+		if n >= nodes {
+			return fmt.Errorf("scenario: %s names node %d on a %d-node mesh", what, n, nodes)
+		}
+		return nil
+	}
+	if err := checkRates(s.NodeRates, "nodeRates"); err != nil {
+		return err
+	}
+	if s.Pattern != "" {
+		if _, err := ParsePattern(s.Pattern, mesh); err != nil {
+			return err
+		}
+	}
+	for i := range s.Events {
+		ev := &s.Events[i]
+		what := fmt.Sprintf("event %d", i)
+		if err := checkRates(ev.NodeRates, what+" nodeRates"); err != nil {
+			return err
+		}
+		if ev.Pattern != "" {
+			if _, err := ParsePattern(ev.Pattern, mesh); err != nil {
+				return fmt.Errorf("%s: %w", what, err)
+			}
+		}
+		for _, l := range ev.DeadLinks {
+			if err := checkNode(l.Node, what+" dead link"); err != nil {
+				return err
+			}
+		}
+		for _, n := range ev.DeadRouters {
+			if err := checkNode(n, what+" dead router"); err != nil {
+				return err
+			}
+		}
+		if ev.Throttles != nil {
+			for _, t := range *ev.Throttles {
+				if err := checkNode(t.Node, what+" throttle"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TrafficConfig returns the phase-0 traffic configuration of the spec.
+// Call ValidateFor first; an invalid pattern falls back to uniform.
+func (s *Spec) TrafficConfig(mesh topology.Mesh) traffic.Config {
+	cfg := traffic.Config{Rate: s.Rate}
+	if len(s.NodeRates) > 0 {
+		cfg.NodeRates = s.NodeRates
+	}
+	if s.Pattern != "" {
+		if p, err := ParsePattern(s.Pattern, mesh); err == nil {
+			cfg.Pattern = p
+		}
+	}
+	if cfg.Pattern == nil {
+		cfg.Pattern = traffic.Uniform{Mesh: mesh}
+	}
+	return cfg
+}
+
+// ParseDir parses a direction name: one of E, W, N, S or their full
+// lowercase names.
+func ParseDir(s string) (topology.Dir, error) {
+	switch strings.ToLower(s) {
+	case "e", "east":
+		return topology.East, nil
+	case "w", "west":
+		return topology.West, nil
+	case "n", "north":
+		return topology.North, nil
+	case "s", "south":
+		return topology.South, nil
+	}
+	return 0, fmt.Errorf("scenario: unknown direction %q (want E|W|N|S)", s)
+}
+
+// ParsePattern parses a destination-pattern name:
+//
+//	uniform | transpose | bitcomp | neighbor | quadrant
+//	hotspot:<node>[:<frac>]   (frac in (0, 1], default 0.5)
+func ParsePattern(name string, mesh topology.Mesh) (traffic.Pattern, error) {
+	switch name {
+	case "uniform":
+		return traffic.Uniform{Mesh: mesh}, nil
+	case "transpose":
+		// Transpose maps (x, y) to (y, x), which only lands inside a
+		// square mesh; reject here rather than panic mid-run.
+		if mesh.Width != mesh.Height {
+			return nil, fmt.Errorf("scenario: transpose needs a square mesh, got %dx%d", mesh.Width, mesh.Height)
+		}
+		return traffic.Transpose{Mesh: mesh}, nil
+	case "bitcomp":
+		return traffic.BitComplement{Mesh: mesh}, nil
+	case "neighbor":
+		return traffic.NearNeighbor{Mesh: mesh}, nil
+	case "quadrant":
+		return traffic.Quadrant{Mesh: mesh}, nil
+	}
+	if rest, ok := strings.CutPrefix(name, "hotspot:"); ok {
+		nodeS, fracS, hasFrac := strings.Cut(rest, ":")
+		node, err := strconv.Atoi(nodeS)
+		if err != nil || node < 0 || node >= mesh.Nodes() {
+			return nil, fmt.Errorf("scenario: hotspot node %q outside the %d-node mesh", nodeS, mesh.Nodes())
+		}
+		frac := 0.5
+		if hasFrac {
+			frac, err = strconv.ParseFloat(fracS, 64)
+			if err != nil || math.IsNaN(frac) || frac <= 0 || frac > 1 {
+				return nil, fmt.Errorf("scenario: hotspot fraction %q outside (0, 1]", fracS)
+			}
+		}
+		return traffic.Hotspot{Mesh: mesh, Hot: topology.NodeID(node), Frac: frac}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown pattern %q", name)
+}

@@ -194,8 +194,13 @@ func (h *Histogram) Min() uint64 {
 func (h *Histogram) Max() uint64 { return h.max }
 
 // Percentile returns the p-th percentile (0 < p <= 100) of the retained
-// samples, or 0 with no samples.
+// samples, or 0 with no samples. It panics when p lies outside (0, 100]:
+// the clamped index arithmetic below would otherwise silently map p=0 to
+// the minimum and p>100 to the maximum, masking a caller bug.
 func (h *Histogram) Percentile(p float64) uint64 {
+	if p <= 0 || p > 100 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %v outside (0, 100]", p))
+	}
 	if len(h.values) == 0 {
 		return 0
 	}
@@ -213,6 +218,20 @@ func (h *Histogram) Percentile(p float64) uint64 {
 	}
 	return h.sorted[idx]
 }
+
+// EachRetained calls fn for every retained sample in insertion order.
+// Together with Stride it lets a caller merge several histograms into
+// one (the scenario engine aggregates per-node phase histograms this
+// way): Add each retained sample Stride times to preserve its weight.
+func (h *Histogram) EachRetained(fn func(v uint64)) {
+	for _, v := range h.values {
+		fn(v)
+	}
+}
+
+// Stride returns the current thinning stride: each retained sample
+// stands for Stride recorded samples.
+func (h *Histogram) Stride() int { return h.stride }
 
 // Running accumulates mean and standard deviation incrementally
 // (Welford's algorithm). It aggregates metrics across repeated runs with

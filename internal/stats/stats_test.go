@@ -228,3 +228,71 @@ func TestGeoMean(t *testing.T) {
 	}()
 	GeoMean([]float64{1, 0})
 }
+
+// TestHistogramPercentileDomain: p outside (0, 100] must panic instead
+// of silently clamping (p=0 would quietly return the minimum, p>100 the
+// maximum, masking a caller bug). Valid edge queries still work on a
+// thinned histogram.
+func TestHistogramPercentileDomain(t *testing.T) {
+	h := NewHistogram(64)
+	for i := uint64(1); i <= 10_000; i++ {
+		h.Add(i)
+	}
+	for _, p := range []float64{0, -1, 100.001, 150, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%v) did not panic", p)
+				}
+			}()
+			h.Percentile(p)
+		}()
+	}
+	// The domain edges are legal, including on a heavily thinned
+	// histogram (stride > 1 by now).
+	if h.Stride() <= 1 {
+		t.Fatalf("stride = %d, expected thinning to have kicked in", h.Stride())
+	}
+	if p := h.Percentile(100); p != h.Max() && p < 9_000 {
+		t.Errorf("p100 = %d, want near max %d", p, h.Max())
+	}
+	if p := h.Percentile(0.1); p > 1_000 {
+		t.Errorf("p0.1 = %d, want near min", p)
+	}
+	if p := h.Percentile(99.9); p < 9_000 {
+		t.Errorf("p99.9 = %d, want in the top tail", p)
+	}
+}
+
+// TestHistogramEachRetainedMerge: EachRetained+Stride reproduce a
+// histogram's distribution in another one — the scenario engine's
+// per-node phase merge. Stride-weighted re-adding must keep percentiles
+// close to the source's.
+func TestHistogramEachRetainedMerge(t *testing.T) {
+	src := NewHistogram(64)
+	const n = 50_000
+	for i := uint64(0); i < n; i++ {
+		src.Add(i)
+	}
+	dst := NewHistogram(4096)
+	retained := 0
+	src.EachRetained(func(v uint64) {
+		retained++
+		for i := 0; i < src.Stride(); i++ {
+			dst.Add(v)
+		}
+	})
+	if retained == 0 || retained > 64 {
+		t.Fatalf("retained = %d, want within capacity", retained)
+	}
+	if got, want := dst.Count(), uint64(retained*src.Stride()); got != want {
+		t.Errorf("merged count = %d, want %d", got, want)
+	}
+	for _, p := range []float64{25, 50, 75, 99} {
+		got := float64(dst.Percentile(p))
+		want := p / 100 * n
+		if math.Abs(got-want) > 0.15*n {
+			t.Errorf("merged p%.0f = %g, want ~%g", p, got, want)
+		}
+	}
+}

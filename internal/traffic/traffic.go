@@ -23,12 +23,17 @@ type Pattern interface {
 	Name() string
 }
 
-// Uniform sends to a uniformly random other node.
+// Uniform sends to a uniformly random other node. On a degenerate
+// one-node mesh there is no other node; Dest then returns src itself and
+// the generator skips the injection (see Generator.Tick).
 type Uniform struct{ Mesh topology.Mesh }
 
 // Dest implements Pattern.
 func (u Uniform) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
 	n := u.Mesh.Nodes()
+	if n <= 1 {
+		return src
+	}
 	d := topology.NodeID(rng.Intn(n - 1))
 	if d >= src {
 		d++
@@ -121,11 +126,31 @@ type Quadrant struct{ Mesh topology.Mesh }
 // Dest implements Pattern.
 func (q Quadrant) Dest(src topology.NodeID, rng *rand.Rand) topology.NodeID {
 	qw, qh := q.Mesh.Width/2, q.Mesh.Height/2
+	if qw < 1 || qh < 1 {
+		// A mesh narrower than 2 in either dimension has no quadrants;
+		// rng.Intn(0) below would panic. Fall back to uniform like the
+		// other patterns do for their degenerate sources.
+		return Uniform{Mesh: q.Mesh}.Dest(src, rng)
+	}
 	x, y := q.Mesh.Coord(src)
 	x0, y0 := (x/qw)*qw, (y/qh)*qh
+	// On odd meshes the last row/column of quadrants is clipped by the
+	// mesh boundary; clamp so the draw below never leaves the mesh.
+	w, h := qw, qh
+	if x0+w > q.Mesh.Width {
+		w = q.Mesh.Width - x0
+	}
+	if y0+h > q.Mesh.Height {
+		h = q.Mesh.Height - y0
+	}
+	if w*h < 2 {
+		// The quadrant degenerates to src alone: the redraw loop would
+		// never terminate. Fall back to uniform.
+		return Uniform{Mesh: q.Mesh}.Dest(src, rng)
+	}
 	for {
-		dx := x0 + rng.Intn(qw)
-		dy := y0 + rng.Intn(qh)
+		dx := x0 + rng.Intn(w)
+		dy := y0 + rng.Intn(h)
 		d := q.Mesh.Node(dx, dy)
 		if d != src {
 			return d
@@ -177,6 +202,27 @@ type Generator struct {
 	offered uint64
 	stopped bool
 	maxRate float64
+
+	// scale multiplies every node's configured rate; the scenario
+	// engine's bursty phases toggle it between 1 and an off-phase value
+	// without disturbing the per-node rate configuration.
+	scale float64
+	// dead marks nodes whose routers have been fault-injected away:
+	// they stop sourcing traffic and the destination draw redirects away
+	// from them. Nil until the first MarkDead.
+	dead      []bool
+	deadCount int
+}
+
+// validateNodeRates rejects a NodeRates slice whose length does not match
+// the network. Without this check the mismatch surfaces much later as an
+// opaque index panic inside Tick (or silently under-drives the mesh when
+// the slice is too long).
+func validateNodeRates(cfg Config, nodes int) {
+	if cfg.NodeRates != nil && len(cfg.NodeRates) != nodes {
+		panic(fmt.Sprintf("traffic: Config.NodeRates has %d entries for a %d-node network",
+			len(cfg.NodeRates), nodes))
+	}
 }
 
 // NewGenerator returns a generator for net. Each node gets an independent
@@ -188,24 +234,18 @@ func NewGenerator(net *network.Network, cfg Config, seeds func() *rand.Rand) *Ge
 	if cfg.Pattern == nil {
 		cfg.Pattern = Uniform{Mesh: net.Mesh()}
 	}
+	validateNodeRates(cfg, net.Nodes())
 	g := &Generator{
-		net:  net,
-		cfg:  cfg,
-		rngs: make([]*rand.Rand, net.Nodes()),
-		flip: make([]bool, net.Nodes()),
+		net:   net,
+		cfg:   cfg,
+		rngs:  make([]*rand.Rand, net.Nodes()),
+		flip:  make([]bool, net.Nodes()),
+		scale: 1,
 	}
 	for i := range g.rngs {
 		g.rngs[i] = seeds()
 	}
-	g.maxRate = cfg.Rate
-	if cfg.NodeRates != nil {
-		g.maxRate = 0
-		for _, r := range cfg.NodeRates {
-			if r > g.maxRate {
-				g.maxRate = r
-			}
-		}
-	}
+	g.recomputeMaxRate()
 	return g
 }
 
@@ -220,6 +260,7 @@ func (g *Generator) Reattach(cfg Config) {
 	if cfg.Pattern == nil {
 		cfg.Pattern = Uniform{Mesh: g.net.Mesh()}
 	}
+	validateNodeRates(cfg, g.net.Nodes())
 	g.cfg = cfg
 	for i := range g.rngs {
 		g.net.ReseedStream(g.rngs[i])
@@ -227,14 +268,67 @@ func (g *Generator) Reattach(cfg Config) {
 	}
 	g.offered = 0
 	g.stopped = false
-	g.maxRate = cfg.Rate
-	if cfg.NodeRates != nil {
+	g.scale = 1
+	g.dead = nil
+	g.deadCount = 0
+	g.recomputeMaxRate()
+}
+
+func (g *Generator) recomputeMaxRate() {
+	g.maxRate = g.cfg.Rate
+	if g.cfg.NodeRates != nil {
 		g.maxRate = 0
-		for _, r := range cfg.NodeRates {
+		for _, r := range g.cfg.NodeRates {
 			if r > g.maxRate {
 				g.maxRate = r
 			}
 		}
+	}
+}
+
+// SetRate replaces the offered load with a single uniform rate, clearing
+// any per-node rates (scenario ramps).
+func (g *Generator) SetRate(rate float64) {
+	g.cfg.Rate = rate
+	g.cfg.NodeRates = nil
+	g.recomputeMaxRate()
+}
+
+// SetNodeRates replaces the offered load with a per-node rate vector
+// (scenario hotspot relocation / quadrant phases). The slice is copied.
+func (g *Generator) SetNodeRates(rates []float64) {
+	if len(rates) != g.net.Nodes() {
+		panic(fmt.Sprintf("traffic: SetNodeRates got %d entries for a %d-node network",
+			len(rates), g.net.Nodes()))
+	}
+	g.cfg.NodeRates = append([]float64(nil), rates...)
+	g.recomputeMaxRate()
+}
+
+// SetPattern replaces the destination pattern mid-run (scenario hotspot
+// relocation). A nil pattern restores uniform.
+func (g *Generator) SetPattern(p Pattern) {
+	if p == nil {
+		p = Uniform{Mesh: g.net.Mesh()}
+	}
+	g.cfg.Pattern = p
+}
+
+// SetScale sets the burst scale factor applied to every node's rate.
+// Scale 0 silences the generator (and makes it quiescent) without
+// forgetting the configured rates; scale 1 restores them.
+func (g *Generator) SetScale(s float64) { g.scale = s }
+
+// MarkDead removes node n from the workload: it stops sourcing packets
+// and destination draws that land on it are redirected to a live node
+// (fault injection; dead routers neither inject nor eject).
+func (g *Generator) MarkDead(n topology.NodeID) {
+	if g.dead == nil {
+		g.dead = make([]bool, g.net.Nodes())
+	}
+	if !g.dead[n] {
+		g.dead[n] = true
+		g.deadCount++
 	}
 }
 
@@ -244,12 +338,16 @@ func (g *Generator) MeanPacketLen() float64 {
 	return g.cfg.DataFraction*flit.DataPacketFlits + (1-g.cfg.DataFraction)*flit.ControlPacketFlits
 }
 
-// rate returns the configured flit rate of node i.
+// rate returns the effective flit rate of node i.
 func (g *Generator) rate(i int) float64 {
-	if g.cfg.NodeRates != nil {
-		return g.cfg.NodeRates[i]
+	if g.dead != nil && g.dead[i] {
+		return 0
 	}
-	return g.cfg.Rate
+	r := g.cfg.Rate
+	if g.cfg.NodeRates != nil {
+		r = g.cfg.NodeRates[i]
+	}
+	return r * g.scale
 }
 
 // OfferedFlits returns the number of flits offered so far.
@@ -262,7 +360,9 @@ func (g *Generator) Stop() { g.stopped = true }
 // for every node every cycle, so it is quiescent only once stopped (or
 // configured with no positive rate). This is what makes drain phases
 // skippable by the active-set kernel.
-func (g *Generator) Quiescent(now uint64) bool { return g.stopped || g.maxRate <= 0 }
+func (g *Generator) Quiescent(now uint64) bool {
+	return g.stopped || g.maxRate*g.scale <= 0
+}
 
 // FastForward implements sim.Quiescer. A quiescent generator's Tick is a
 // pure no-op (it returns before touching any RNG), so there is nothing to
@@ -287,6 +387,14 @@ func (g *Generator) Tick(now uint64) {
 		}
 		src := topology.NodeID(i)
 		dst := g.cfg.Pattern.Dest(src, rng)
+		if g.deadCount > 0 {
+			dst = g.redirect(src, dst, rng)
+		}
+		if dst == src {
+			// Degenerate pattern (one-node mesh) or no live
+			// destination remains: skip this injection.
+			continue
+		}
 		vn := flit.VNData
 		length := flit.DataPacketFlits
 		if rng.Float64() >= g.cfg.DataFraction {
@@ -301,4 +409,28 @@ func (g *Generator) Tick(now uint64) {
 		g.net.NI(src).SendPacket(now, dst, vn, length, 0)
 		g.offered += uint64(length)
 	}
+}
+
+// redirect steers a destination draw away from dead nodes: a few
+// pattern-shaped redraws first (so e.g. uniform traffic stays uniform
+// over the live nodes), then a deterministic scan for the first live
+// node. Returns src when no live destination exists.
+func (g *Generator) redirect(src, dst topology.NodeID, rng *rand.Rand) topology.NodeID {
+	if !g.dead[dst] {
+		return dst
+	}
+	for try := 0; try < 4; try++ {
+		d := g.cfg.Pattern.Dest(src, rng)
+		if !g.dead[d] {
+			return d
+		}
+	}
+	n := topology.NodeID(g.net.Nodes())
+	for off := topology.NodeID(1); off < n; off++ {
+		d := (dst + off) % n
+		if d != src && !g.dead[d] {
+			return d
+		}
+	}
+	return src
 }

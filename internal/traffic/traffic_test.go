@@ -204,3 +204,87 @@ func TestMeanPacketLen(t *testing.T) {
 		t.Errorf("MeanPacketLen = %g, want %g", got, want)
 	}
 }
+
+// TestPatternsSmallAndOddMeshes drives every pattern over meshes whose
+// quadrants or symmetry points degenerate (2-wide, odd, non-square):
+// destinations must stay in-mesh and never equal the source. This pins
+// the Quadrant fix (rng.Intn(0) panic / infinite redraw on one-node
+// quadrants, out-of-range Node on clipped odd-mesh quadrants) and the
+// Uniform guard behind it.
+func TestPatternsSmallAndOddMeshes(t *testing.T) {
+	dims := [][2]int{{2, 2}, {2, 3}, {3, 2}, {3, 3}, {5, 3}, {3, 5}, {5, 5}, {8, 8}}
+	for _, wh := range dims {
+		mesh := topology.NewMesh(wh[0], wh[1])
+		patterns := []Pattern{
+			Uniform{Mesh: mesh},
+			BitComplement{Mesh: mesh},
+			Hotspot{Mesh: mesh, Hot: topology.NodeID(mesh.Nodes() - 1), Frac: 0.7},
+			NearNeighbor{Mesh: mesh},
+			Quadrant{Mesh: mesh},
+		}
+		if wh[0] == wh[1] {
+			// Transpose is only defined on square meshes.
+			patterns = append(patterns, Transpose{Mesh: mesh})
+		}
+		r := rng()
+		for _, p := range patterns {
+			for src := topology.NodeID(0); src < topology.NodeID(mesh.Nodes()); src++ {
+				for i := 0; i < 100; i++ {
+					d := p.Dest(src, r)
+					if !mesh.Contains(d) {
+						t.Fatalf("%dx%d %s: out-of-mesh destination %d from %d",
+							wh[0], wh[1], p.Name(), d, src)
+					}
+					if d == src {
+						t.Fatalf("%dx%d %s: returned the source %d", wh[0], wh[1], p.Name(), src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuadrantDegenerateFallsBackToUniform: on a 3x3 mesh every
+// quadrant clips to a single node, so Quadrant must behave exactly like
+// Uniform rather than spin or panic.
+func TestQuadrantDegenerateFallsBackToUniform(t *testing.T) {
+	mesh := topology.NewMesh(3, 3)
+	q := Quadrant{Mesh: mesh}
+	r := rng()
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[q.Dest(4, r)] = true
+	}
+	if len(seen) != mesh.Nodes()-1 {
+		t.Errorf("degenerate quadrant covered %d destinations, want %d (uniform fallback)",
+			len(seen), mesh.Nodes()-1)
+	}
+}
+
+// TestNodeRatesLengthValidated: a NodeRates slice whose length does not
+// match the node count must be rejected at construction, not surface as
+// an index panic cycles later inside Tick.
+func TestNodeRatesLengthValidated(t *testing.T) {
+	net := network.New(network.Config{Kind: network.Backpressured, Seed: 9})
+	bad := make([]float64, net.Nodes()+2)
+	wantPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s accepted a %d-entry NodeRates on a %d-node network",
+					name, len(bad), net.Nodes())
+			}
+		}()
+		fn()
+	}
+	wantPanic("NewGenerator", func() {
+		NewGenerator(net, Config{NodeRates: bad}, net.RandStream)
+	})
+	gen := NewGenerator(net, Config{Rate: 0.1}, net.RandStream)
+	wantPanic("Reattach", func() {
+		gen.Reattach(Config{NodeRates: bad})
+	})
+	wantPanic("SetNodeRates", func() {
+		gen.SetNodeRates(bad)
+	})
+}

@@ -109,6 +109,19 @@ type Router struct {
 	// srcCount is src when it can report its queue total in O(1).
 	srcCount router.QueuedCounter
 
+	// blockedOut marks output ports whose data link is fault-blocked
+	// (dead, or throttled closed this duty window): eligibility treats
+	// the port as creditless, so affected packets wait in place — the
+	// buffered kinds' graceful degradation under faults.
+	blockedOut [topology.NumDirs]bool
+	// deadOut additionally suppresses the upstream credit return on a
+	// permanently dead wire (the invariant checker excludes such edges).
+	deadOut [topology.NumDirs]bool
+	// dead freezes the whole router (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true; buffered
+	// flits stay parked and countable.
+	dead bool
+
 	// Stats
 	routedFlits   uint64
 	injectedFlits uint64
@@ -203,10 +216,32 @@ func (r *Router) Reset() {
 		r.injOpen[vn] = false
 	}
 	r.held = 0
+	r.blockedOut = [topology.NumDirs]bool{}
+	r.deadOut = [topology.NumDirs]bool{}
+	r.dead = false
 	r.routedFlits = 0
 	r.injectedFlits = 0
 	r.ejectedFlits = 0
 }
+
+// SetPortBlocked marks (or clears) output d as fault-blocked for data:
+// packets routed toward it wait in their buffers until it reopens (or
+// forever, for a dead link). Scenario link throttling toggles this at
+// duty-window boundaries.
+func (r *Router) SetPortBlocked(d topology.Dir, blocked bool) { r.blockedOut[d] = blocked }
+
+// SetPortDead marks output d permanently dead: data is blocked and the
+// upstream credit return on the same wire stops.
+func (r *Router) SetPortDead(d topology.Dir) {
+	r.blockedOut[d] = true
+	r.deadOut[d] = true
+}
+
+// SetDead freezes the router entirely (scenario dead-router fault): Tick
+// and FastForward become no-ops and Quiescent reports true, so buffered
+// flits stay parked — still visible to ForEachFlit, keeping the
+// checker's conservation ledger balanced.
+func (r *Router) SetDead() { r.dead = true }
 
 // RoutedFlits returns the number of flits this router has moved through
 // its crossbar (switch traversals).
@@ -215,6 +250,9 @@ func (r *Router) RoutedFlits() uint64 { return r.routedFlits }
 // Tick implements one cycle (see the package comment for the pipeline
 // correspondence).
 func (r *Router) Tick(now uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTick()
 	}
@@ -292,7 +330,7 @@ func (r *Router) eligible(now uint64, p topology.Dir, v int) bool {
 			if vc.route == topology.Local {
 				return true
 			}
-			return r.out[vc.route][vc.ovc].credits > 0
+			return !r.blockedOut[vc.route] && r.out[vc.route][vc.ovc].credits > 0
 		}
 		route := r.dor[r.cols.FlitDst(f)]
 		if route == topology.Local {
@@ -300,6 +338,12 @@ func (r *Router) eligible(now uint64, p topology.Dir, v int) bool {
 			vc.ovc = flit.NoVC
 			vc.pktOpen = r.cols.FlitLen(f) > 1
 			return true
+		}
+		if r.blockedOut[route] {
+			// Fault-blocked output: the packet waits in place before even
+			// allocating an output VC (graceful degradation — the flits
+			// remain buffered and countable).
+			return false
 		}
 		ovc := r.allocVC(route, r.cols.FlitVN(f))
 		if ovc == flit.NoVC {
@@ -331,7 +375,7 @@ func (r *Router) eligible(now uint64, p topology.Dir, v int) bool {
 	if vc.route == topology.Local {
 		return true
 	}
-	return r.out[vc.route][vc.ovc].credits > 0
+	return !r.blockedOut[vc.route] && r.out[vc.route][vc.ovc].credits > 0
 }
 
 // allocVC picks a free output VC on port out within vn (round-robin), or
@@ -399,8 +443,9 @@ func (r *Router) sendWinner(now uint64, in, out topology.Dir) {
 		r.meter.Xbar()
 	}
 
-	// Return a credit upstream for the freed buffer slot.
-	if in != topology.Local {
+	// Return a credit upstream for the freed buffer slot (unless the
+	// wire died: a dead link carries no credits either).
+	if in != topology.Local && !r.deadOut[in] {
 		if pl := r.wires.Ports[in]; pl.CreditOut != nil {
 			pl.CreditOut.Send(now, link.Credit{VC: c.vc, VN: r.cols.FlitVN(f)})
 			if r.meter != nil {
@@ -547,6 +592,9 @@ func (r *Router) receive(now uint64) {
 // cannot see same-cycle sends parked in staged boundary registers,
 // which is only sound because skipping such a router changes nothing.
 func (r *Router) Quiescent(now uint64) bool {
+	if r.dead {
+		return true
+	}
 	if r.held != 0 {
 		return false
 	}
@@ -573,6 +621,9 @@ func (r *Router) Quiescent(now uint64) bool {
 // FastForward applies k skipped idle cycles (sim.Quiescer): an idle tick
 // mutates nothing but the static-energy meter.
 func (r *Router) FastForward(k uint64) {
+	if r.dead {
+		return
+	}
 	if r.meter != nil {
 		r.meter.StaticTicks(k)
 	}
