@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-equality smoke-16x16 bench-json bench-smoke fuzz-smoke obs-smoke scenario-smoke cover ci
+.PHONY: build vet test race race-equality smoke-16x16 smoke-32x32 bench-json bench-smoke fuzz-smoke obs-smoke scenario-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ race-equality:
 # on every CI run even though the paper's own experiments stop at 3x3.
 smoke-16x16:
 	$(GO) test -short -count=1 -run='^TestLargeMesh16x16(Sharded)?Smoke$$' ./internal/network
+
+# The 1024-node record: the 32x32 cell serial and through the sharded
+# tick at 8 shards, checker attached (see TestLargeMesh32x32Smoke).
+# On demand rather than in `ci` — the cell is ~50x the 16x16 smoke.
+smoke-32x32:
+	$(GO) test -count=1 -run='^TestLargeMesh32x32(Sharded)?Smoke$$' ./internal/network
 
 # Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
 # and allocs/op plus low-load vs saturation cell wall times (minimum of
@@ -83,9 +89,11 @@ obs-smoke:
 # and shard counts, checker attached — covers deflective and buffered
 # kinds with a ramp, burst, hotspot move, dead link, dead router and a
 # duty-cycled throttle) plus the mid-run dead-link fault test (deflective
-# kinds reroute, buffered kinds degrade gracefully, conservation holds).
+# kinds reroute, buffered kinds degrade gracefully, conservation holds)
+# plus the 16x16 scenario x shards x faults gate (dead links, a dead
+# router and a throttle under -shards 8, bit-identical to serial).
 scenario-smoke:
-	$(GO) test -race -count=1 -timeout 45m -run='^(TestScenarioEqualsSerial|TestScenarioFaultCompletion|TestScenarioDenseEqualsActiveSet)$$' ./internal/experiments
+	$(GO) test -race -count=1 -timeout 45m -run='^(TestScenarioEqualsSerial|TestScenarioFaultCompletion|TestScenarioFaultShards16x16|TestScenarioDenseEqualsActiveSet)$$' ./internal/experiments
 
 # Whole-repo statement coverage, compared against the checked-in
 # baseline (coverage-baseline.txt) with half a point of slack so

@@ -132,6 +132,45 @@ func BenchmarkKernelStep16x16Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelStep32x32 scales the large-radix cell to a 32x32 mesh
+// (1024 nodes) — the first record at this size. The injection rate
+// halves again from the 16x16 cell's: uniform traffic on a k x k mesh
+// is bisection-limited at ~2/k flits/node/cycle, so 32x32 saturates
+// near 0.06 and 0.04 keeps the cell sub-saturation with a real steady
+// state. The warmup stretches to 8000 cycles because the bigger mesh
+// takes proportionally longer to fill (~21 average hops).
+func BenchmarkKernelStep32x32(b *testing.B) {
+	benchKernelStep32x32(b, 0)
+}
+
+// BenchmarkKernelStep32x32Sharded is BenchmarkKernelStep32x32 through
+// the sharded tick at 8 shards (four rows per band). At this width each
+// band is ~4x the 16x16 bench's, so the per-cycle parallel grain is
+// coarser and the fixed dispatch cost proportionally smaller — the
+// regime where the sharded tick should scale best.
+func BenchmarkKernelStep32x32Sharded(b *testing.B) {
+	benchKernelStep32x32(b, 8)
+}
+
+func benchKernelStep32x32(b *testing.B, shards int) {
+	net := network.New(network.Config{
+		Kind: network.AFC, Seed: 1, MeterEnergy: true, Shards: shards,
+		System: config.DefaultWithMesh(topology.NewMesh(32, 32)),
+	})
+	defer net.Close()
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.04,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(8000) // reach steady state before measuring (1024 nodes: long fill)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
 // BenchmarkKernelStepLowLoad is BenchmarkKernelStep at a near-idle
 // injection rate — the regime where active-set scheduling pays: most
 // routers are quiescent most cycles, so the per-cycle cost should be a

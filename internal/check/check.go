@@ -363,11 +363,23 @@ func (c *Checker) checkAFCEdges(now uint64) {
 		e.pending = keep
 		pl := c.net.Wires(e.from).Ports[e.dir]
 		// The value arriving at now+latency is exactly what was sent
-		// this cycle (earlier arrivals were consumed by the routers).
-		if cr, ok := pl.CreditIn.Peek(now + uint64(pl.CreditIn.Latency())); ok {
+		// this cycle (earlier arrivals were consumed by the routers). On
+		// a sharded run a boundary pipe's current-cycle send is still
+		// parked in its staged register — the owner commits it next
+		// cycle — so it is only visible through StagedAt; the two reads
+		// cannot both hit (staged pipes never enter the ring same-cycle).
+		cr, ok := pl.CreditIn.Peek(now + uint64(pl.CreditIn.Latency()))
+		if !ok {
+			cr, ok = pl.CreditIn.StagedAt(now)
+		}
+		if ok {
 			e.pending = append(e.pending, pendingCredit{due: now + uint64(pl.CreditIn.Latency()), vn: cr.VN})
 		}
-		if f, ok := pl.Out.Peek(now + uint64(pl.Out.Latency())); ok {
+		f, ok := pl.Out.Peek(now + uint64(pl.Out.Latency()))
+		if !ok {
+			f, ok = pl.Out.StagedAt(now)
+		}
+		if ok {
 			e.shadow[f.VN]--
 		}
 		if c.net.Router(e.to).(*core.Router).Mode() == core.ModeBless {

@@ -39,6 +39,10 @@ type DropRouter struct {
 	// cols, when non-nil, is the columnar flit bank destinations are read
 	// through (nil = struct reference path).
 	cols *flit.Columns
+	// ashard, on sharded networks, is the shard-local arena magazine
+	// dropped flits retire through (drop retirement is the one recycle
+	// site outside the NI). Nil keeps the serial flit.Recycle path.
+	ashard *flit.ArenaShard
 
 	latches    []latched
 	order      []int
@@ -100,6 +104,11 @@ func (r *DropRouter) Node() topology.NodeID { return r.node }
 // SetColumns attaches the columnar flit banks destinations are read
 // through. Nil selects the struct-field reference path.
 func (r *DropRouter) SetColumns(c *flit.Columns) { r.cols = c }
+
+// SetArenaShard routes drop-retirement recycling through a shard-local
+// arena magazine (see flit.ArenaShard). The network sets it when
+// building a sharded tick; nil keeps the serial flit.Recycle path.
+func (r *DropRouter) SetArenaShard(s *flit.ArenaShard) { r.ashard = s }
 
 // Reset rewinds the router to its freshly constructed state, reseeding
 // the drop-priority randomness with seed (the root of the stream number
@@ -238,7 +247,11 @@ func (r *DropRouter) Tick(now uint64) {
 		// The NACK path retains only the packet description, never the
 		// flit itself: the retransmission re-packetizes from scratch, so
 		// the dropped flit is consumed here.
-		flit.Recycle(f)
+		if r.ashard != nil {
+			r.ashard.Recycle(f)
+		} else {
+			flit.Recycle(f)
+		}
 	}
 	r.latches = r.latches[:0]
 

@@ -99,6 +99,7 @@ func (o Options) newNetwork(cfg network.Config) *network.Network {
 		check.Attach(net)
 	}
 	o.Obs.Sample(net)
+	o.Obs.ObserveBarrier(net)
 	return net
 }
 
@@ -165,6 +166,7 @@ func (w *workerState) acquire(cfg network.Config) *workerEnt {
 		check.Attach(e.net)
 	}
 	w.opt.Obs.Sample(e.net)
+	w.opt.Obs.ObserveBarrier(e.net)
 	return e
 }
 

@@ -8,8 +8,10 @@ import (
 	"testing"
 
 	"afcnet/internal/cmp"
+	"afcnet/internal/config"
 	"afcnet/internal/network"
 	"afcnet/internal/obs"
+	"afcnet/internal/topology"
 )
 
 // obsResults bundles the two harness outputs the observability
@@ -104,5 +106,74 @@ func TestObserverInvisibleToResults(t *testing.T) {
 		if ob.Metrics().InjectedFlits.Load() == 0 {
 			t.Errorf("parallelism %d: sampler recorded no injected flits", workers)
 		}
+	}
+}
+
+// TestObserverBarrierRecord runs a sharded sweep under a full observer
+// and checks the sharded tick's wall-time split lands in both sinks:
+// the manifest's "barrier" record and the expvar metrics gauge, with
+// per-cycle averages covering every shard — and that collecting it
+// still changes no result (the sharded run must match the same sweep
+// unobserved).
+func TestObserverBarrierRecord(t *testing.T) {
+	const shards = 4
+	// Parallelism 4 with several seeds makes cells overlap, so the
+	// per-cell gauge flush reads tallies of networks that are mid-cycle
+	// on other workers — the concurrent-snapshot path the atomic tally
+	// exists for (this test runs under -race in `make race`).
+	run := func(ob *obs.Observer) []SweepPoint {
+		opt := Options{
+			Seeds:           []int64{1, 2, 3},
+			OpenLoopWarmup:  300,
+			OpenLoopMeasure: 900,
+			Parallelism:     4,
+			Shards:          shards,
+			Obs:             ob,
+			System:          config.DefaultWithMesh(topology.NewMesh(8, 8)),
+		}
+		return LatencySweep([]network.Kind{network.AFC}, []float64{0.1, 0.3}, opt)
+	}
+	baseline := run(nil)
+	ob := obs.New(obs.Config{Command: "obs_test", Manifest: true, Metrics: &obs.Metrics{}})
+	observed := run(ob)
+	ob.Finish()
+	if !reflect.DeepEqual(baseline, observed) {
+		t.Error("barrier-observed sharded results diverged from unobserved baseline")
+	}
+
+	var buf bytes.Buffer
+	if err := ob.WriteManifest(&buf); err != nil {
+		t.Fatalf("WriteManifest: %v", err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("manifest JSON: %v", err)
+	}
+	b := m.Barrier
+	if b == nil {
+		t.Fatal("sharded observed run produced no manifest barrier record")
+	}
+	if b.Shards != shards || b.Cycles == 0 {
+		t.Errorf("barrier record shards/cycles = %d/%d, want %d/>0", b.Shards, b.Cycles, shards)
+	}
+	if b.PhaseAAvgNs <= 0 || b.PhaseBAvgNs <= 0 {
+		t.Errorf("barrier per-cycle averages not positive: phaseA=%.1f phaseB=%.1f", b.PhaseAAvgNs, b.PhaseBAvgNs)
+	}
+	if len(b.ShardBusyAvgNs) != shards {
+		t.Fatalf("barrier record has %d shard busy averages, want %d", len(b.ShardBusyAvgNs), shards)
+	}
+	for i, ns := range b.ShardBusyAvgNs {
+		if ns <= 0 {
+			t.Errorf("shard %d busy average not positive: %.1f", i, ns)
+		}
+	}
+
+	snap := ob.Metrics().Snapshot()
+	gauge, ok := snap["barrier"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics snapshot has no barrier gauge: %v", snap["barrier"])
+	}
+	if gauge["cycles"].(uint64) != b.Cycles {
+		t.Errorf("gauge cycles %v != manifest cycles %d", gauge["cycles"], b.Cycles)
 	}
 }

@@ -82,6 +82,61 @@ func TestScenarioEqualsSerial(t *testing.T) {
 	}
 }
 
+// TestScenarioFaultShards16x16 is the scenario x shards x faults gate at
+// the large radix: a 16x16 mesh scenario that kills links and a router
+// and duty-cycles a throttle mid-run must produce bit-for-bit identical
+// per-phase results through the sharded tick at 8 shards (two rows per
+// band) as through the serial kernel, invariant checker attached. Fault
+// mutation is what stresses the band-quiescence machinery: a dead link
+// or throttle flips run conditions from serial ticker context, and the
+// wake edge must reach every quiescent band before its next skipped
+// tick — a stale quiet flag diverges here, not in the steady-state
+// equality gates.
+func TestScenarioFaultShards16x16(t *testing.T) {
+	spec := &scenario.Spec{
+		Name:     "faults-16x16",
+		Duration: 2500,
+		Rate:     0.05,
+		Events: []scenario.Event{
+			{At: 800, Label: "dead",
+				DeadLinks:   []scenario.LinkRef{{Node: 55, Dir: "E"}, {Node: 150, Dir: "N"}},
+				DeadRouters: []int{136}},
+			{At: 1600, Label: "throttle",
+				Throttles: &[]scenario.Throttle{{Node: 90, Dir: "S", Period: 16, On: 8}}},
+		},
+	}
+	kinds := []network.Kind{network.Bless, network.AFC}
+	base := Options{
+		Seeds:       []int64{1},
+		Parallelism: 1,
+		Check:       true,
+		System:      config.DefaultWithMesh(topology.NewMesh(16, 16)),
+	}
+	want, err := Scenario(kinds, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = 8
+	got, err := Scenario(kinds, spec, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded 16x16 fault scenario diverges from serial:\n got %+v\nwant %+v", got, want)
+	}
+	for _, r := range want {
+		if len(r.Phases) != 3 {
+			t.Fatalf("%s: got %d phases, want 3", r.Kind, len(r.Phases))
+		}
+		for i, p := range r.Phases {
+			if p.Delivered == 0 {
+				t.Errorf("%s phase %d (%s): no deliveries", r.Kind, i, p.Label)
+			}
+		}
+	}
+}
+
 // TestScenarioFaultCompletion kills a center link mid-run on the default
 // 3x3 mesh and checks graceful degradation per router kind: deflective
 // kinds reroute around the dead link and keep delivering; buffered kinds

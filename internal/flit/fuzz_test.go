@@ -21,83 +21,125 @@ import (
 // The stale assertions run before the next Packetize can reuse the
 // block: handles are pointers into the slab, so reissue rewrites their
 // generation stamp and legitimately revives the pointer as a new flit.
+//
+// The same program replays at shard counts 0, 2 and 8. The sharded
+// replays packetize and recycle through byte-chosen magazines — usually
+// different ones, so a block's flits retire away from the shard that
+// issued them and the cross-shard return accounting (atomic at 8
+// shards, the inline-dispatch plain path at 2) is under the same
+// oracle. Magazine packetize may legitimately fall back to the heap
+// when both its free list and the reserve are dry; those flits carry
+// nil handles with nothing to assert (CheckHandle passes, Recycle is a
+// no-op), so the program detects them by the Live() delta and leaves
+// them out of the tracked set. Reconcile runs after every sharded
+// packetize, standing in for the once-per-cycle serial phase of the
+// real barrier, so the starvation-replacement path is fuzzed too.
 func FuzzArenaHandles(f *testing.F) {
 	f.Add([]byte{0, 4, 8, 1, 2, 3, 0, 12, 5, 6, 7, 3, 0})
 	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2, 3})
 	f.Add([]byte{252, 16, 33, 77, 129, 200, 3, 0, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		a := flit.NewArena()
-		a.EnableColumns()
-		cols := a.Columns()
-		var nilCols *flit.Columns
-		var live []*flit.Flit
-		nextID := uint64(1)
-
-		checkStale := func(fl *flit.Flit) {
-			t.Helper()
-			if err := flit.CheckHandle(fl); err == nil {
-				t.Fatalf("stale handle %v passes CheckHandle", fl)
-			}
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("Recycle of stale handle %v did not panic", fl)
-				}
-			}()
-			flit.Recycle(fl)
-		}
-
-		for _, op := range data {
-			arg := int(op / 4)
-			switch op % 4 {
-			case 0: // packetize a packet of a byte-chosen length class
-				ln := arg%17 + 1
-				fs := a.Packetize(flit.Packet{
-					ID: nextID, Len: ln, Src: 0, Dst: 1,
-					VN:        flit.VN(arg % int(flit.NumVNs)),
-					CreatedAt: uint64(arg), Payload: uint64(arg) * 2654435761,
-				})
-				nextID++
-				live = append(live, fs...)
-			case 1: // recycle one live flit, then assert its handle is dead
-				if len(live) == 0 {
-					continue
-				}
-				i := arg % len(live)
-				fl := live[i]
-				live = append(live[:i], live[i+1:]...)
-				flit.Recycle(fl)
-				checkStale(fl)
-			case 2: // columnar read-back of one live flit
-				if len(live) == 0 {
-					continue
-				}
-				fl := live[arg%len(live)]
-				if err := flit.CheckHandle(fl); err != nil {
-					t.Fatalf("live handle fails CheckHandle: %v", err)
-				}
-				if cols.FlitDst(fl) != fl.Dst || cols.FlitSrc(fl) != fl.Src ||
-					cols.FlitVN(fl) != fl.VN || cols.FlitSeq(fl) != fl.Seq ||
-					cols.FlitLen(fl) != fl.Len || cols.FlitPacketID(fl) != fl.PacketID ||
-					cols.FlitCreatedAt(fl) != fl.CreatedAt || cols.FlitPayload(fl) != fl.Payload ||
-					cols.FlitAge(fl) != fl.InjectedAt || cols.FlitDeflections(fl) != fl.Deflections {
-					t.Fatalf("columnar read of %v disagrees with struct fields", fl)
-				}
-				if nilCols.FlitDst(fl) != fl.Dst || nilCols.FlitVN(fl) != fl.VN {
-					t.Fatalf("nil-Columns reference read of %v disagrees with struct fields", fl)
-				}
-			case 3: // reclaim: every outstanding handle goes stale at once
-				a.Reclaim()
-				if a.Live() != 0 {
-					t.Fatalf("Live() = %d after Reclaim", a.Live())
-				}
-				for _, fl := range live {
-					checkStale(fl)
-				}
-				live = live[:0]
-			}
-		}
-		if a.Live() != len(live) {
-			t.Fatalf("Live() = %d, want %d outstanding", a.Live(), len(live))
+		for _, shards := range []int{0, 2, 8} {
+			fuzzArenaProgram(t, data, shards)
 		}
 	})
+}
+
+func fuzzArenaProgram(t *testing.T, data []byte, shards int) {
+	a := flit.NewArena()
+	a.EnableColumns()
+	var mags []*flit.ArenaShard
+	if shards > 0 {
+		a.SetShards(shards)
+		// 2 shards replays under the inline-dispatch plain recycle
+		// path, 8 under the atomic path the spawned workers use.
+		a.SetShardsSerial(shards == 2)
+		for i := 0; i < shards; i++ {
+			mags = append(mags, a.Shard(i))
+		}
+	}
+	cols := a.Columns()
+	var nilCols *flit.Columns
+	var live []*flit.Flit
+	nextID := uint64(1)
+
+	checkStale := func(fl *flit.Flit) {
+		t.Helper()
+		if err := flit.CheckHandle(fl); err == nil {
+			t.Fatalf("shards %d: stale handle %v passes CheckHandle", shards, fl)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("shards %d: Recycle of stale handle %v did not panic", shards, fl)
+			}
+		}()
+		flit.Recycle(fl)
+	}
+
+	for _, op := range data {
+		arg := int(op / 4)
+		switch op % 4 {
+		case 0: // packetize a packet of a byte-chosen length class
+			p := flit.Packet{
+				ID: nextID, Len: arg%17 + 1, Src: 0, Dst: 1,
+				VN:        flit.VN(arg % int(flit.NumVNs)),
+				CreatedAt: uint64(arg), Payload: uint64(arg) * 2654435761,
+			}
+			nextID++
+			if shards == 0 {
+				live = append(live, a.Packetize(p)...)
+				continue
+			}
+			before := a.Live()
+			fs := mags[arg%shards].Packetize(p)
+			if a.Live()-before == len(fs) {
+				live = append(live, fs...) // pooled; heap fallback has nil handles
+			}
+			a.Reconcile()
+		case 1: // recycle one live flit, then assert its handle is dead
+			if len(live) == 0 {
+				continue
+			}
+			i := arg % len(live)
+			fl := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if shards == 0 {
+				flit.Recycle(fl)
+			} else {
+				// usually not the magazine that packetized it
+				mags[(arg*5+1)%shards].Recycle(fl)
+			}
+			checkStale(fl)
+		case 2: // columnar read-back of one live flit
+			if len(live) == 0 {
+				continue
+			}
+			fl := live[arg%len(live)]
+			if err := flit.CheckHandle(fl); err != nil {
+				t.Fatalf("shards %d: live handle fails CheckHandle: %v", shards, err)
+			}
+			if cols.FlitDst(fl) != fl.Dst || cols.FlitSrc(fl) != fl.Src ||
+				cols.FlitVN(fl) != fl.VN || cols.FlitSeq(fl) != fl.Seq ||
+				cols.FlitLen(fl) != fl.Len || cols.FlitPacketID(fl) != fl.PacketID ||
+				cols.FlitCreatedAt(fl) != fl.CreatedAt || cols.FlitPayload(fl) != fl.Payload ||
+				cols.FlitAge(fl) != fl.InjectedAt || cols.FlitDeflections(fl) != fl.Deflections {
+				t.Fatalf("shards %d: columnar read of %v disagrees with struct fields", shards, fl)
+			}
+			if nilCols.FlitDst(fl) != fl.Dst || nilCols.FlitVN(fl) != fl.VN {
+				t.Fatalf("shards %d: nil-Columns reference read of %v disagrees with struct fields", shards, fl)
+			}
+		case 3: // reclaim: every outstanding handle goes stale at once
+			a.Reclaim()
+			if a.Live() != 0 {
+				t.Fatalf("shards %d: Live() = %d after Reclaim", shards, a.Live())
+			}
+			for _, fl := range live {
+				checkStale(fl)
+			}
+			live = live[:0]
+		}
+	}
+	if a.Live() != len(live) {
+		t.Fatalf("shards %d: Live() = %d, want %d outstanding", shards, a.Live(), len(live))
+	}
 }

@@ -35,14 +35,23 @@ type Pipe[T any] struct {
 	// sharded tick in internal/network). When staged, Send parks the
 	// value in a sender-owned register instead of touching the ring, so
 	// the sending and receiving shards never write the same memory
-	// within a parallel phase; CommitStaged applies the parked send
-	// during the serial drain. One register suffices because the
-	// one-value-per-cycle discipline already forbids a second Send
-	// before the commit.
+	// within a parallel phase. The registers are double-buffered by
+	// cycle parity: the sender parks into slot now&1 and self-registers
+	// in its boundary's StagedBucket; the receiving shard commits the
+	// opposite slot at the head of its next cycle's parallel pass
+	// (CommitStaged), while the sender may already be parking the next
+	// cycle's value in the other slot. Parity slots are distinct memory
+	// locations and re-use of a slot two cycles later is ordered by the
+	// intervening barrier, so no phase of the protocol shares memory
+	// across shards. Timing is unchanged: a value parked at cycle t
+	// commits at t+1 against its original send cycle, and latency >= 1
+	// puts its arrival no earlier than t+1 — after the commit, which
+	// runs before the receiving shard ticks its routers.
 	staged    bool
-	stagedSet bool
-	stagedAt  uint64
-	stagedVal T
+	stagedSet [2]bool
+	stagedAt  [2]uint64
+	stagedVal [2]T
+	bucket    *StagedBucket
 }
 
 // NewPipe returns a pipe with the given latency. It panics if lat < 1:
@@ -77,11 +86,15 @@ func (p *Pipe[T]) Reset() {
 	}
 	p.inflight = 0
 	p.sends = 0
-	// Clear any parked send but keep the staged-mode flag itself: like
-	// the latency, staging is build-time wiring owned by the network.
-	p.stagedVal = zero
-	p.stagedSet = false
-	p.stagedAt = 0
+	// Clear any parked sends but keep the staged-mode wiring itself
+	// (mode flag and bucket): like the latency, staging is build-time
+	// wiring owned by the network, which clears the buckets in its own
+	// Reset.
+	for par := range p.stagedSet {
+		p.stagedVal[par] = zero
+		p.stagedSet[par] = false
+		p.stagedAt[par] = 0
+	}
 }
 
 // Sends returns the total number of values sent, for stats and energy
@@ -101,16 +114,20 @@ func (p *Pipe[T]) CanSend(now uint64) bool {
 
 // Send schedules v to arrive at now+Latency(). It panics if a value was
 // already sent this cycle, since physical links carry one value per cycle.
-// On a staged pipe the send is parked sender-side until CommitStaged —
-// timing is unchanged because the commit happens within the same cycle.
+// On a staged pipe the send is parked sender-side in the slot of now's
+// parity and registered in the boundary's bucket; the receiving shard
+// commits it next cycle, before the arrival cycle (see the staged-field
+// comment for the full protocol).
 func (p *Pipe[T]) Send(now uint64, v T) {
 	if p.staged {
-		if p.stagedSet {
+		par := int(now) & 1
+		if p.stagedSet[par] {
 			panic(fmt.Sprintf("link: double send at cycle %d", now))
 		}
-		p.stagedVal = v
-		p.stagedAt = now
-		p.stagedSet = true
+		p.stagedVal[par] = v
+		p.stagedAt[par] = now
+		p.stagedSet[par] = true
+		p.bucket.add(par, p)
 		return
 	}
 	p.send(now, v)
@@ -127,32 +144,85 @@ func (p *Pipe[T]) send(now uint64, v T) {
 	p.sends++
 }
 
-// SetStaged switches the pipe into (or out of) staged-send mode. The
-// network marks the pipes whose sender and receiver land in different
-// shards; all other pipes keep the direct path with zero new work.
-func (p *Pipe[T]) SetStaged(on bool) { p.staged = on }
+// SetStaged switches the pipe into staged-send mode, parking sends for
+// the given boundary bucket. The network marks the pipes whose sender
+// and receiver land in different shards; all other pipes keep the
+// direct path with zero new work. Passing nil switches staging off.
+func (p *Pipe[T]) SetStaged(b *StagedBucket) {
+	p.staged = b != nil
+	p.bucket = b
+}
 
 // Staged reports whether the pipe is in staged-send mode.
 func (p *Pipe[T]) Staged() bool { return p.staged }
 
-// CommitStaged applies the send parked by a staged-mode Send, if any.
-// Called from the serial drain of the sharded tick, in a fixed global
-// order, before any other component of the cycle observes the pipe.
-func (p *Pipe[T]) CommitStaged() {
-	if !p.stagedSet {
+// CommitStaged applies the send parked in the given parity slot, if
+// any. Called by the receiving shard's worker at the head of its
+// parallel pass — owner-side commit: the committer is the only shard
+// reading the pipe's ring, so no serial drain step is needed.
+func (p *Pipe[T]) CommitStaged(par int) {
+	if !p.stagedSet[par] {
 		return
 	}
-	v, at := p.stagedVal, p.stagedAt
+	v, at := p.stagedVal[par], p.stagedAt[par]
 	var zero T
-	p.stagedVal = zero
-	p.stagedSet = false
+	p.stagedVal[par] = zero
+	p.stagedSet[par] = false
 	p.send(at, v)
 }
 
-// Committer is the type-erased handle the network keeps per staged pipe
-// so its drain can commit data, credit and control pipes uniformly.
+// Committer is the type-erased handle a StagedBucket keeps per parked
+// send so the owning shard can commit data, credit and control pipes
+// uniformly.
 type Committer interface {
-	CommitStaged()
+	CommitStaged(par int)
+}
+
+// StagedBucket collects the pipes of one directed shard boundary that
+// parked a send this cycle, split by cycle parity. Exactly one shard
+// writes a bucket (the boundary's sender side registers itself in Send)
+// and exactly one other shard drains it (the owner commits the previous
+// cycle's parity at the head of its pass), with the kernel barrier
+// ordering the two — so neither slice is ever touched by two shards in
+// the same phase. A pipe appears at most once per slot per cycle (the
+// one-send-per-cycle discipline), and slices keep their capacity across
+// cycles, so the steady state allocates nothing.
+type StagedBucket struct {
+	pend [2][]Committer
+}
+
+// add registers a parked send for the owner's next commit pass. Called
+// by Pipe.Send on the boundary's sending shard.
+func (b *StagedBucket) add(par int, c Committer) {
+	b.pend[par] = append(b.pend[par], c)
+}
+
+// Commit applies every send parked in the given parity slot, in the
+// sender's deterministic tick order, and empties the slot. Returns
+// whether anything was committed, so the owner can wake its band.
+func (b *StagedBucket) Commit(par int) bool {
+	pend := b.pend[par]
+	if len(pend) == 0 {
+		return false
+	}
+	for _, c := range pend {
+		c.CommitStaged(par)
+	}
+	b.pend[par] = pend[:0]
+	return true
+}
+
+// Pending reports whether either parity slot holds uncommitted sends.
+// Serial-side read (quiescence and drain checks between cycles).
+func (b *StagedBucket) Pending() bool {
+	return len(b.pend[0]) > 0 || len(b.pend[1]) > 0
+}
+
+// Reset empties both parity slots without committing, for network
+// reset: the pipes' own Reset discards the parked values themselves.
+func (b *StagedBucket) Reset() {
+	b.pend[0] = b.pend[0][:0]
+	b.pend[1] = b.pend[1][:0]
 }
 
 // Recv returns the value arriving at cycle now, if any, and clears the
@@ -198,16 +268,45 @@ func (p *Pipe[T]) Peek(now uint64) (T, bool) {
 // quiescence. A value that is never received stays counted — receivers
 // must poll every cycle while the pipe is occupied (all routers do; the
 // quiescence contract itself guarantees a router with occupied input
-// pipes keeps ticking).
+// pipes keeps ticking). Parked staged sends are deliberately excluded:
+// the receiving shard reads this counter concurrently with the sender's
+// parking, so it must only cover the ring the receiver owns. Serial
+// observers that need parked sends use PendingStaged or AppendInFlight.
 func (p *Pipe[T]) InFlight() int { return p.inflight }
 
+// PendingStaged reports whether a staged-mode send is parked in either
+// parity slot, not yet committed into the ring. Serial-side read (the
+// network's Drained scan); always false on unstaged pipes.
+func (p *Pipe[T]) PendingStaged() bool { return p.stagedSet[0] || p.stagedSet[1] }
+
+// StagedAt returns the value parked by a staged-mode Send at cycle at,
+// if any. Serial-side read: the invariant checker uses it to observe a
+// boundary pipe's current-cycle send, which Peek cannot see until the
+// owner commits it next cycle. Always misses on unstaged pipes.
+func (p *Pipe[T]) StagedAt(at uint64) (T, bool) {
+	par := int(at) & 1
+	if p.stagedSet[par] && p.stagedAt[par] == at {
+		return p.stagedVal[par], true
+	}
+	var zero T
+	return zero, false
+}
+
 // AppendInFlight appends the values currently traveling in the pipe
-// (sent but not yet received) to buf and returns it. Slot order, not
-// send order; the invariant checker only counts, so order is irrelevant.
+// (sent but not yet received) to buf and returns it, including sends
+// still parked in staged-mode parity slots — to the serial-side
+// observer (the invariant checker's conservation scan) a parked send is
+// as in-flight as a committed one. Slot order, not send order; the
+// checker only counts, so order is irrelevant.
 func (p *Pipe[T]) AppendInFlight(buf []T) []T {
 	for i, occ := range p.occupied {
 		if occ {
 			buf = append(buf, p.vals[i])
+		}
+	}
+	for par, set := range p.stagedSet {
+		if set {
+			buf = append(buf, p.stagedVal[par])
 		}
 	}
 	return buf

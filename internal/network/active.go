@@ -207,6 +207,7 @@ func (b *coreBank) FastForward(cycles uint64) {
 func (n *Network) registerRouterBank() {
 	if n.shards > 1 {
 		if b := n.newShardedBank(); b != nil {
+			n.shardBank = b
 			n.kernel.Register(b)
 			return
 		}

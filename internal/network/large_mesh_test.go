@@ -31,29 +31,55 @@ func TestLargeMesh16x16ShardedSmoke(t *testing.T) {
 }
 
 func largeMesh16x16Smoke(t *testing.T, shards int) {
+	largeMeshSmoke(t, 16, 0.08, 1500, shards)
+}
+
+// TestLargeMesh32x32Smoke scales the smoke cell to a 32x32 mesh (1024
+// nodes) — the first record at this size, matching the
+// BenchmarkKernelStep32x32 regime (0.04 flits/node/cycle: the bigger
+// mesh's bisection limit halves again). Too heavy for -short CI runs;
+// `make smoke-32x32` runs it on demand.
+func TestLargeMesh32x32Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 cell is too heavy for -short")
+	}
+	largeMeshSmoke(t, 32, 0.04, 2500, 0)
+}
+
+// TestLargeMesh32x32ShardedSmoke is the 32x32 cell through the sharded
+// tick at 8 shards (four rows per band), checker attached: every
+// boundary behavior at the coarsest parallel grain the repo records.
+func TestLargeMesh32x32ShardedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32x32 cell is too heavy for -short")
+	}
+	largeMeshSmoke(t, 32, 0.04, 2500, 8)
+}
+
+func largeMeshSmoke(t *testing.T, side int, rate float64, cycles uint64, shards int) {
 	n := network.New(network.Config{
 		Kind: network.AFC, Seed: 7, MeterEnergy: true, Shards: shards,
-		System: config.DefaultWithMesh(topology.NewMesh(16, 16)),
+		System: config.DefaultWithMesh(topology.NewMesh(side, side)),
 	})
 	defer n.Close()
 	check.Attach(n)
 	gen := traffic.NewGenerator(n, traffic.Config{
 		Pattern: traffic.Uniform{Mesh: n.Mesh()},
-		Rate:    0.08,
+		Rate:    rate,
 	}, n.RandStream)
 	n.AddTicker(gen)
-	n.Run(1500)
+	n.Run(cycles)
 	if n.CreatedPackets() == 0 || n.DeliveredPackets() == 0 {
-		t.Fatalf("16x16 cell moved no traffic: created %d, delivered %d",
-			n.CreatedPackets(), n.DeliveredPackets())
+		t.Fatalf("%dx%d cell moved no traffic: created %d, delivered %d",
+			side, side, n.CreatedPackets(), n.DeliveredPackets())
 	}
 	gen.Stop()
 	if !n.RunUntil(n.Drained, 100_000) {
-		t.Fatalf("16x16 network failed to drain: delivered %d/%d",
-			n.DeliveredPackets(), n.CreatedPackets())
+		t.Fatalf("%dx%d network failed to drain: delivered %d/%d",
+			side, side, n.DeliveredPackets(), n.CreatedPackets())
 	}
 	if n.DeliveredPackets() != n.CreatedPackets() {
-		t.Fatalf("16x16 cell lost packets: %d/%d",
-			n.DeliveredPackets(), n.CreatedPackets())
+		t.Fatalf("%dx%d cell lost packets: %d/%d",
+			side, side, n.DeliveredPackets(), n.CreatedPackets())
 	}
 }

@@ -154,21 +154,28 @@ type Network struct {
 
 	// Sharded-tick state (see shard.go). shards is the effective shard
 	// count (1 = serial); shardOf maps node to shard; group is the
-	// persistent worker set; committers holds the boundary pipes in fixed
-	// (src-shard, dst-shard) drain order; journals stages the per-shard
-	// cross-shard effects of one parallel phase; drainHooks run at the
-	// end of each drain (the CMP substrate registers one); inParallel is
-	// true exactly while the worker group is inside a compute phase —
-	// shared-state mutators (NACK scheduling, ACK clears, create hooks)
-	// consult it to decide between acting inline and journaling.
+	// persistent worker set; inBuckets holds each shard's inbound
+	// boundary buckets ([0] fed by the lower neighbor band, [1] by the
+	// upper), committed by the owning shard at the head of its parallel
+	// pass; journals stages the per-shard cross-shard effects of one
+	// parallel phase; drainHooks run at the end of each drain (the CMP
+	// substrate registers one); inParallel is true exactly while the
+	// worker group is inside a compute phase — shared-state mutators
+	// (NACK scheduling, ACK clears, create hooks) consult it to decide
+	// between acting inline and journaling; shardBank is the registered
+	// router bank (band-quiescence wake edges and reset reach it here);
+	// timing/btally are the opt-in barrier wall-time tallies.
 	shards     int
 	shardOf    []int
 	bands      []Band
 	group      *sim.ShardGroup
-	committers []stagedPipe
+	inBuckets  [][2]*link.StagedBucket
 	journals   [][]shardEffect
 	drainHooks []func(now uint64)
 	inParallel bool
+	shardBank  *shardedBank
+	timing     bool
+	btally     barrierTally
 
 	// Fault-injection state (see fault.go). deadLinks records the
 	// directed halves of killed links; deadNodes the frozen routers.
@@ -248,7 +255,6 @@ func (n *Network) build() {
 			n.stagePipes(node, nb, data, credit, ctrl)
 		}
 	}
-	n.sortCommitters()
 
 	n.nis = make([]*ni.NI, nodes)
 	n.meters = make([]*energy.Meter, nodes)
@@ -438,8 +444,24 @@ func (n *Network) Reset(cfg Config) bool {
 	// Sharded-tick state: journals are drained every cycle and hooks are
 	// re-registered by whoever reattaches (like tickers), but clear both
 	// so a cell abandoned mid-cycle cannot leak effects into the next.
+	// Boundary buckets likewise: the pipes' own Reset above discarded any
+	// parked values. The band-quiescence flags restart cold (quiet=false
+	// forces a full first pass). The barrier tally deliberately survives:
+	// it is lifetime telemetry, not simulation state, and the obs layer
+	// folds it into the run manifest once at the end of a sweep — zeroing
+	// here would drop every cell but the last from a reused network.
 	for i := range n.journals {
 		n.journals[i] = n.journals[i][:0]
+	}
+	for i := range n.inBuckets {
+		for _, b := range n.inBuckets[i] {
+			if b != nil {
+				b.Reset()
+			}
+		}
+	}
+	if n.shardBank != nil {
+		n.shardBank.reset()
 	}
 	n.drainHooks = n.drainHooks[:0]
 	n.inParallel = false

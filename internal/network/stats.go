@@ -128,7 +128,13 @@ func (n *Network) Drained() bool {
 		}
 	}
 	for _, l := range n.links {
-		if l.InFlight() > 0 {
+		// A staged send parked on a boundary data pipe is a flit in
+		// flight that the ring counter cannot see yet (it commits at the
+		// head of the owner's next pass) — serial would have counted it.
+		// Parked credit/ctrl sends are deliberately NOT consulted here:
+		// serial ignores in-ring credits too, and Drained must stay
+		// bit-identical across shard counts.
+		if l.InFlight() > 0 || l.PendingStaged() {
 			return false
 		}
 	}

@@ -83,6 +83,15 @@ type NI struct {
 	// routing metadata through it. Nil (no arena, or columns disabled)
 	// falls back to the struct fields inside the accessors.
 	cols *flit.Columns
+	// ashard, on sharded networks, is the allocation magazine of the
+	// shard this NI's node belongs to; packetize and recycle go through
+	// it (lock-free shard-local fast path) instead of the serial arena
+	// entry points. Nil on serial networks.
+	ashard *flit.ArenaShard
+	// wake, on sharded networks, points at the owning shard's band-wake
+	// flag: enqueueing injection work un-quiesces the band. Nil
+	// otherwise.
+	wake *bool
 
 	nextPkt     uint64
 	queues      [flit.NumVNs][]*flit.Flit
@@ -163,6 +172,25 @@ func (n *NI) Node() topology.NodeID { return n.node }
 func (n *NI) SetArena(a *flit.Arena) {
 	n.arena = a
 	n.cols = a.Columns()
+}
+
+// SetArenaShard routes this NI's packetize/recycle traffic through a
+// shard-local arena magazine (see flit.ArenaShard). The network sets it
+// when building a sharded tick; nil keeps the serial arena paths.
+func (n *NI) SetArenaShard(s *flit.ArenaShard) { n.ashard = s }
+
+// SetWakeFlag points the NI at its shard's band-wake flag: any enqueue
+// of injection work sets it, so a quiescence-skipped band is re-ticked
+// the next cycle. Network-owned wiring; nil disables.
+func (n *NI) SetWakeFlag(w *bool) { n.wake = w }
+
+// packetize expands p through the shard magazine when one is attached,
+// through the serial arena otherwise.
+func (n *NI) packetize(p flit.Packet) []*flit.Flit {
+	if n.ashard != nil {
+		return n.ashard.Packetize(p)
+	}
+	return n.arena.Packetize(p)
 }
 
 // SetHandler registers the delivered-packet callback.
@@ -249,9 +277,12 @@ func (n *NI) SendPacket(now uint64, dst topology.NodeID, vn flit.VN, length int,
 }
 
 func (n *NI) enqueue(p flit.Packet) {
-	fs := n.arena.Packetize(p)
+	fs := n.packetize(p)
 	n.queues[p.VN] = append(n.queues[p.VN], fs...)
 	n.queuedFlits += len(fs)
+	if n.wake != nil {
+		*n.wake = true
+	}
 }
 
 // RetransmitStatus reports the outcome of a Retransmit call.
@@ -285,13 +316,16 @@ func (n *NI) Retransmit(now uint64, packetID uint64) RetransmitStatus {
 	}
 	n.epoch[packetID]++
 	e := n.epoch[packetID]
-	fs := n.arena.Packetize(p)
+	fs := n.packetize(p)
 	for _, f := range fs {
 		f.Retransmits = e
 	}
 	n.queued[packetID] = p.Len
 	n.queues[p.VN] = append(n.queues[p.VN], fs...)
 	n.queuedFlits += len(fs)
+	if n.wake != nil {
+		*n.wake = true
+	}
 	return Retransmitted
 }
 
@@ -350,7 +384,11 @@ func (n *NI) StampInjection(now uint64, f *flit.Flit) { f.SetInjected(now) }
 // the arena on every path out of delivery.
 func (n *NI) Deliver(now uint64, f *flit.Flit) {
 	n.deliver(now, f)
-	flit.Recycle(f)
+	if n.ashard != nil {
+		n.ashard.Recycle(f)
+	} else {
+		flit.Recycle(f)
+	}
 }
 
 func (n *NI) deliver(now uint64, f *flit.Flit) {

@@ -45,6 +45,28 @@ type Manifest struct {
 	// values marshal with the scenario package's JSON schema.
 	Scenario        any `json:"scenario,omitempty"`
 	ScenarioResults any `json:"scenarioResults,omitempty"`
+	// Barrier summarizes the sharded tick's wall-time split when the run
+	// used -shards and barrier timing was collected; absent otherwise.
+	Barrier *BarrierRecord `json:"barrier,omitempty"`
+}
+
+// BarrierRecord is the manifest's summary of the sharded tick's barrier
+// timing, summed over every observed network of the run and averaged
+// per cycle. PhaseAAvgNs is the parallel pass (router bands plus the
+// barrier itself), PhaseBAvgNs the serial tail (journal replay, arena
+// reconcile, drain hooks); ShardBusyAvgNs[i] is how much of a cycle
+// shard i actually spent ticking, so the gap between max(ShardBusyAvgNs)
+// and PhaseAAvgNs is dispatch overhead plus load imbalance.
+type BarrierRecord struct {
+	// Shards is the shard count of the observed networks; InlineDispatch
+	// records whether they ran the single-P inline dispatch mode (one
+	// goroutine, no channel handoff) or spawned workers.
+	Shards         int       `json:"shards"`
+	InlineDispatch bool      `json:"inlineDispatch"`
+	Cycles         uint64    `json:"cycles"`
+	PhaseAAvgNs    float64   `json:"phaseAAvgNs"`
+	PhaseBAvgNs    float64   `json:"phaseBAvgNs"`
+	ShardBusyAvgNs []float64 `json:"shardBusyAvgNs"`
 }
 
 // CellRecord is one executed cell's manifest entry. The memory fields

@@ -28,10 +28,40 @@ type Metrics struct {
 	BlessCycles      atomic.Uint64
 	SwitchingCycles  atomic.Uint64
 	BufferedCycles   atomic.Uint64
+
+	// barrier is the sharded tick's wall-time gauge (last flushed
+	// summary, not a cumulative counter — averages don't accumulate).
+	bmu     sync.Mutex
+	barrier *barrierGauge
+}
+
+// barrierGauge mirrors the manifest's BarrierRecord for the expvar
+// endpoint (obs keeps the two decoupled so Metrics stays marshal-free).
+type barrierGauge struct {
+	shards         int
+	inline         bool
+	cycles         uint64
+	phaseAAvgNs    float64
+	phaseBAvgNs    float64
+	shardBusyAvgNs []float64
+}
+
+// SetBarrier replaces the sharded-tick timing gauge shown under
+// "barrier" in Snapshot. Gauge semantics: per-cycle averages are set,
+// not accumulated.
+func (m *Metrics) SetBarrier(shards int, inline bool, cycles uint64, phaseAAvgNs, phaseBAvgNs float64, shardBusyAvgNs []float64) {
+	m.bmu.Lock()
+	m.barrier = &barrierGauge{
+		shards: shards, inline: inline, cycles: cycles,
+		phaseAAvgNs: phaseAAvgNs, phaseBAvgNs: phaseBAvgNs,
+		shardBusyAvgNs: append([]float64(nil), shardBusyAvgNs...),
+	}
+	m.bmu.Unlock()
 }
 
 // Snapshot returns the current counters as a JSON-friendly map, plus
-// the derived backpressured-mode duty cycle.
+// the derived backpressured-mode duty cycle and, when a sharded run
+// flushed one, the barrier timing gauge.
 func (m *Metrics) Snapshot() map[string]any {
 	bless := m.BlessCycles.Load()
 	switching := m.SwitchingCycles.Load()
@@ -40,7 +70,7 @@ func (m *Metrics) Snapshot() map[string]any {
 	if total := bless + switching + buffered; total > 0 {
 		duty = float64(buffered) / float64(total)
 	}
-	return map[string]any{
+	s := map[string]any{
 		"cellsDone":         m.CellsDone.Load(),
 		"injectedFlits":     m.InjectedFlits.Load(),
 		"deliveredFlits":    m.DeliveredFlits.Load(),
@@ -51,6 +81,19 @@ func (m *Metrics) Snapshot() map[string]any {
 		"bufferedCycles":    buffered,
 		"bufferedDutyCycle": duty,
 	}
+	m.bmu.Lock()
+	if b := m.barrier; b != nil {
+		s["barrier"] = map[string]any{
+			"shards":         b.shards,
+			"inlineDispatch": b.inline,
+			"cycles":         b.cycles,
+			"phaseAAvgNs":    b.phaseAAvgNs,
+			"phaseBAvgNs":    b.phaseBAvgNs,
+			"shardBusyAvgNs": append([]float64(nil), b.shardBusyAvgNs...),
+		}
+	}
+	m.bmu.Unlock()
+	return s
 }
 
 // add accumulates a counter delta.

@@ -76,6 +76,12 @@ type Observer struct {
 	// memAt holds each in-flight cell's MemStats snapshot, taken at
 	// OnCellStart and diffed at OnCell (see CellRecord for the caveats).
 	memAt map[int]memSnap
+
+	// barrierNets are the sharded networks ObserveBarrier enabled timing
+	// on. Their tallies are cumulative for the network's lifetime
+	// (Network.Reset keeps them), so the summary is folded once, at
+	// Finish/WriteManifest, by reading each network's current tally.
+	barrierNets []*network.Network
 }
 
 // memSnap is the slice of runtime.MemStats a cell's manifest record
@@ -156,6 +162,78 @@ func (o *Observer) Sample(net *network.Network) {
 	net.AddTicker(newSampler(net, o.metrics))
 }
 
+// ObserveBarrier enables barrier wall-time collection on a sharded
+// network and registers it for the end-of-run summary (manifest
+// "barrier" record and the expvar gauge). Nil-safe; a no-op on serial
+// networks, when neither manifest nor metrics is enabled, and on a
+// network already registered (sweep workers re-acquire the same
+// network every cell). Timing costs a few clock reads per cycle and
+// never changes results — same contract as the counter sampler.
+func (o *Observer) ObserveBarrier(net *network.Network) {
+	if o == nil || net == nil || net.ShardCount() <= 1 {
+		return
+	}
+	if o.manifest == nil && o.metrics == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, n := range o.barrierNets {
+		if n == net {
+			return
+		}
+	}
+	net.SetBarrierTiming(true)
+	o.barrierNets = append(o.barrierNets, net)
+}
+
+// flushBarrier folds the registered networks' cumulative tallies into
+// the manifest record and the metrics gauge. Idempotent — it recomputes
+// the summary from the live tallies each call, and the tallies are
+// atomic, so flushing mid-sweep while other workers tick is safe.
+// Caller holds o.mu.
+func (o *Observer) flushBarrier() {
+	if len(o.barrierNets) == 0 {
+		return
+	}
+	shards := o.barrierNets[0].ShardCount()
+	inline := o.barrierNets[0].ShardDispatchInline()
+	var cycles, phaseA, phaseB uint64
+	var busy []uint64
+	for _, n := range o.barrierNets {
+		t := n.BarrierTally()
+		cycles += t.Cycles
+		phaseA += t.PhaseANs
+		phaseB += t.PhaseBNs
+		for len(busy) < len(t.ShardBusyNs) {
+			busy = append(busy, 0)
+		}
+		for i, ns := range t.ShardBusyNs {
+			busy[i] += ns
+		}
+	}
+	if cycles == 0 {
+		return
+	}
+	rec := &BarrierRecord{
+		Shards:         shards,
+		InlineDispatch: inline,
+		Cycles:         cycles,
+		PhaseAAvgNs:    float64(phaseA) / float64(cycles),
+		PhaseBAvgNs:    float64(phaseB) / float64(cycles),
+	}
+	for _, ns := range busy {
+		rec.ShardBusyAvgNs = append(rec.ShardBusyAvgNs, float64(ns)/float64(cycles))
+	}
+	if o.manifest != nil {
+		o.manifest.Barrier = rec
+	}
+	if o.metrics != nil {
+		o.metrics.SetBarrier(rec.Shards, rec.InlineDispatch, rec.Cycles,
+			rec.PhaseAAvgNs, rec.PhaseBAvgNs, rec.ShardBusyAvgNs)
+	}
+}
+
 // Metrics returns the metrics sink (nil when not enabled).
 func (o *Observer) Metrics() *Metrics {
 	if o == nil {
@@ -216,6 +294,11 @@ func (o *Observer) onCell(index int, err error, elapsed time.Duration) {
 	if o.metrics != nil {
 		o.metrics.CellsDone.Add(1)
 	}
+	// Refresh the barrier summary on every cell completion so the expvar
+	// gauge (and a manifest written after a crash) is live during a long
+	// sweep, not only after Finish. Safe while other cells tick: the
+	// network tallies are atomic snapshots.
+	o.flushBarrier()
 }
 
 // Finish closes the progress line (if any) and finalizes the manifest's
@@ -229,6 +312,7 @@ func (o *Observer) Finish() {
 	if o.progress != nil {
 		o.progress.close()
 	}
+	o.flushBarrier()
 	if o.manifest != nil {
 		o.manifest.finalize(time.Since(o.start))
 	}
@@ -243,6 +327,7 @@ func (o *Observer) WriteManifest(w io.Writer) error {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	o.flushBarrier()
 	o.manifest.finalize(time.Since(o.start))
 	return o.manifest.write(w)
 }

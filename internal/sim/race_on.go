@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled into this
+// build. The shard group consults it so race-mode tests always exercise
+// real worker goroutines (see NewShardGroup).
+const raceEnabled = true

@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // shardJob is one parallel phase handed to the workers: every worker
 // runs fn on its own shard index at the given cycle. The function value
@@ -22,21 +25,42 @@ type shardJob struct {
 // reads, so the serial phases around a Run see a consistent picture
 // without any other synchronization.
 //
+// On a single-P runtime (GOMAXPROCS=1) the workers could never overlap:
+// every cycle would pay the channel hand-offs and goroutine switches
+// only to execute the same instructions sequentially. NewShardGroup
+// detects that case and runs all shards inline on the calling goroutine
+// instead. That is not a different algorithm — sequential ascending
+// order is one of the legal schedules of the concurrent protocol (the
+// phase functions may not share mutable state across shard indexes
+// within a Run, so any execution order gives the same result) — it just
+// skips the dispatch. Race-detector builds always keep real workers so
+// the detector observes genuine cross-goroutine execution; without
+// that, a single-core race run would silently validate nothing.
+//
 // A group owns n-1 goroutines that park between cycles. They exit when
 // Close is called; the network installs a finalizer as a backstop so an
 // unclosed group does not leak its workers past the network's lifetime.
 type ShardGroup struct {
-	chans []chan shardJob
-	wg    sync.WaitGroup
+	n      int
+	inline bool
+	chans  []chan shardJob
+	wg     sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // NewShardGroup returns a group able to run n shards per cycle: n-1
-// parked workers plus the calling goroutine. n must be at least 1.
+// parked workers plus the calling goroutine, or a dispatch-free inline
+// group when the runtime has a single P (decided once, here — a later
+// GOMAXPROCS change does not re-shape an existing group). n must be at
+// least 1.
 func NewShardGroup(n int) *ShardGroup {
-	g := &ShardGroup{}
+	g := &ShardGroup{n: n}
+	if runtime.GOMAXPROCS(0) == 1 && !raceEnabled {
+		g.inline = true
+		return g
+	}
 	for i := 1; i < n; i++ {
 		ch := make(chan shardJob, 1)
 		g.chans = append(g.chans, ch)
@@ -51,7 +75,13 @@ func NewShardGroup(n int) *ShardGroup {
 }
 
 // Shards returns the number of shards the group runs per cycle.
-func (g *ShardGroup) Shards() int { return len(g.chans) + 1 }
+func (g *ShardGroup) Shards() int { return g.n }
+
+// Inline reports whether the group runs its shards on the calling
+// goroutine instead of dispatching to workers (single-P runtimes). The
+// observability layer records it so benchmark artifacts say which
+// dispatch path they measured.
+func (g *ShardGroup) Inline() bool { return g.inline }
 
 // Run executes fn(shard, now) for every shard concurrently and waits for
 // all of them. Shard 0 runs on the calling goroutine, so a single-shard
@@ -59,6 +89,12 @@ func (g *ShardGroup) Shards() int { return len(g.chans) + 1 }
 // job struct travels the channels by value and fn is the same function
 // value every cycle.
 func (g *ShardGroup) Run(now uint64, fn func(shard int, now uint64)) {
+	if g.inline {
+		for i := 0; i < g.n; i++ {
+			fn(i, now)
+		}
+		return
+	}
 	g.wg.Add(len(g.chans))
 	for _, ch := range g.chans {
 		ch <- shardJob{now: now, fn: fn}
