@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-equality smoke-16x16 smoke-32x32 bench-json bench-smoke fuzz-smoke obs-smoke scenario-smoke cover ci
+.PHONY: build vet test race race-equality smoke-16x16 smoke-32x32 smoke-64x64 bench-json bench-smoke fuzz-smoke obs-smoke scenario-smoke cover ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,13 @@ smoke-16x16:
 # On demand rather than in `ci` — the cell is ~50x the 16x16 smoke.
 smoke-32x32:
 	$(GO) test -count=1 -run='^TestLargeMesh32x32(Sharded)?Smoke$$' ./internal/network
+
+# The kilonode record: the 64x64 cell (4096 nodes — the slab-resident
+# router state's target regime) serial and through the sharded tick at
+# 8 shards, checker attached (see TestLargeMesh64x64Smoke). Short cycle
+# count keeps it cheap enough for `ci`.
+smoke-64x64:
+	$(GO) test -short -count=1 -run='^TestLargeMesh64x64(Sharded)?Smoke$$' ./internal/network
 
 # Record a numbered BENCH_<n>.json performance snapshot: kernel ns/op
 # and allocs/op plus low-load vs saturation cell wall times (minimum of
@@ -105,4 +112,4 @@ cover:
 	base=$$(cat coverage-baseline.txt); \
 	awk -v t="$$total" -v b="$$base" 'BEGIN { if (t + 0.5 < b) { printf "coverage regressed: %.1f%% < baseline %.1f%%\n", t, b; exit 1 } else { printf "coverage ok: %.1f%% (baseline %.1f%%)\n", t, b } }'
 
-ci: build vet race race-equality smoke-16x16 bench-smoke fuzz-smoke obs-smoke scenario-smoke cover
+ci: build vet race race-equality smoke-16x16 smoke-64x64 bench-smoke fuzz-smoke obs-smoke scenario-smoke cover

@@ -171,6 +171,44 @@ func benchKernelStep32x32(b *testing.B, shards int) {
 	}
 }
 
+// BenchmarkKernelStep64x64 scales the large-radix cell to a 64x64 mesh
+// (4096 nodes) — the kilonode record, and the regime the slab-resident
+// router state targets: at this size the per-router hot structs alone
+// outgrow every cache level, so band-major slab locality is what keeps
+// the per-cycle cost near 4x the 32x32 cell's instead of far above it.
+// The injection rate halves again (bisection-limited near 0.03) and the
+// warmup doubles to 16000 cycles (~42 average hops to fill).
+func BenchmarkKernelStep64x64(b *testing.B) {
+	benchKernelStep64x64(b, 0)
+}
+
+// BenchmarkKernelStep64x64Sharded is BenchmarkKernelStep64x64 through
+// the sharded tick at 8 shards (eight rows per band): the coarsest
+// parallel grain the repo records, where each band's 512-router working
+// set makes the fixed barrier cost smallest relative to useful work.
+func BenchmarkKernelStep64x64Sharded(b *testing.B) {
+	benchKernelStep64x64(b, 8)
+}
+
+func benchKernelStep64x64(b *testing.B, shards int) {
+	net := network.New(network.Config{
+		Kind: network.AFC, Seed: 1, MeterEnergy: true, Shards: shards,
+		System: config.DefaultWithMesh(topology.NewMesh(64, 64)),
+	})
+	defer net.Close()
+	gen := traffic.NewGenerator(net, traffic.Config{
+		Pattern: traffic.Uniform{Mesh: net.Mesh()},
+		Rate:    0.02,
+	}, net.RandStream)
+	net.AddTicker(gen)
+	net.Run(16000) // reach steady state before measuring (4096 nodes: longest fill)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
 // BenchmarkKernelStepLowLoad is BenchmarkKernelStep at a near-idle
 // injection rate — the regime where active-set scheduling pays: most
 // routers are quiescent most cycles, so the per-cycle cost should be a

@@ -81,6 +81,7 @@ func main() {
 		dense      = flag.Bool("dense", network.DenseFromEnv(), "run the dense reference kernel instead of active-set scheduling (or set AFCSIM_DENSE=1); identical results, slower at low load")
 		nopool     = flag.Bool("nopool", network.NoPoolFromEnv(), "heap-allocate flits instead of arena pooling (or set AFCSIM_NOPOOL=1); identical results, allocates in steady state")
 		nocolumnar = flag.Bool("nocolumnar", network.NoColumnarFromEnv(), "read per-flit state from struct fields instead of the columnar banks (or set AFCSIM_NOCOLUMNAR=1); identical results")
+		elide      = flag.Bool("elidepayload", network.ElidePayloadFromEnv(), "drop the arena's payload column (or set AFCSIM_ELIDEPAYLOAD=1); identical results, smaller columnar rows")
 		shards     = flag.Int("shards", network.ShardsFromEnv(), "shard each network's tick across this many row bands of worker goroutines (or set AFCSIM_SHARDS=N); <=1 is the serial kernel, identical results")
 		manifest   = flag.String("manifest", "", "write a JSON run manifest (config, per-cell wall times, worker utilization) to this file")
 		progress   = flag.Bool("progress", obs.ProgressFromEnv(), "print a live progress line to stderr (or set AFCSIM_PROGRESS=1)")
@@ -162,7 +163,7 @@ func main() {
 	}
 
 	if *scenarioF != "" {
-		if err := runScenario(*scenarioF, kinds, mesh, *seed, *parallel, *checked, *dense, *nopool, *nocolumnar, *shards, ob); err != nil {
+		if err := runScenario(*scenarioF, kinds, mesh, *seed, *parallel, *checked, *dense, *nopool, *nocolumnar, *elide, *shards, ob); err != nil {
 			finish()
 			log.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func main() {
 
 	if *replayOf != "" {
 		for _, k := range kinds {
-			if err := replayOne(*replayOf, k, *seed, *checked, *dense, *nopool, *nocolumnar, *shards, ob); err != nil {
+			if err := replayOne(*replayOf, k, *seed, *checked, *dense, *nopool, *nocolumnar, *elide, *shards, ob); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -201,7 +202,7 @@ func main() {
 			p.WritebackPreAlloc = true
 		}
 		var buf bytes.Buffer
-		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked, *dense, *nopool, *nocolumnar, *shards, ob); err != nil {
+		if err := runOne(&buf, p, k, mesh, pol, *realVCA, *seed, *warmup, *tx, *limit, *recordTo, *checked, *dense, *nopool, *nocolumnar, *elide, *shards, ob); err != nil {
 			return nil, err
 		}
 		return &buf, nil
@@ -219,7 +220,7 @@ func main() {
 // runScenario runs a scenario spec across the selected kinds and prints
 // the per-phase completion-time report. The spec's timeline replaces the
 // closed-loop workload entirely.
-func runScenario(path string, kinds []network.Kind, mesh topology.Mesh, seed int64, parallel int, checked, dense, nopool, nocolumnar bool, shards int, ob *obs.Observer) error {
+func runScenario(path string, kinds []network.Kind, mesh topology.Mesh, seed int64, parallel int, checked, dense, nopool, nocolumnar, elide bool, shards int, ob *obs.Observer) error {
 	spec, err := scenario.ParseFile(path)
 	if err != nil {
 		return err
@@ -228,15 +229,16 @@ func runScenario(path string, kinds []network.Kind, mesh topology.Mesh, seed int
 		return err
 	}
 	opt := experiments.Options{
-		Seeds:       []int64{seed},
-		Parallelism: parallel,
-		Check:       checked,
-		Dense:       dense,
-		NoPool:      nopool,
-		NoColumnar:  nocolumnar,
-		Shards:      shards,
-		System:      config.DefaultWithMesh(mesh),
-		Obs:         ob,
+		Seeds:        []int64{seed},
+		Parallelism:  parallel,
+		Check:        checked,
+		Dense:        dense,
+		NoPool:       nopool,
+		NoColumnar:   nocolumnar,
+		ElidePayload: elide,
+		Shards:       shards,
+		System:       config.DefaultWithMesh(mesh),
+		Obs:          ob,
 	}
 	rs, err := experiments.Scenario(kinds, spec, opt)
 	if err != nil {
@@ -258,10 +260,10 @@ func parseMesh(s string) (topology.Mesh, error) {
 
 // runOne executes one bench/kind cell and writes its report rows to w
 // (a per-cell buffer under parallel execution, so rows never interleave).
-func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked, dense, nopool, nocolumnar bool, shards int, ob *obs.Observer) error {
+func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol router.DeflectPolicy, realVCA bool, seed int64, warmup, tx, limit uint64, recordTo string, checked, dense, nopool, nocolumnar, elide bool, shards int, ob *obs.Observer) error {
 	sys := config.DefaultWithMesh(mesh)
 	sys.Baseline.RealisticVCA = realVCA
-	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar, Shards: shards})
+	net := network.New(network.Config{System: sys, Kind: k, Seed: seed, MeterEnergy: true, Policy: pol, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar, ElidePayload: elide, Shards: shards})
 	defer net.Close()
 	if checked {
 		check.Attach(net)
@@ -305,7 +307,7 @@ func runOne(w io.Writer, p cmp.Params, k network.Kind, mesh topology.Mesh, pol r
 
 // replayOne feeds a recorded trace open-loop into a fresh network of the
 // given kind and reports the trace-driven (no-feedback) metrics.
-func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool, nocolumnar bool, shards int, ob *obs.Observer) error {
+func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool, nocolumnar, elide bool, shards int, ob *obs.Observer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -315,7 +317,7 @@ func replayOne(path string, k network.Kind, seed int64, checked, dense, nopool, 
 	if err != nil {
 		return err
 	}
-	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar, Shards: shards})
+	net := network.New(network.Config{Kind: k, Seed: seed, MeterEnergy: true, DenseKernel: dense, NoPool: nopool, NoColumnar: nocolumnar, ElidePayload: elide, Shards: shards})
 	defer net.Close()
 	if checked {
 		check.Attach(net)

@@ -115,34 +115,66 @@ type latched struct {
 }
 
 // Router is one AFC router.
+//
+// The field order is a deliberate hot/cold split. The leading "hot
+// tick-path core" holds exactly what the per-cycle quiescence probe and
+// FastForward touch, so an idle router — the dominant case in the
+// kilonode regime — costs the first few cache lines of its slab slot
+// and nothing else. The middle section is the active-tick working set,
+// and the tail is cold configuration, fault and stats state read only
+// inside ticks that do real work. Routers are normally carved from a
+// Slab in ascending node order (band-major for the sharded tick's row
+// bands), so sweeps over the bank stream through one contiguous array
+// instead of chasing a heap object per node.
 type Router struct {
-	mesh topology.Mesh
-	node topology.NodeID
+	// --- hot tick-path core (Quiescent + FastForward) ---
 
-	wires router.Wires
-	src   router.LocalSource
-	sink  router.LocalSink
-	meter *energy.Meter
-
-	cfg        config.AFC
-	linkLat    int
-	ejectWidth int
-	th         config.Thresholds
-
+	// dead freezes the whole router (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true, so held
+	// flits stay parked — and countable — forever.
+	dead bool
 	// alwaysBuffered pins the router in backpressured mode ("AFC
 	// always-backpressured" in Section V), isolating the lazy-VCA
 	// mechanism from the adaptivity mechanisms.
 	alwaysBuffered bool
+	occValid       bool
+	// misrouteTripped records that a flit crossed the misroute threshold
+	// this cycle (rejected-policy ablation only).
+	misrouteTripped bool
+	mode            Mode
+	// held counts flits currently in SRAM slots and escape latches
+	// (maintained at the enqueue/dequeue sites) so quiescence, drain and
+	// reverse-switch buffer-empty checks are O(1).
+	held int
+	// gossipLow counts the (tracked direction, virtual network) pairs
+	// whose mirrored credit count sits below the gossip watermark,
+	// maintained at every credit/tracking mutation. It makes
+	// gossipTriggered — called from Quiescent every cycle since the
+	// sharded tick landed — a register compare instead of a per-VN scan
+	// over the down array (the BENCH_4 low-load regression).
+	gossipLow int
 	// misrouteThreshold selects the rejected cumulative-misroute switch
 	// policy when positive (see Options.MisrouteThreshold).
 	misrouteThreshold int
+	// inbox, when non-nil, is this router's slot of the network's
+	// per-node aggregate in-flight slab (link.Pipe.SetTally), split by
+	// pipe class: [0] data, [1] credit, [2] ctrl. One cache line then
+	// replaces Quiescent's twelve-pipe pointer chase, and each receive
+	// scan skips outright when its own class shows nothing in flight;
+	// nil (standalone construction) falls back to the pipe scans.
+	inbox   *[3]int32
+	monitor stats.IntensityMonitor
+	latches []latched
+	meter   *energy.Meter
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount   router.QueuedCounter
+	injArb     router.RoundRobin
+	injArmedAt [flit.NumVNs]uint64
+	modeCycles [numModes]uint64
 
-	mode         Mode
+	// --- active-tick working set ---
+
 	bufferedFrom uint64 // first cycle arrivals are buffered (forward switch)
-	monitor      *stats.IntensityMonitor
-
-	vnSlots    [flit.NumVNs][]int
-	totalSlots int
 
 	// occ mirrors SRAM slot occupancy per input port as a bitmask (bit s
 	// set = slot s holds a flit) and vnMask covers each virtual network's
@@ -151,27 +183,28 @@ type Router struct {
 	// pointer walks. Maintained at the same enqueue/dequeue sites as
 	// heldAt; meaningful only while occValid (totalSlots <= 64 — any
 	// larger configuration falls back to the slot scans).
-	occ      [topology.NumPorts]uint64
-	vnMask   [flit.NumVNs]uint64
-	occValid bool
+	occ    [topology.NumPorts]uint64
+	vnMask [flit.NumVNs]uint64
+	// heldAt counts the occupied SRAM slots per input port, letting the
+	// buffered-cycle input stage skip the slot scan of empty ports (a
+	// grantless arbitration pick would not have moved the pointer).
+	heldAt [topology.NumPorts]int
 
-	in     [topology.NumPorts][]slot
-	esc    [topology.NumPorts][]escape
-	escCap int
-	down   [topology.NumDirs]downstream
+	in   [topology.NumPorts][]slot
+	esc  [topology.NumPorts][]escape
+	down [topology.NumDirs]downstream
 	// trackedDirs counts the directions with down[d].tracking set,
 	// maintained at every tracking toggle, so the gossip checks in
 	// decideMode and Quiescent are a register compare in the common
 	// (no buffered neighbor) case instead of a scan over the cold
 	// down array.
 	trackedDirs int
-	// gossipLow counts the (tracked direction, virtual network) pairs
-	// whose mirrored credit count sits below the gossip watermark,
-	// maintained at every credit/tracking mutation. It makes
-	// gossipTriggered — called from Quiescent every cycle since the
-	// sharded tick landed — a register compare instead of a per-VN scan
-	// over the down array (the BENCH_4 low-load regression).
-	gossipLow int
+	dispatched  int // flits dispatched this cycle (intensity metric)
+
+	cands  [topology.NumPorts]cand
+	inArb  [topology.NumPorts]router.RoundRobin
+	outArb [topology.NumPorts]router.RoundRobin
+
 	// blockedOut marks output ports whose data link is fault-blocked
 	// (dead, or throttled closed this duty window): usableOut treats
 	// them like missing links, so routing steers around the fault.
@@ -180,56 +213,47 @@ type Router struct {
 	// a throttle it also suppresses credit and control sends (a dead
 	// wire carries nothing — the invariant checker excludes such edges).
 	deadOut [topology.NumDirs]bool
-	// dead freezes the whole router (fault injection): Tick and
-	// FastForward become no-ops and Quiescent reports true, so held
-	// flits stay parked — and countable — forever.
-	dead bool
-	defl        *router.Deflector
+
+	// dor is node's precomputed DOR next-hop table, indexed by
+	// destination. With slab construction it is a view into the
+	// network's shared topology.Tables — one O(N²) table per mesh, not
+	// per router.
+	dor []topology.Dir
 	// nbr lists the directions with a wired neighbor (data, credit and
 	// control pipes all exist exactly there), so the per-cycle receive
-	// loops skip the empty ports of edge and corner routers.
+	// loops skip the empty ports of edge and corner routers. Shared
+	// storage under slab construction, like dor.
 	nbr []topology.Dir
-	// dor is node's precomputed DOR next-hop table, indexed by
-	// destination (see topology.Routes).
-	dor []topology.Dir
 	// cols, when non-nil, is the arena's columnar flit bank; the datapath
 	// reads hot per-flit state (destination, virtual network, deflection
 	// count) through it. Nil is the -nocolumnar struct-field reference
 	// path — the accessors fall back themselves.
-	cols    *flit.Columns
-	latches []latched
-	dflits  []*flit.Flit // scratch for bless dispatch
-	dports  []topology.Dir
+	cols  *flit.Columns
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	defl  router.Deflector
+	// scratch for bless dispatch
+	dflits []*flit.Flit
+	dports []topology.Dir
 
-	inArb      [topology.NumPorts]*router.RoundRobin
-	outArb     [topology.NumPorts]*router.RoundRobin
-	injArb     *router.RoundRobin
-	injArmedAt [flit.NumVNs]uint64
+	// --- cold config/fault/stats tail ---
 
-	cands [topology.NumPorts]cand
-
-	// held counts flits currently in SRAM slots and escape latches
-	// (maintained at the enqueue/dequeue sites) so quiescence, drain and
-	// reverse-switch buffer-empty checks are O(1).
-	held int
-	// heldAt counts the occupied SRAM slots per input port, letting the
-	// buffered-cycle input stage skip the slot scan of empty ports (a
-	// grantless arbitration pick would not have moved the pointer).
-	heldAt [topology.NumPorts]int
-	// srcCount is src when it can report its queue total in O(1).
-	srcCount router.QueuedCounter
-
-	dispatched int // flits dispatched this cycle (intensity metric)
-	// misrouteTripped records that a flit crossed the misroute threshold
-	// this cycle (rejected-policy ablation only).
-	misrouteTripped bool
+	mesh       topology.Mesh
+	node       topology.NodeID
+	cfg        config.AFC
+	linkLat    int
+	ejectWidth int
+	th         config.Thresholds
+	escCap     int
+	vnSlots    [flit.NumVNs][]int
+	totalSlots int
 
 	// Stats
 	routedFlits     uint64
 	deflections     uint64
 	ejectedFlits    uint64
 	injectedFlits   uint64
-	modeCycles      [numModes]uint64
 	forwardSwitches uint64
 	reverseSwitches uint64
 	gossipSwitches  uint64
@@ -257,57 +281,126 @@ type Options struct {
 	// network region, because a deflected flit trips the threshold only
 	// after it has left the hot region — is demonstrated by ablation A7.
 	MisrouteThreshold int
+	// Tables, when non-nil, provides the shared per-mesh route tables
+	// and neighbor lists: the router's dor/nbr slices and its
+	// deflector's full route table become views into the shared backing
+	// instead of private O(N) / O(N²) copies. Nil (standalone
+	// construction) builds private tables from the mesh.
+	Tables *topology.Tables
 }
 
-// New returns an AFC router at node. rng drives deflection arbitration.
+// Slab is a contiguous bank of AFC routers: the Router structs occupy
+// one backing array, and every router's SRAM slot arrays and escape
+// FIFOs are carved from two shared slabs in carve order. The network
+// carves in ascending node order — band-major for the sharded tick's
+// contiguous row bands — so each shard's phase-A sweep walks a private,
+// contiguous working set.
+type Slab struct {
+	routers []Router
+	slots   []slot
+	escs    []escape
+	// vnSlots is the VN -> slot-index mapping, identical for every
+	// router of one configuration, built once and aliased (read-only
+	// after construction).
+	vnSlots    [flit.NumVNs][]int
+	totalSlots int
+	escCap     int
+	next       int
+}
+
+// NewSlab returns a slab with room for count routers; cfg fixes the
+// SRAM geometry and linkLatency the escape-latch capacity (both must
+// match the subsequent New calls).
+func NewSlab(count int, cfg config.AFC, linkLatency int) *Slab {
+	s := &Slab{escCap: 2*linkLatency + 1}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
+			s.vnSlots[vn] = append(s.vnSlots[vn], s.totalSlots)
+			s.totalSlots++
+		}
+	}
+	s.routers = make([]Router, count)
+	s.slots = make([]slot, count*topology.NumPorts*s.totalSlots)
+	s.escs = make([]escape, count*topology.NumPorts*s.escCap)
+	return s
+}
+
+// New returns a standalone AFC router at node (a slab of one). rng
+// drives deflection arbitration.
 func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, ejectWidth int,
 	rng *rand.Rand, wires router.Wires, src router.LocalSource, sink router.LocalSink,
 	meter *energy.Meter, opts Options) *Router {
+	return NewSlab(1, cfg, linkLatency).New(mesh, node, cfg, linkLatency, ejectWidth,
+		rng, wires, src, sink, meter, opts)
+}
 
-	r := &Router{
-		mesh:              mesh,
-		node:              node,
-		wires:             wires,
-		src:               src,
-		sink:              sink,
-		meter:             meter,
-		cfg:               cfg,
-		linkLat:           linkLatency,
-		ejectWidth:        ejectWidth,
-		th:                cfg.ThresholdsByPosition[mesh.Position(node)],
-		alwaysBuffered:    opts.AlwaysBuffered,
-		misrouteThreshold: opts.MisrouteThreshold,
-		monitor:           stats.NewIntensityMonitor(cfg.EWMAWeight),
-		defl:              router.NewDeflector(mesh, node, opts.Policy, rng),
-		escCap:            2*linkLatency + 1,
+// New carves the next router from the slab and initializes it at node.
+// It panics when the slab is exhausted. rng drives deflection
+// arbitration.
+func (s *Slab) New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, ejectWidth int,
+	rng *rand.Rand, wires router.Wires, src router.LocalSource, sink router.LocalSink,
+	meter *energy.Meter, opts Options) *Router {
+
+	if s.next >= len(s.routers) {
+		panic("core: router slab exhausted")
 	}
-	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
-		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
-			r.vnSlots[vn] = append(r.vnSlots[vn], r.totalSlots)
-			r.totalSlots++
-		}
+	r := &s.routers[s.next]
+	r.mesh = mesh
+	r.node = node
+	r.wires = wires
+	r.src = src
+	r.sink = sink
+	r.meter = meter
+	r.cfg = cfg
+	r.linkLat = linkLatency
+	r.ejectWidth = ejectWidth
+	r.th = cfg.ThresholdsByPosition[mesh.Position(node)]
+	r.alwaysBuffered = opts.AlwaysBuffered
+	r.misrouteThreshold = opts.MisrouteThreshold
+	r.monitor.Init(cfg.EWMAWeight)
+	r.escCap = s.escCap
+	r.vnSlots = s.vnSlots
+	r.totalSlots = s.totalSlots
+
+	var routes topology.RouteTable
+	if opts.Tables != nil {
+		routes = opts.Tables.Routes(node)
+	} else {
+		routes = mesh.Routes(node)
 	}
+	// The deflector shares the same table — before the shared-tables
+	// layout each AFC router built two private O(N²) copies.
+	r.defl.Init(mesh, node, opts.Policy, rng, routes)
+	r.dor = routes.DOR
+
 	r.occValid = r.totalSlots <= 64
 	if r.occValid {
 		for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
-			for _, s := range r.vnSlots[vn] {
-				r.vnMask[vn] |= 1 << uint(s)
+			for _, sl := range r.vnSlots[vn] {
+				r.vnMask[vn] |= 1 << uint(sl)
 			}
 		}
 	}
+	base := s.next * topology.NumPorts
 	for p := 0; p < topology.NumPorts; p++ {
-		r.in[p] = make([]slot, r.totalSlots)
-		r.inArb[p] = router.NewRoundRobin(r.totalSlots)
-		r.outArb[p] = router.NewRoundRobin(topology.NumPorts)
+		lo := (base + p) * s.totalSlots
+		r.in[p] = s.slots[lo : lo+s.totalSlots : lo+s.totalSlots]
+		elo := (base + p) * s.escCap
+		r.esc[p] = s.escs[elo:elo : elo+s.escCap]
+		r.inArb[p].Init(r.totalSlots)
+		r.outArb[p].Init(topology.NumPorts)
 	}
-	r.injArb = router.NewRoundRobin(flit.NumVNs)
+	r.injArb.Init(flit.NumVNs)
 	r.srcCount, _ = src.(router.QueuedCounter)
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil || pl.CtrlIn != nil {
-			r.nbr = append(r.nbr, d)
+	if opts.Tables != nil {
+		r.nbr = opts.Tables.Neighbors(node)
+	} else {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil || pl.CtrlIn != nil {
+				r.nbr = append(r.nbr, d)
+			}
 		}
 	}
-	r.dor = mesh.Routes(node).DOR
 
 	if opts.AlwaysBuffered {
 		r.mode = ModeBuffered
@@ -324,8 +417,27 @@ func New(mesh topology.Mesh, node topology.NodeID, cfg config.AFC, linkLatency, 
 			meter.SetGated(true)
 		}
 	}
+	s.next++
 	return r
 }
+
+// SetInbox attaches the router's slot of the network's per-node
+// aggregate in-flight slab (see link.Pipe.SetTally); Quiescent then
+// reads one int32 instead of scanning every inbound pipe. Build-time
+// wiring, kept across Reset.
+func (r *Router) SetInbox(t *[3]int32) { r.inbox = t }
+
+// DORTable exposes the router's per-destination DOR table and
+// NeighborDirs its wired-direction list (aliasing tests assert they
+// share the network's topology.Tables backing rather than holding
+// private copies).
+func (r *Router) DORTable() []topology.Dir { return r.dor }
+
+// NeighborDirs reports the router's wired mesh directions.
+func (r *Router) NeighborDirs() []topology.Dir { return r.nbr }
+
+// DeflectorDORTable exposes the deflector's DOR table (see DORTable).
+func (r *Router) DeflectorDORTable() []topology.Dir { return r.defl.DORTable() }
 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
@@ -509,16 +621,25 @@ func (r *Router) Quiescent(now uint64) bool {
 			return false
 		}
 	}
-	for _, d := range r.nbr {
-		pl := &r.wires.Ports[d]
-		if pl.In != nil && pl.In.InFlight() != 0 {
+	// The inbox tallies mirror the summed InFlight of every inbound
+	// pipe at all times (see link.Pipe.SetTally), so one cache line of
+	// loads decides exactly what the pipe scan would.
+	if r.inbox != nil {
+		if r.inbox[0]|r.inbox[1]|r.inbox[2] != 0 {
 			return false
 		}
-		if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
-			return false
-		}
-		if pl.CtrlIn != nil && pl.CtrlIn.InFlight() != 0 {
-			return false
+	} else {
+		for _, d := range r.nbr {
+			pl := &r.wires.Ports[d]
+			if pl.In != nil && pl.In.InFlight() != 0 {
+				return false
+			}
+			if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
+				return false
+			}
+			if pl.CtrlIn != nil && pl.CtrlIn.InFlight() != 0 {
+				return false
+			}
 		}
 	}
 	if r.srcCount != nil {
@@ -631,6 +752,14 @@ func (r *Router) Tick(now uint64) {
 
 // receiveCtrl applies neighbors' mode notifications.
 func (r *Router) receiveCtrl(now uint64) {
+	// inbox[2] counts ctrl values in flight toward this node: zero
+	// means every Recv below would miss, so the scan is skipped
+	// outright. In bless-mode steady state no ctrl traffic exists at
+	// all, so this turns the per-cycle ctrl poll into one load.
+	// (Nonzero does not imply an arrival now — the scan still polls.)
+	if r.inbox != nil && r.inbox[2] == 0 {
+		return
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.CtrlIn == nil {
@@ -664,6 +793,9 @@ func (r *Router) receiveCtrl(now uint64) {
 
 // receiveCredits applies credit backflow from tracked neighbors.
 func (r *Router) receiveCredits(now uint64) {
+	if r.inbox != nil && r.inbox[1] == 0 {
+		return // see receiveCtrl: no credits in flight toward this node
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.CreditIn == nil {
@@ -713,6 +845,9 @@ func (r *Router) usableOut(f *flit.Flit, d topology.Dir) bool {
 // credit accounting arrive at or after bufferedFrom (see the package
 // comment), so buffering them can never overflow.
 func (r *Router) receive(now uint64) {
+	if r.inbox != nil && r.inbox[0] == 0 {
+		return // see receiveCtrl: no flits in flight toward this node
+	}
 	buffered := r.mode == ModeBuffered ||
 		(r.mode == ModeSwitching && now >= r.bufferedFrom)
 	for _, d := range r.nbr {

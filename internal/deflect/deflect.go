@@ -38,25 +38,28 @@ type latched struct {
 }
 
 // Router is a backpressureless deflection router for one node.
+//
+// The field order is a deliberate hot/cold split (see core.Router): the
+// leading fields are what the quiescence probe and FastForward touch
+// every cycle; the tail is cold configuration/fault/stats state.
+// Routers are normally carved from a Slab in ascending node order —
+// band-major for the sharded tick's row bands.
 type Router struct {
-	mesh topology.Mesh
-	node topology.NodeID
+	// --- hot tick-path core (Quiescent + FastForward) ---
 
-	wires router.Wires
-	src   router.LocalSource
-	sink  router.LocalSink
-	meter *energy.Meter
-
-	defl       *router.Deflector
-	injArb     *router.RoundRobin
-	ejectWidth int
-
+	// dead freezes the router entirely (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true; latched
+	// flits stay parked and countable.
+	dead    bool
 	latches []latched
-	flits   []*flit.Flit // scratch, parallel prefix of latches
-	// nbr lists the directions with a wired inbound data pipe, so the
-	// per-cycle receive and quiescence loops skip the empty ports of edge
-	// and corner routers.
-	nbr []topology.Dir
+	// inbox, when non-nil, is this router's slot of the network's
+	// per-node aggregate in-flight slab (link.Pipe.SetTally): one load
+	// replaces Quiescent's pipe scan. Nil falls back to the scan.
+	inbox *[3]int32
+	meter *energy.Meter
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
+	injArb   router.RoundRobin
 
 	// injArmedAt models the per-VN injection-stage registers: a flit at
 	// the head of a VN's NI queue becomes eligible for port assignment
@@ -64,8 +67,15 @@ type Router struct {
 	// 2-cycle router pipeline as network flits.
 	injArmedAt [flit.NumVNs]uint64
 
-	// srcCount is src when it can report its queue total in O(1).
-	srcCount router.QueuedCounter
+	// --- active-tick working set ---
+
+	defl  router.Deflector
+	flits []*flit.Flit // scratch, parallel prefix of latches
+	// nbr lists the directions with a wired inbound data pipe, so the
+	// per-cycle receive and quiescence loops skip the empty ports of edge
+	// and corner routers. A view into the network's shared
+	// topology.Tables under slab construction.
+	nbr []topology.Dir
 
 	// blockedOut marks output ports whose data link is fault-blocked
 	// (dead, or throttled closed this duty window); port assignment
@@ -77,10 +87,16 @@ type Router struct {
 	// draining the no-output condition stays legitimate even after a
 	// throttled link reopens and blockedCount returns to zero.
 	parked int
-	// dead freezes the router entirely (fault injection): Tick and
-	// FastForward become no-ops and Quiescent reports true; latched
-	// flits stay parked and countable.
-	dead bool
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+
+	// --- cold config/stats tail ---
+
+	mesh       topology.Mesh
+	node       topology.NodeID
+	ejectWidth int
 
 	// Stats
 	routedFlits  uint64
@@ -89,31 +105,75 @@ type Router struct {
 	injected     uint64
 }
 
-// New returns a deflection router at node. rng drives the randomized
-// arbitration policy.
+// Slab is a contiguous bank of deflection routers, carved in ascending
+// node order (band-major for the sharded tick's row bands).
+type Slab struct {
+	routers []Router
+	next    int
+}
+
+// NewSlab returns a slab with room for count routers.
+func NewSlab(count int) *Slab {
+	return &Slab{routers: make([]Router, count)}
+}
+
+// New returns a standalone deflection router at node (a slab of one).
+// rng drives the randomized arbitration policy.
 func New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
 	ejectWidth int, rng *rand.Rand, wires router.Wires, src router.LocalSource,
 	sink router.LocalSink, meter *energy.Meter) *Router {
+	return NewSlab(1).New(mesh, node, policy, ejectWidth, rng, wires, src, sink, meter, nil)
+}
 
-	r := &Router{
-		mesh:       mesh,
-		node:       node,
-		wires:      wires,
-		src:        src,
-		sink:       sink,
-		meter:      meter,
-		defl:       router.NewDeflector(mesh, node, policy, rng),
-		injArb:     router.NewRoundRobin(flit.NumVNs),
-		ejectWidth: ejectWidth,
+// New carves the next router from the slab and initializes it at node.
+// tables, when non-nil, provides the shared route tables and neighbor
+// lists; nil builds private copies from the mesh.
+func (s *Slab) New(mesh topology.Mesh, node topology.NodeID, policy router.DeflectPolicy,
+	ejectWidth int, rng *rand.Rand, wires router.Wires, src router.LocalSource,
+	sink router.LocalSink, meter *energy.Meter, tables *topology.Tables) *Router {
+
+	if s.next >= len(s.routers) {
+		panic("deflect: router slab exhausted")
 	}
-	r.srcCount, _ = src.(router.QueuedCounter)
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		if wires.Ports[d].In != nil {
-			r.nbr = append(r.nbr, d)
+	r := &s.routers[s.next]
+	r.mesh = mesh
+	r.node = node
+	r.wires = wires
+	r.src = src
+	r.sink = sink
+	r.meter = meter
+	r.ejectWidth = ejectWidth
+	r.injArb.Init(flit.NumVNs)
+	var routes topology.RouteTable
+	if tables != nil {
+		routes = tables.Routes(node)
+		r.nbr = tables.Neighbors(node)
+	} else {
+		routes = mesh.Routes(node)
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if wires.Ports[d].In != nil {
+				r.nbr = append(r.nbr, d)
+			}
 		}
 	}
+	r.defl.Init(mesh, node, policy, rng, routes)
+	r.srcCount, _ = src.(router.QueuedCounter)
+	s.next++
 	return r
 }
+
+// SetInbox attaches the router's slot of the network's per-node
+// aggregate in-flight slab (see link.Pipe.SetTally). Build-time wiring,
+// kept across Reset.
+func (r *Router) SetInbox(t *[3]int32) { r.inbox = t }
+
+// DORTable exposes the deflector's per-destination DOR table and
+// NeighborDirs the wired-direction list (aliasing tests assert they
+// share the network's topology.Tables backing).
+func (r *Router) DORTable() []topology.Dir { return r.defl.DORTable() }
+
+// NeighborDirs reports the router's wired mesh directions.
+func (r *Router) NeighborDirs() []topology.Dir { return r.nbr }
 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
@@ -338,6 +398,11 @@ func (r *Router) stamp(now uint64, f *flit.Flit) {
 
 // receive latches this cycle's arrivals for dispatch next cycle.
 func (r *Router) receive(now uint64) {
+	// inbox is the aggregate in-flight count toward this node: zero
+	// means every Recv below would miss, so skip the scan outright.
+	if r.inbox != nil && r.inbox[0] == 0 {
+		return
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if f, ok := pl.In.Recv(now); ok {
@@ -368,9 +433,19 @@ func (r *Router) Quiescent(now uint64) bool {
 	if len(r.latches) != 0 {
 		return false
 	}
-	for _, d := range r.nbr {
-		if r.wires.Ports[d].In.InFlight() != 0 {
+	if r.inbox != nil {
+		// One aggregate load (maintained by the inbound pipes' tally
+		// hooks) replaces the per-direction InFlight scan. Deflection
+		// networks carry no credit/control traffic, so the aggregate
+		// equals the data-pipe sum exactly.
+		if r.inbox[0] != 0 {
 			return false
+		}
+	} else {
+		for _, d := range r.nbr {
+			if r.wires.Ports[d].In.InFlight() != 0 {
+				return false
+			}
 		}
 	}
 	if r.srcCount != nil {

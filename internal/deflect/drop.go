@@ -24,18 +24,24 @@ type Nacker interface {
 // point (it saturates at lower loads than deflection, which the open-loop
 // sweep bench reproduces).
 type DropRouter struct {
-	mesh topology.Mesh
-	node topology.NodeID
+	// --- hot tick-path core (Quiescent + FastForward; see Router) ---
 
-	wires router.Wires
-	src   router.LocalSource
-	sink  router.LocalSink
+	// dead freezes the router entirely (fault injection); see
+	// Router.SetDead.
+	dead    bool
+	latches []latched
+	// inbox, when non-nil, replaces Quiescent's pipe scan with one
+	// aggregate load (see Router.inbox).
+	inbox *[3]int32
 	meter *energy.Meter
-	nack  Nacker
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount   router.QueuedCounter
+	injArb     router.RoundRobin
+	injArmedAt [flit.NumVNs]uint64
 
-	rng        *rand.Rand
-	injArb     *router.RoundRobin
-	ejectWidth int
+	// --- active-tick working set ---
+
+	rng *rand.Rand
 	// cols, when non-nil, is the columnar flit bank destinations are read
 	// through (nil = struct reference path).
 	cols *flit.Columns
@@ -44,26 +50,31 @@ type DropRouter struct {
 	// site outside the NI). Nil keeps the serial flit.Recycle path.
 	ashard *flit.ArenaShard
 
-	latches    []latched
-	order      []int
-	injArmedAt [flit.NumVNs]uint64
-	// routes is node's precomputed route table (see topology.Routes).
+	order []int
+	// routes is node's precomputed route table — a view into the
+	// network's shared topology.Tables under slab construction, a
+	// private copy otherwise.
 	routes topology.RouteTable
 	// nbr lists the directions with a wired inbound data pipe (see
 	// Router.nbr).
 	nbr []topology.Dir
-
-	// srcCount is src when it can report its queue total in O(1).
-	srcCount router.QueuedCounter
 
 	// blockedOut marks output ports whose data link is fault-blocked;
 	// productiveFree treats them like missing links, so a flit whose
 	// productive ports all died is dropped and NACKed — the drop kind's
 	// natural fault response.
 	blockedOut [topology.NumDirs]bool
-	// dead freezes the router entirely (fault injection); see
-	// Router.SetDead.
-	dead bool
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+	nack  Nacker
+
+	// --- cold config/stats tail ---
+
+	mesh       topology.Mesh
+	node       topology.NodeID
+	ejectWidth int
 
 	// Stats
 	routedFlits  uint64
@@ -71,32 +82,74 @@ type DropRouter struct {
 	ejectedFlits uint64
 }
 
-// NewDrop returns a drop-based backpressureless router at node.
+// DropSlab is a contiguous bank of drop routers, carved in ascending
+// node order (band-major for the sharded tick's row bands).
+type DropSlab struct {
+	routers []DropRouter
+	next    int
+}
+
+// NewDropSlab returns a slab with room for count routers.
+func NewDropSlab(count int) *DropSlab {
+	return &DropSlab{routers: make([]DropRouter, count)}
+}
+
+// NewDrop returns a standalone drop-based backpressureless router at
+// node (a slab of one).
 func NewDrop(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand.Rand,
 	wires router.Wires, src router.LocalSource, sink router.LocalSink,
 	meter *energy.Meter, nack Nacker) *DropRouter {
+	return NewDropSlab(1).New(mesh, node, ejectWidth, rng, wires, src, sink, meter, nack, nil)
+}
 
-	r := &DropRouter{
-		mesh:       mesh,
-		node:       node,
-		wires:      wires,
-		src:        src,
-		sink:       sink,
-		meter:      meter,
-		nack:       nack,
-		rng:        rng,
-		injArb:     router.NewRoundRobin(flit.NumVNs),
-		ejectWidth: ejectWidth,
-		routes:     mesh.Routes(node),
+// New carves the next router from the slab and initializes it at node.
+// tables, when non-nil, provides the shared route tables and neighbor
+// lists; nil builds private copies from the mesh.
+func (s *DropSlab) New(mesh topology.Mesh, node topology.NodeID, ejectWidth int, rng *rand.Rand,
+	wires router.Wires, src router.LocalSource, sink router.LocalSink,
+	meter *energy.Meter, nack Nacker, tables *topology.Tables) *DropRouter {
+
+	if s.next >= len(s.routers) {
+		panic("deflect: drop-router slab exhausted")
 	}
-	r.srcCount, _ = src.(router.QueuedCounter)
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		if wires.Ports[d].In != nil {
-			r.nbr = append(r.nbr, d)
+	r := &s.routers[s.next]
+	r.mesh = mesh
+	r.node = node
+	r.wires = wires
+	r.src = src
+	r.sink = sink
+	r.meter = meter
+	r.nack = nack
+	r.rng = rng
+	r.ejectWidth = ejectWidth
+	r.injArb.Init(flit.NumVNs)
+	if tables != nil {
+		r.routes = tables.Routes(node)
+		r.nbr = tables.Neighbors(node)
+	} else {
+		r.routes = mesh.Routes(node)
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if wires.Ports[d].In != nil {
+				r.nbr = append(r.nbr, d)
+			}
 		}
 	}
+	r.srcCount, _ = src.(router.QueuedCounter)
+	s.next++
 	return r
 }
+
+// SetInbox attaches the router's slot of the network's per-node
+// aggregate in-flight slab (see link.Pipe.SetTally).
+func (r *DropRouter) SetInbox(t *[3]int32) { r.inbox = t }
+
+// DORTable exposes the per-destination DOR table and NeighborDirs the
+// wired-direction list (aliasing tests assert they share the network's
+// topology.Tables backing).
+func (r *DropRouter) DORTable() []topology.Dir { return r.routes.DOR }
+
+// NeighborDirs reports the router's wired mesh directions.
+func (r *DropRouter) NeighborDirs() []topology.Dir { return r.nbr }
 
 // Node implements router.Router.
 func (r *DropRouter) Node() topology.NodeID { return r.node }
@@ -162,9 +215,15 @@ func (r *DropRouter) Quiescent(now uint64) bool {
 	if len(r.latches) != 0 {
 		return false
 	}
-	for _, d := range r.nbr {
-		if r.wires.Ports[d].In.InFlight() != 0 {
+	if r.inbox != nil {
+		if r.inbox[0] != 0 {
 			return false
+		}
+	} else {
+		for _, d := range r.nbr {
+			if r.wires.Ports[d].In.InFlight() != 0 {
+				return false
+			}
 		}
 	}
 	if r.srcCount != nil {
@@ -332,6 +391,11 @@ func (r *DropRouter) inject(now uint64, taken *[topology.NumDirs]bool) {
 }
 
 func (r *DropRouter) receive(now uint64) {
+	// See Router.receive: zero aggregate in-flight means every Recv
+	// below would miss.
+	if r.inbox != nil && r.inbox[0] == 0 {
+		return
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if f, ok := pl.In.Recv(now); ok {

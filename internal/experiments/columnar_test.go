@@ -70,3 +70,56 @@ func TestColumnarEqualsReference(t *testing.T) {
 		}
 	}
 }
+
+// TestPayloadElisionEqualsColumnar is the gate on the payload-elision
+// mode: dropping the payload column must be behaviorally invisible —
+// FlitPayload falls back to the struct field, which packetization
+// always writes, so delivered payload tags (and everything downstream
+// of them) stay bit-identical. Every kind, two seeds, two load levels,
+// checker attached.
+func TestPayloadElisionEqualsColumnar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every kind x seed x rate twice")
+	}
+	seeds := []int64{1, 3}
+	rates := []float64{0.05, 0.45}
+	type cellKey struct {
+		kind network.Kind
+		seed int64
+		rate float64
+	}
+	var cells []cellKey
+	for k := network.Kind(0); k < network.NumKinds; k++ {
+		for _, seed := range seeds {
+			for _, rate := range rates {
+				cells = append(cells, cellKey{k, seed, rate})
+			}
+		}
+	}
+	base := Options{
+		OpenLoopWarmup:  500,
+		OpenLoopMeasure: 1500,
+		Check:           true,
+		Parallelism:     8,
+	}
+	run := func(elide bool) []activeSetSnap {
+		opt := base
+		opt.ElidePayload = elide
+		outs, err := runner.Map(len(cells), opt.pool(), func(i int) (activeSetSnap, error) {
+			c := cells[i]
+			return activeSetCell(c.kind, c.seed, c.rate, opt), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	full := run(false)
+	elided := run(true)
+	for i, c := range cells {
+		if !reflect.DeepEqual(full[i], elided[i]) {
+			t.Errorf("%v seed %d rate %.2f: payload elision diverged:\nfull:   %+v\nelided: %+v",
+				c.kind, c.seed, c.rate, full[i], elided[i])
+		}
+	}
+}

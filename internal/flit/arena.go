@@ -81,6 +81,20 @@ func (a *Arena) EnableColumns() {
 	}
 }
 
+// ElidePayloadColumn drops the payload column from the banks (see
+// Columns.elidePayload). Call between EnableColumns and the first
+// Packetize — rows minted earlier would desync the column indices.
+// No-op without columns.
+func (a *Arena) ElidePayloadColumn() {
+	if a.cols == nil {
+		return
+	}
+	if len(a.cols.dst) != 0 {
+		panic("flit: ElidePayloadColumn after rows were minted")
+	}
+	a.cols.elidePayload = true
+}
+
 // Columns returns the arena's columnar banks, nil when disabled (or for
 // a nil arena — the -nopool path implies no columns).
 func (a *Arena) Columns() *Columns {

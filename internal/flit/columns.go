@@ -29,6 +29,13 @@ type Columns struct {
 	payload []uint64
 	age     []uint64 // InjectedAt mirror
 	defl    []uint32 // Deflections mirror
+
+	// elidePayload drops the payload column: the tag is an opaque
+	// value the hot datapath never reads (only delivery hands it back),
+	// so eliding the column shrinks each row by 8 bytes and FlitPayload
+	// reads the struct field instead — which fill always writes, so the
+	// answer is bit-identical. Set before the first row is minted.
+	elidePayload bool
 }
 
 // Payload classes, derivable from the packet length at packetization
@@ -50,7 +57,9 @@ func (c *Columns) grow(n int) uint32 {
 		c.length = append(c.length, 0)
 		c.pid = append(c.pid, 0)
 		c.created = append(c.created, 0)
-		c.payload = append(c.payload, 0)
+		if !c.elidePayload {
+			c.payload = append(c.payload, 0)
+		}
 		c.age = append(c.age, 0)
 		c.defl = append(c.defl, 0)
 	}
@@ -71,7 +80,9 @@ func (c *Columns) fill(ref uint32, p Packet, i int) {
 	c.length[ref] = uint16(p.Len)
 	c.pid[ref] = p.ID
 	c.created[ref] = p.CreatedAt
-	c.payload[ref] = p.Payload
+	if !c.elidePayload {
+		c.payload[ref] = p.Payload
+	}
 	c.age[ref] = 0
 	c.defl[ref] = 0
 }
@@ -146,13 +157,18 @@ func (c *Columns) FlitCreatedAt(f *Flit) uint64 {
 	return f.CreatedAt
 }
 
-// FlitPayload returns f's opaque payload tag.
+// FlitPayload returns f's opaque payload tag. With the payload column
+// elided it reads the struct field, which packetization always writes.
 func (c *Columns) FlitPayload(f *Flit) uint64 {
-	if c != nil && f.ref != NoRef {
+	if c != nil && !c.elidePayload && f.ref != NoRef {
 		return c.payload[f.ref]
 	}
 	return f.Payload
 }
+
+// PayloadElided reports whether the payload column is elided (tests and
+// the bench snapshot record it alongside the numbers).
+func (c *Columns) PayloadElided() bool { return c != nil && c.elidePayload }
 
 // FlitAge returns f's injection cycle (the oldest-first deflection
 // policy's age key).

@@ -31,6 +31,22 @@ type Pipe[T any] struct {
 	inflight int
 	sends    uint64
 
+	// tally, when non-nil, points at a receiver-owned aggregate
+	// in-flight counter shared by every pipe inbound to one router: the
+	// network gives all of a node's In/CreditIn/CtrlIn pipes the same
+	// slot of a contiguous per-node slab, so the router's quiescence
+	// check replaces up to twelve pipe dereferences with a single load.
+	// The counter mirrors the sum of those pipes' inflight fields at
+	// every observation point, because both move in the same places: a
+	// ring commit (send) increments, a successful Recv decrements, and
+	// Reset subtracts what the ring still held. Shard-safe by the same
+	// argument as the ring itself — send() on a staged boundary pipe
+	// runs in CommitStaged on the receiving shard's worker, unstaged
+	// pipes connect endpoints of one shard, and Recv is the receiver's
+	// own — so every access to a node's slot happens on the shard that
+	// owns the node (or in serial phase).
+	tally *int32
+
 	// Staged-send mode for pipes that cross a shard boundary (see the
 	// sharded tick in internal/network). When staged, Send parks the
 	// value in a sender-owned register instead of touching the ring, so
@@ -75,10 +91,19 @@ func NewPipe[T any](lat int) *Pipe[T] {
 // Latency returns the pipe's latency in cycles.
 func (p *Pipe[T]) Latency() int { return p.lat }
 
+// SetTally attaches (or, with nil, detaches) the receiver's aggregate
+// in-flight counter. Build-time wiring owned by the network, like
+// staging; Reset keeps it. Must be called while the pipe is empty —
+// the counter starts mirroring from zero.
+func (p *Pipe[T]) SetTally(t *int32) { p.tally = t }
+
 // Reset empties the pipe and zeroes its counters, restoring the state of
 // a freshly constructed pipe of the same latency (the backing arrays are
 // kept). Part of the cross-cell network-reuse path.
 func (p *Pipe[T]) Reset() {
+	if p.tally != nil {
+		*p.tally -= int32(p.inflight)
+	}
 	var zero T
 	for i := range p.vals {
 		p.vals[i] = zero
@@ -142,6 +167,9 @@ func (p *Pipe[T]) send(now uint64, v T) {
 	p.occupied[s] = true
 	p.inflight++
 	p.sends++
+	if p.tally != nil {
+		*p.tally++
+	}
 }
 
 // SetStaged switches the pipe into staged-send mode, parking sends for
@@ -246,6 +274,9 @@ func (p *Pipe[T]) Recv(now uint64) (T, bool) {
 	p.vals[s] = zero
 	p.occupied[s] = false
 	p.inflight--
+	if p.tally != nil {
+		*p.tally--
+	}
 	return v, true
 }
 
@@ -365,3 +396,57 @@ func NewCredit(lat int) *CreditLink { return NewPipe[Credit](lat) }
 
 // NewCtrl returns a control line with the given latency.
 func NewCtrl(lat int) *CtrlLink { return NewPipe[Ctrl](lat) }
+
+// Slab preallocates a fixed number of same-latency pipes as one
+// contiguous block: the Pipe structs sit in a single backing array and
+// their rings are carved from two shared arrays, in carve order. The
+// network carves its links in ascending-node wiring order, which for
+// row-banded shards is band-major — a shard's boundary traffic and its
+// routers' inbound rings land in one contiguous working set instead of
+// thousands of individually heap-allocated rings.
+type Slab[T any] struct {
+	lat     int
+	ringLen int
+	pipes   []Pipe[T]
+	vals    []T
+	occ     []bool
+	next    int
+}
+
+// NewSlab returns a slab of count pipes with the given latency. Like
+// NewPipe it panics on lat < 1.
+func NewSlab[T any](count, lat int) *Slab[T] {
+	if lat < 1 {
+		panic(fmt.Sprintf("link: pipe latency must be >= 1, got %d", lat))
+	}
+	n := 1
+	for n < lat+1 {
+		n <<= 1
+	}
+	return &Slab[T]{
+		lat:     lat,
+		ringLen: n,
+		pipes:   make([]Pipe[T], count),
+		vals:    make([]T, count*n),
+		occ:     make([]bool, count*n),
+	}
+}
+
+// New carves the next pipe from the slab. It panics when the slab is
+// exhausted — the caller sized it from the same edge enumeration it
+// carves with, so running out is a wiring bug, not a resize condition.
+func (s *Slab[T]) New() *Pipe[T] {
+	if s.next >= len(s.pipes) {
+		panic("link: pipe slab exhausted")
+	}
+	p := &s.pipes[s.next]
+	lo, hi := s.next*s.ringLen, (s.next+1)*s.ringLen
+	*p = Pipe[T]{
+		lat:      s.lat,
+		mask:     s.ringLen - 1,
+		vals:     s.vals[lo:hi:hi],
+		occupied: s.occ[lo:hi:hi],
+	}
+	s.next++
+	return p
+}

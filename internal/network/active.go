@@ -43,6 +43,18 @@ func NoColumnarFromEnv() bool {
 	return envSet(NoColumnarEnvVar)
 }
 
+// ElidePayloadEnvVar drops the arena's payload column in every harness
+// that consults ElidePayloadFromEnv (cmd/afcsim, cmd/figures,
+// cmd/sweep, cmd/benchjson).
+const ElidePayloadEnvVar = "AFCSIM_ELIDEPAYLOAD"
+
+// ElidePayloadFromEnv reports whether AFCSIM_ELIDEPAYLOAD requests
+// payload-column elision. Any value other than empty, "0", "false",
+// "no" or "off" drops the column; results are bit-for-bit identical.
+func ElidePayloadFromEnv() bool {
+	return envSet(ElidePayloadEnvVar)
+}
+
 // ShardsEnvVar sets the default shard count of the sharded tick in every
 // harness that consults ShardsFromEnv (cmd/afcsim, cmd/figures,
 // cmd/sweep, cmd/benchjson). Values <= 1 (or anything unparseable) keep

@@ -56,6 +56,25 @@ func TestLargeMesh32x32ShardedSmoke(t *testing.T) {
 	largeMeshSmoke(t, 32, 0.04, 2500, 8)
 }
 
+// TestLargeMesh64x64Smoke is the kilonode record cell: a 64x64 AFC
+// network (4096 nodes), the regime the slab-resident router state
+// targets, under brief sub-saturation uniform load (0.02
+// flits/node/cycle — the bisection limit halves again from 32x32) with
+// the invariant checker attached. It runs in short mode so `make
+// smoke-64x64` can gate CI; the cycle count is kept low because a
+// serial 64x64 cycle costs ~4x the 32x32 cell's.
+func TestLargeMesh64x64Smoke(t *testing.T) {
+	largeMeshSmoke(t, 64, 0.02, 1200, 0)
+}
+
+// TestLargeMesh64x64ShardedSmoke is the 64x64 cell through the sharded
+// tick at 8 shards (eight rows per band), checker attached: the
+// coarsest parallel grain the repo records, where each band's working
+// set spans 512 routers and the slab layout matters most.
+func TestLargeMesh64x64ShardedSmoke(t *testing.T) {
+	largeMeshSmoke(t, 64, 0.02, 1200, 8)
+}
+
 func largeMeshSmoke(t *testing.T, side int, rate float64, cycles uint64, shards int) {
 	n := network.New(network.Config{
 		Kind: network.AFC, Seed: 7, MeterEnergy: true, Shards: shards,

@@ -118,6 +118,13 @@ type Config struct {
 	// equivalence tests (see also NoColumnarEnvVar). NoPool implies it:
 	// without an arena there are no columnar rows to read.
 	NoColumnar bool
+	// ElidePayload drops the payload column from the columnar banks:
+	// the opaque payload tag is never read on the hot datapath (only
+	// delivery hands it back to the traffic layer, through a struct
+	// field packetization always writes), so eliding the column shrinks
+	// every columnar row by 8 bytes. Results are bit-for-bit identical
+	// either way. No effect with NoPool or NoColumnar.
+	ElidePayload bool
 	// Shards splits the router bank's tick across a persistent worker
 	// group: the mesh is partitioned into contiguous row bands, each
 	// band's routers tick in parallel with all cross-shard effects staged
@@ -141,6 +148,26 @@ type Network struct {
 	meters  []*energy.Meter
 	links   []*link.Data
 	wires   []router.Wires
+
+	// tables is the shared per-mesh route-table/neighbor-list storage
+	// every router (and deflector) aliases — one O(N²) block per
+	// network instead of one per consumer.
+	tables *topology.Tables
+	// inbox is the per-node aggregate in-flight slab: inbox[v] mirrors
+	// the summed InFlight of every pipe inbound to v's router
+	// (link.Pipe.SetTally), split by pipe class — [0] data, [1] credit,
+	// [2] ctrl — so the quiescence probe reads one cache line and each
+	// receive scan skips outright when its class is idle (in bless-mode
+	// steady state the credit and ctrl counters stay zero). Node-ordered,
+	// so it is band-major for the sharded tick and each shard touches a
+	// private range.
+	inbox [][3]int32
+	// coreSlab is the contiguous router bank for AFC kinds (nil for the
+	// others); its counterparts for the remaining kinds live below.
+	coreSlab *core.Slab
+	vcSlab   *vcrouter.Slab
+	deflSlab *deflect.Slab
+	dropSlab *deflect.DropSlab
 
 	// baseTickers marks the kernel registrations made by build itself
 	// (router bank + housekeeping); Reset truncates back to it, dropping
@@ -210,6 +237,9 @@ func New(cfg Config) *Network {
 		n.arena = flit.NewArena()
 		if !cfg.NoColumnar {
 			n.arena.EnableColumns()
+			if cfg.ElidePayload {
+				n.arena.ElidePayloadColumn()
+			}
 		}
 	}
 	n.build()
@@ -227,19 +257,37 @@ func (n *Network) build() {
 	dataLat := sys.LinkLatency + 1 // switch traversal folded into the link
 	sideLat := sys.LinkLatency
 
-	// Create one set of channels per directed edge. Pipes whose endpoints
-	// land in different shards go into staged-send mode: their sends park
-	// sender-side during the parallel phase and commit in the drain (see
-	// shard.go); stagePipes collects them in fixed drain order.
+	// Shared route tables and the per-node in-flight slab (see the
+	// field comments).
+	n.tables = n.mesh.NewTables()
+	n.inbox = make([][3]int32, nodes)
+
+	// Create one set of channels per directed edge, carved from three
+	// contiguous pipe slabs in wiring order (ascending node = band-major
+	// for the sharded tick). Pipes whose endpoints land in different
+	// shards go into staged-send mode: their sends park sender-side
+	// during the parallel phase and commit in the drain (see shard.go);
+	// stagePipes collects them in fixed drain order.
+	edges := 0
+	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if _, ok := n.mesh.Neighbor(node, d); ok {
+				edges++
+			}
+		}
+	}
+	dataSlab := link.NewSlab[*flit.Flit](edges, dataLat)
+	creditSlab := link.NewSlab[link.Credit](edges, sideLat)
+	ctrlSlab := link.NewSlab[link.Ctrl](edges, sideLat)
 	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
 			nb, ok := n.mesh.Neighbor(node, d)
 			if !ok {
 				continue
 			}
-			data := link.NewData(dataLat)
-			credit := link.NewCredit(sideLat)
-			ctrl := link.NewCtrl(sideLat)
+			data := dataSlab.New()
+			credit := creditSlab.New()
+			ctrl := ctrlSlab.New()
 			n.links = append(n.links, data)
 
 			// Sender side at node, direction d.
@@ -252,15 +300,40 @@ func (n *Network) build() {
 			wires[nb].Ports[op].CreditOut = credit
 			wires[nb].Ports[op].CtrlIn = ctrl
 
+			// Each pipe tallies into its receiver's inbox slot, in its
+			// class column: data and ctrl flow node -> nb, credit flows
+			// back.
+			data.SetTally(&n.inbox[nb][0])
+			ctrl.SetTally(&n.inbox[nb][2])
+			credit.SetTally(&n.inbox[node][1])
+
 			n.stagePipes(node, nb, data, credit, ctrl)
 		}
+	}
+
+	// One contiguous router bank per kind, carved in ascending node
+	// order below — band-major for the sharded tick's row bands, so each
+	// shard's phase-A sweep walks a private contiguous range.
+	switch n.cfg.Kind {
+	case Backpressured, BackpressuredIdealBypass:
+		n.vcSlab = vcrouter.NewSlab(nodes, sys.Baseline)
+	case Bless:
+		n.deflSlab = deflect.NewSlab(nodes)
+	case BlessDrop:
+		n.dropSlab = deflect.NewDropSlab(nodes)
+	case AFC, AFCAlwaysBuffered:
+		n.coreSlab = core.NewSlab(nodes, sys.AFC, sys.LinkLatency)
 	}
 
 	n.nis = make([]*ni.NI, nodes)
 	n.meters = make([]*energy.Meter, nodes)
 	n.routers = make([]router.Router, nodes)
+	// NIs live in one contiguous slab carved in node order, so the
+	// housekeeping sweep (SampleQueues over all nodes) walks memory
+	// sequentially instead of chasing per-node heap objects.
+	niSlab := ni.NewSlab(nodes)
 	for node := topology.NodeID(0); node < topology.NodeID(nodes); node++ {
-		n.nis[node] = ni.New(node)
+		n.nis[node] = niSlab.New(node)
 		n.nis[node].SetArena(n.arena)
 		if n.shards > 1 {
 			// Create hooks (trace recording) write cross-shard state, so
@@ -278,6 +351,9 @@ func (n *Network) build() {
 		}
 		n.meters[node] = meter
 		n.routers[node] = n.newRouter(node, wires[node], meter)
+		if ib, ok := n.routers[node].(interface{ SetInbox(*[3]int32) }); ok {
+			ib.SetInbox(&n.inbox[node])
+		}
 	}
 	// Hand the columnar banks to every router; a nil result (NoPool or
 	// NoColumnar) selects the struct-field reference path everywhere.
@@ -317,9 +393,9 @@ func (n *Network) newRouter(node topology.NodeID, w router.Wires, meter *energy.
 	nif := n.nis[node]
 	switch n.cfg.Kind {
 	case Backpressured, BackpressuredIdealBypass:
-		return vcrouter.New(n.mesh, node, sys.Baseline, sys.EjectWidth, w, nif, nif, meter)
+		return n.vcSlab.New(n.mesh, node, sys.Baseline, sys.EjectWidth, w, nif, nif, meter, n.tables)
 	case Bless:
-		return deflect.New(n.mesh, node, n.cfg.Policy, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter)
+		return n.deflSlab.New(n.mesh, node, n.cfg.Policy, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter, n.tables)
 	case BlessDrop:
 		nif.SetRetain(true)
 		// ACK the source on delivery so it stops retransmitting; the
@@ -334,14 +410,14 @@ func (n *Network) newRouter(node topology.NodeID, w router.Wires, meter *energy.
 			}
 			n.nis[d.Src].ClearRetained(d.ID)
 		})
-		return deflect.NewDrop(n.mesh, node, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
-			&nodeNacker{net: n, node: node})
+		return n.dropSlab.New(n.mesh, node, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			&nodeNacker{net: n, node: node}, n.tables)
 	case AFC:
-		return core.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
-			core.Options{Policy: n.cfg.Policy, MisrouteThreshold: n.cfg.MisrouteThreshold})
+		return n.coreSlab.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			core.Options{Policy: n.cfg.Policy, MisrouteThreshold: n.cfg.MisrouteThreshold, Tables: n.tables})
 	case AFCAlwaysBuffered:
-		return core.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
-			core.Options{AlwaysBuffered: true, Policy: n.cfg.Policy})
+		return n.coreSlab.New(n.mesh, node, sys.AFC, sys.LinkLatency, sys.EjectWidth, n.source.Stream(), w, nif, nif, meter,
+			core.Options{AlwaysBuffered: true, Policy: n.cfg.Policy, Tables: n.tables})
 	}
 	panic(fmt.Sprintf("network: unknown kind %v", n.cfg.Kind))
 }

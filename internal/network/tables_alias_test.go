@@ -1,0 +1,51 @@
+package network
+
+import (
+	"testing"
+
+	"afcnet/internal/topology"
+)
+
+// TestRouteTablesAliasSharedStorage is the memory guard on the shared
+// route tables: every router kind's per-destination DOR table and
+// neighbor-direction list must be views into the network's one
+// topology.Tables backing, not private copies. The check is slice
+// identity (same first element address), so a regression that quietly
+// rebuilds a private table — reintroducing O(N²) memory per router,
+// gigabytes at 64×64 — fails here on a 3×3 mesh.
+func TestRouteTablesAliasSharedStorage(t *testing.T) {
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := newTestNet(t, kind, 3)
+			for node := 0; node < n.Nodes(); node++ {
+				id := topology.NodeID(node)
+				r := n.Router(id)
+				rt, ok := r.(interface {
+					DORTable() []topology.Dir
+					NeighborDirs() []topology.Dir
+				})
+				if !ok {
+					t.Fatalf("node %d: %T exposes no route-table accessors", node, r)
+				}
+				want := n.tables.Routes(id)
+				dor := rt.DORTable()
+				if len(dor) != len(want.DOR) || &dor[0] != &want.DOR[0] {
+					t.Errorf("node %d: DOR table is a private copy, not a view of the shared tables", node)
+				}
+				wantNbr := n.tables.Neighbors(id)
+				nbr := rt.NeighborDirs()
+				if len(nbr) != len(wantNbr) || &nbr[0] != &wantNbr[0] {
+					t.Errorf("node %d: neighbor list is a private copy, not a view of the shared tables", node)
+				}
+				// AFC routers carry a second consumer of the same table:
+				// their embedded deflector must alias it too, not copy it.
+				if d, ok := r.(interface{ DeflectorDORTable() []topology.Dir }); ok {
+					dd := d.DeflectorDORTable()
+					if len(dd) != len(want.DOR) || &dd[0] != &want.DOR[0] {
+						t.Errorf("node %d: deflector DOR table is a private copy, not a view of the shared tables", node)
+					}
+				}
+			}
+		})
+	}
+}

@@ -73,8 +73,16 @@ func (p *pending) mark(seq int) bool {
 
 // NI is the network interface of one node. It implements
 // router.LocalSource and router.LocalSink.
+//
+// The leading fields are the per-cycle working set (the router's
+// Peek/Pop/QueuedFlits calls and the wake flag); NIs are normally
+// carved from a Slab in ascending node order so those fields of
+// adjacent nodes share cache lines during the housekeeping sweep.
 type NI struct {
 	node topology.NodeID
+
+	queuedFlits int // total across all VN queues, maintained O(1)
+	queues      [flit.NumVNs][]*flit.Flit
 
 	// arena, when set, supplies recycled flit blocks for packetization;
 	// nil means plain heap allocation (the -nopool reference path).
@@ -93,9 +101,7 @@ type NI struct {
 	// otherwise.
 	wake *bool
 
-	nextPkt     uint64
-	queues      [flit.NumVNs][]*flit.Flit
-	queuedFlits int // total across all VN queues, maintained O(1)
+	nextPkt uint64
 
 	reassembly map[uint64]pending
 	handler    Handler
@@ -148,19 +154,41 @@ type NI struct {
 	totalDiscarded uint64 // ejected flits discarded as duplicates/strays
 }
 
-// New returns the network interface for node.
-func New(node topology.NodeID) *NI {
-	return &NI{
-		node:         node,
-		reassembly:   make(map[uint64]pending),
-		retained:     make(map[uint64]flit.Packet),
-		completed:    make(map[uint64]struct{}),
-		epoch:        make(map[uint64]int),
-		queued:       make(map[uint64]int),
-		netLatency:   stats.NewHistogram(4096),
-		totalLatency: stats.NewHistogram(4096),
-		deflections:  stats.NewHistogram(4096),
+// Slab is a contiguous bank of network interfaces, carved in ascending
+// node order (matching the network's housekeeping sweep, and band-major
+// for the sharded tick's row bands).
+type Slab struct {
+	nis  []NI
+	next int
+}
+
+// NewSlab returns a slab with room for count NIs.
+func NewSlab(count int) *Slab {
+	return &Slab{nis: make([]NI, count)}
+}
+
+// New carves the next NI from the slab and initializes it for node.
+func (s *Slab) New(node topology.NodeID) *NI {
+	if s.next >= len(s.nis) {
+		panic("ni: slab exhausted")
 	}
+	n := &s.nis[s.next]
+	s.next++
+	n.node = node
+	n.reassembly = make(map[uint64]pending)
+	n.retained = make(map[uint64]flit.Packet)
+	n.completed = make(map[uint64]struct{})
+	n.epoch = make(map[uint64]int)
+	n.queued = make(map[uint64]int)
+	n.netLatency = stats.NewHistogram(4096)
+	n.totalLatency = stats.NewHistogram(4096)
+	n.deflections = stats.NewHistogram(4096)
+	return n
+}
+
+// New returns the network interface for node (a slab of one).
+func New(node topology.NodeID) *NI {
+	return NewSlab(1).New(node)
 }
 
 // Node returns the node this NI serves.

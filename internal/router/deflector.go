@@ -69,11 +69,30 @@ type Deflector struct {
 	out   []Assignment
 }
 
-// NewDeflector returns a deflector for the router at node.
+// NewDeflector returns a deflector for the router at node, building a
+// private route table. Slab-resident routers use Init with the
+// network's shared tables instead.
 func NewDeflector(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy, rng *rand.Rand) *Deflector {
-	return &Deflector{mesh: mesh, node: node, policy: policy, rng: rng,
-		routes: mesh.Routes(node)}
+	d := &Deflector{}
+	d.Init(mesh, node, policy, rng, mesh.Routes(node))
+	return d
 }
+
+// Init (re)initializes a deflector in place for value embedding, with a
+// caller-provided route table — typically a view into the network's
+// shared topology.Tables, so the O(N²) table exists once per mesh
+// rather than once per deflector.
+func (d *Deflector) Init(mesh topology.Mesh, node topology.NodeID, policy DeflectPolicy, rng *rand.Rand, routes topology.RouteTable) {
+	d.mesh = mesh
+	d.node = node
+	d.policy = policy
+	d.rng = rng
+	d.routes = routes
+}
+
+// DORTable exposes the deflector's per-destination DOR table (aliasing
+// tests assert it shares the network's backing).
+func (d *Deflector) DORTable() []topology.Dir { return d.routes.DOR }
 
 // Reseed rewinds the deflector's arbitration randomness onto a fresh
 // stream root. With the scratch buffers carrying no cross-cycle state,

@@ -87,10 +87,21 @@ type RoundRobin struct {
 
 // NewRoundRobin returns an arbiter over n slots.
 func NewRoundRobin(n int) *RoundRobin {
+	r := &RoundRobin{}
+	r.Init(n)
+	return r
+}
+
+// Init (re)initializes an arbiter over n slots in place, for arbiters
+// embedded by value in slab-resident router state — the cursor then
+// lives inside the router's own cache lines instead of behind a
+// per-port heap pointer.
+func (r *RoundRobin) Init(n int) {
 	if n <= 0 {
 		panic(fmt.Sprintf("router: round-robin over %d slots", n))
 	}
-	return &RoundRobin{n: n}
+	r.n = n
+	r.next = 0
 }
 
 // Pick returns the first index i (scanning round-robin from the pointer)

@@ -59,7 +59,13 @@ type Engine struct {
 	// Per-node per-phase completion-time samples, written by this
 	// node's delivered hook (shard-local: each NI delivers only from
 	// its own router's tick) and merged across nodes at report time.
-	netHist   [][]*stats.Histogram // [node][phase]
+	// Histogram cells start nil and are allocated by the hook on the
+	// first sample they see: at kilonode scale most (node, phase) cells
+	// of a faulted or hotspot run never complete a packet, and eagerly
+	// backing 2*nodes*phases histograms with phaseCap samples each
+	// dominates engine memory. netHist and totHist cells are always
+	// allocated as a pair, so a nil netHist cell implies both are empty.
+	netHist   [][]*stats.Histogram // [node][phase], nil until first sample
 	totHist   [][]*stats.Histogram
 	delivered [][]uint64
 }
@@ -88,13 +94,13 @@ func NewEngine(net *network.Network, gen *traffic.Generator, spec *Spec) *Engine
 		e.netHist[n] = make([]*stats.Histogram, phases)
 		e.totHist[n] = make([]*stats.Histogram, phases)
 		e.delivered[n] = make([]uint64, phases)
-		for p := 0; p < phases; p++ {
-			e.netHist[n][p] = stats.NewHistogram(phaseCap)
-			e.totHist[n][p] = stats.NewHistogram(phaseCap)
-		}
 		nh, th, dc := e.netHist[n], e.totHist[n], e.delivered[n]
 		net.NI(topology.NodeID(n)).SetDeliveredHook(func(now uint64, d ni.Delivered) {
 			ph := e.phase
+			if nh[ph] == nil {
+				nh[ph] = stats.NewHistogram(phaseCap)
+				th[ph] = stats.NewHistogram(phaseCap)
+			}
 			nh[ph].Add(d.NetLatency)
 			th[ph].Add(d.TotalLatency)
 			dc[ph]++
@@ -287,13 +293,17 @@ func (e *Engine) Phases() []PhaseStats {
 		var netSum, totSum, count float64
 		for n := range e.netHist {
 			ps.Delivered += e.delivered[n][p]
-			merge(mergedNet, e.netHist[n][p])
+			h := e.netHist[n][p]
+			if h == nil {
+				continue // no sample ever reached this node in this phase
+			}
+			merge(mergedNet, h)
 			merge(mergedTot, e.totHist[n][p])
 			// Means come from the exact per-node count/sum, not from the
 			// stride-weighted merge (which only approximates counts).
-			c := float64(e.netHist[n][p].Count())
+			c := float64(h.Count())
 			count += c
-			netSum += e.netHist[n][p].Mean() * c
+			netSum += h.Mean() * c
 			totSum += e.totHist[n][p].Mean() * c
 		}
 		if mergedNet.Count() > 0 {

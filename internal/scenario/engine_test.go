@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 
 	"afcnet/internal/network"
+	"afcnet/internal/stats"
 	"afcnet/internal/topology"
 	"afcnet/internal/traffic"
 )
@@ -158,6 +160,53 @@ func TestEnginePhases(t *testing.T) {
 	}
 	if total != net.DeliveredPackets() {
 		t.Errorf("phase deliveries sum to %d, network delivered %d", total, net.DeliveredPackets())
+	}
+}
+
+// TestLazyHistogramsMatchEager pins that allocating the per-node
+// per-phase completion histograms on first sample (the production path)
+// is invisible in the report: pre-allocating every cell the way the
+// engine used to — which the test emulates by filling the tables before
+// the run — must yield bit-identical merged phase stats (p50/p99/p999,
+// means, delivery counts) on an identical same-seed run. It also pins
+// the laziness itself: before any delivery, no cell is allocated.
+func TestLazyHistogramsMatchEager(t *testing.T) {
+	run := func(eager bool) []PhaseStats {
+		net := network.New(network.Config{Kind: network.Bless, Seed: 11})
+		spec := &Spec{
+			Duration: 1500,
+			Rate:     0.12,
+			Events:   []Event{{At: 700, Label: "hot", Pattern: "hotspot:4:0.7"}},
+		}
+		gen := traffic.NewGenerator(net, spec.TrafficConfig(net.Mesh()), net.RandStream)
+		eng := NewEngine(net, gen, spec)
+		for n := range eng.netHist {
+			for p := range eng.netHist[n] {
+				if eng.netHist[n][p] != nil || eng.totHist[n][p] != nil {
+					t.Fatalf("node %d phase %d histogram allocated before any sample", n, p)
+				}
+				if eager {
+					eng.netHist[n][p] = stats.NewHistogram(phaseCap)
+					eng.totHist[n][p] = stats.NewHistogram(phaseCap)
+				}
+			}
+		}
+		net.AddTicker(eng)
+		net.AddTicker(gen)
+		net.Run(spec.Duration)
+		return eng.Phases()
+	}
+	lazy := run(false)
+	eager := run(true)
+	if !reflect.DeepEqual(lazy, eager) {
+		t.Errorf("lazy histogram allocation changed the phase report:\nlazy:  %+v\neager: %+v", lazy, eager)
+	}
+	var total uint64
+	for _, p := range lazy {
+		total += p.Delivered
+	}
+	if total == 0 {
+		t.Fatal("scenario delivered nothing; the comparison is vacuous")
 	}
 }
 

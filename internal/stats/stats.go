@@ -33,10 +33,19 @@ type IntensityMonitor struct {
 // NewIntensityMonitor returns a monitor with EWMA weight w (the paper uses
 // 0.99). It panics if w is outside (0, 1).
 func NewIntensityMonitor(w float64) *IntensityMonitor {
+	m := &IntensityMonitor{}
+	m.Init(w)
+	return m
+}
+
+// Init (re)initializes a monitor in place with the given EWMA weight,
+// for monitors embedded by value in slab-resident router state. Panics
+// like NewIntensityMonitor on an out-of-range weight.
+func (m *IntensityMonitor) Init(w float64) {
 	if w <= 0 || w >= 1 {
 		panic(fmt.Sprintf("stats: EWMA weight must be in (0,1), got %g", w))
 	}
-	return &IntensityMonitor{weight: w}
+	*m = IntensityMonitor{weight: w}
 }
 
 // Observe records the number of flits that traversed the router this cycle

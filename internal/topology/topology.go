@@ -255,6 +255,77 @@ func (m Mesh) Routes(cur NodeID) RouteTable {
 	return t
 }
 
+// Tables holds every node's route table and neighbor-direction list in
+// four contiguous backing arrays, built once per network and aliased by
+// all routers (and their deflectors). The per-source layout is row-major
+// — source n's destinations occupy [n*Nodes, (n+1)*Nodes) — so the
+// memory cost is one O(N²) block total instead of one per consumer:
+// before Tables, every AFC router built two private copies (its own DOR
+// table plus its deflector's full table), which at 64×64 would be
+// gigabytes. The slices handed out are three-index subslices of the
+// backing, so appends by a buggy caller fail loudly instead of
+// corrupting a neighbor's table.
+type Tables struct {
+	mesh   Mesh
+	dor    []Dir
+	prod   []ProdSet
+	nbr    []Dir
+	nbrOff []int32
+}
+
+// NewTables precomputes the shared route tables for every node of the
+// mesh.
+func (m Mesh) NewTables() *Tables {
+	nodes := m.Nodes()
+	t := &Tables{
+		mesh:   m,
+		dor:    make([]Dir, nodes*nodes),
+		prod:   make([]ProdSet, nodes*nodes),
+		nbrOff: make([]int32, nodes+1),
+	}
+	var buf [2]Dir
+	for cur := 0; cur < nodes; cur++ {
+		base := cur * nodes
+		for n := 0; n < nodes; n++ {
+			dst := NodeID(n)
+			t.dor[base+n] = m.DORNext(NodeID(cur), dst)
+			dirs := m.ProductiveDirs(NodeID(cur), dst, buf[:0])
+			t.prod[base+n].N = uint8(len(dirs))
+			copy(t.prod[base+n].D[:], dirs)
+		}
+		for d := Dir(0); d < NumDirs; d++ {
+			if _, ok := m.Neighbor(NodeID(cur), d); ok {
+				t.nbr = append(t.nbr, d)
+			}
+		}
+		t.nbrOff[cur+1] = int32(len(t.nbr))
+	}
+	return t
+}
+
+// Mesh returns the mesh the tables were built for.
+func (t *Tables) Mesh() Mesh { return t.mesh }
+
+// Routes returns cur's route table as views into the shared backing —
+// contents identical to Mesh.Routes(cur), storage aliased across every
+// caller.
+func (t *Tables) Routes(cur NodeID) RouteTable {
+	nodes := t.mesh.Nodes()
+	lo, hi := int(cur)*nodes, (int(cur)+1)*nodes
+	return RouteTable{
+		DOR:  t.dor[lo:hi:hi],
+		Prod: t.prod[lo:hi:hi],
+	}
+}
+
+// Neighbors returns the wired mesh directions at cur in ascending Dir
+// order — the order every router kind enumerates its ports — as a view
+// into the shared backing.
+func (t *Tables) Neighbors(cur NodeID) []Dir {
+	lo, hi := t.nbrOff[cur], t.nbrOff[cur+1]
+	return t.nbr[lo:hi:hi]
+}
+
 func abs(v int) int {
 	if v < 0 {
 		return -v

@@ -61,28 +61,48 @@ type candidate struct {
 }
 
 // Router is the baseline backpressured VC router for one node.
+//
+// The field order is a deliberate hot/cold split (see core.Router): the
+// leading fields are what the quiescence probe and FastForward touch
+// every cycle, the middle is the active-tick working set, the tail is
+// cold configuration/fault/stats state. Routers are normally carved
+// from a Slab in ascending node order — band-major for the sharded
+// tick's row bands.
 type Router struct {
-	mesh topology.Mesh
-	node topology.NodeID
+	// --- hot tick-path core (Quiescent + FastForward) ---
 
-	wires router.Wires
-	src   router.LocalSource
-	sink  router.LocalSink
+	// dead freezes the whole router (fault injection): Tick and
+	// FastForward become no-ops and Quiescent reports true; buffered
+	// flits stay parked and countable.
+	dead bool
+	// held counts flits currently in the input buffers (maintained at the
+	// enqueue/dequeue sites) so quiescence and drain checks are O(1).
+	held int
+	// inbox, when non-nil, is this router's slot of the network's
+	// per-node aggregate in-flight slab (link.Pipe.SetTally), split by
+	// pipe class: [0] data, [1] credit, [2] ctrl (always zero here —
+	// nothing sends on the control line in a backpressured network).
+	// One cache line replaces Quiescent's pipe scan, and each receive
+	// scan skips when its own class is idle. Nil falls back to scans.
+	inbox *[3]int32
 	meter *energy.Meter
+	// srcCount is src when it can report its queue total in O(1).
+	srcCount router.QueuedCounter
 
-	depth        int
-	ejectWidth   int
-	realisticVCA bool
-	numVCs       int
-	vnVCs        [flit.NumVNs][]int // virtual network -> VC indices
-	in           [topology.NumPorts][]inVC
-	out          [topology.NumPorts][]outVC // Local entries unused (infinite)
-	inArb        [topology.NumPorts]*router.RoundRobin
-	outArb       [topology.NumPorts]*router.RoundRobin
-	vcaArb       [topology.NumPorts][flit.NumVNs]*router.RoundRobin
-	injArb       *router.RoundRobin // over VNs
-	injVC        [flit.NumVNs]int
-	injOpen      [flit.NumVNs]bool
+	// --- active-tick working set ---
+
+	// heldAt counts the buffered flits per input port, letting allocate
+	// skip the VC scan on empty ports (a grantless Pick would not move
+	// the arbiter).
+	heldAt  [topology.NumPorts]int
+	in      [topology.NumPorts][]inVC
+	out     [topology.NumPorts][]outVC // Local entries unused (infinite)
+	inArb   [topology.NumPorts]router.RoundRobin
+	outArb  [topology.NumPorts]router.RoundRobin
+	vcaArb  [topology.NumPorts][flit.NumVNs]router.RoundRobin
+	injArb  router.RoundRobin // over VNs
+	injVC   [flit.NumVNs]int
+	injOpen [flit.NumVNs]bool
 
 	cands [topology.NumPorts]candidate
 
@@ -93,21 +113,14 @@ type Router struct {
 
 	// nbr lists the directions with a wired neighbor, so the per-cycle
 	// receive loops skip the empty ports of edge and corner routers.
+	// A view into the network's shared topology.Tables under slab
+	// construction.
 	nbr []topology.Dir
 
 	// dor is node's precomputed DOR next-hop table, indexed by
-	// destination (see topology.Routes).
+	// destination — shared topology.Tables storage under slab
+	// construction, a private copy otherwise.
 	dor []topology.Dir
-
-	// held counts flits currently in the input buffers (maintained at the
-	// enqueue/dequeue sites) so quiescence and drain checks are O(1).
-	held int
-	// heldAt counts the buffered flits per input port, letting allocate
-	// skip the VC scan on empty ports (a grantless Pick would not move
-	// the arbiter).
-	heldAt [topology.NumPorts]int
-	// srcCount is src when it can report its queue total in O(1).
-	srcCount router.QueuedCounter
 
 	// blockedOut marks output ports whose data link is fault-blocked
 	// (dead, or throttled closed this duty window): eligibility treats
@@ -117,10 +130,20 @@ type Router struct {
 	// deadOut additionally suppresses the upstream credit return on a
 	// permanently dead wire (the invariant checker excludes such edges).
 	deadOut [topology.NumDirs]bool
-	// dead freezes the whole router (fault injection): Tick and
-	// FastForward become no-ops and Quiescent reports true; buffered
-	// flits stay parked and countable.
-	dead bool
+
+	wires router.Wires
+	src   router.LocalSource
+	sink  router.LocalSink
+
+	// --- cold config/stats tail ---
+
+	mesh         topology.Mesh
+	node         topology.NodeID
+	depth        int
+	ejectWidth   int
+	realisticVCA bool
+	numVCs       int
+	vnVCs        [flit.NumVNs][]int // virtual network -> VC indices
 
 	// Stats
 	routedFlits   uint64
@@ -128,55 +151,122 @@ type Router struct {
 	ejectedFlits  uint64
 }
 
-// New returns a baseline router at node with the given configuration,
-// wired to its neighbors and its network interface. The meter may be nil
-// (no energy accounting).
+// Slab is a contiguous bank of baseline routers: the Router structs,
+// their input/output VC arrays and the VC FIFO backing all live in
+// shared slabs, carved in ascending node order (band-major for the
+// sharded tick's row bands).
+type Slab struct {
+	routers []Router
+	ins     []inVC
+	outs    []outVC
+	entries []entry
+	// vnVCs is the VN -> VC-index mapping, identical for every router
+	// of one configuration, built once and aliased (read-only).
+	vnVCs  [flit.NumVNs][]int
+	numVCs int
+	depth  int
+	next   int
+}
+
+// NewSlab returns a slab with room for count routers; cfg fixes the VC
+// geometry and buffer depth (and must match the subsequent New calls).
+func NewSlab(count int, cfg config.Baseline) *Slab {
+	s := &Slab{depth: cfg.BufDepth}
+	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
+		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
+			s.vnVCs[vn] = append(s.vnVCs[vn], s.numVCs)
+			s.numVCs++
+		}
+	}
+	s.routers = make([]Router, count)
+	s.ins = make([]inVC, count*topology.NumPorts*s.numVCs)
+	s.outs = make([]outVC, count*topology.NumPorts*s.numVCs)
+	s.entries = make([]entry, count*topology.NumPorts*s.numVCs*s.depth)
+	return s
+}
+
+// New returns a standalone baseline router at node (a slab of one) with
+// the given configuration, wired to its neighbors and its network
+// interface. The meter may be nil (no energy accounting).
 func New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
 	ejectWidth int, wires router.Wires, src router.LocalSource,
 	sink router.LocalSink, meter *energy.Meter) *Router {
+	return NewSlab(1, cfg).New(mesh, node, cfg, ejectWidth, wires, src, sink, meter, nil)
+}
 
-	r := &Router{
-		mesh:         mesh,
-		node:         node,
-		wires:        wires,
-		src:          src,
-		sink:         sink,
-		meter:        meter,
-		depth:        cfg.BufDepth,
-		ejectWidth:   ejectWidth,
-		realisticVCA: cfg.RealisticVCA,
+// New carves the next router from the slab and initializes it at node.
+// tables, when non-nil, provides the shared route tables and neighbor
+// lists; nil builds private copies from the mesh.
+func (s *Slab) New(mesh topology.Mesh, node topology.NodeID, cfg config.Baseline,
+	ejectWidth int, wires router.Wires, src router.LocalSource,
+	sink router.LocalSink, meter *energy.Meter, tables *topology.Tables) *Router {
+
+	if s.next >= len(s.routers) {
+		panic("vcrouter: router slab exhausted")
 	}
-	for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
-		for i := 0; i < cfg.VCsPerVN[vn]; i++ {
-			r.vnVCs[vn] = append(r.vnVCs[vn], r.numVCs)
-			r.numVCs++
-		}
-	}
+	r := &s.routers[s.next]
+	r.mesh = mesh
+	r.node = node
+	r.wires = wires
+	r.src = src
+	r.sink = sink
+	r.meter = meter
+	r.depth = cfg.BufDepth
+	r.ejectWidth = ejectWidth
+	r.realisticVCA = cfg.RealisticVCA
+	r.vnVCs = s.vnVCs
+	r.numVCs = s.numVCs
+	base := s.next * topology.NumPorts
 	for p := 0; p < topology.NumPorts; p++ {
-		r.in[p] = make([]inVC, r.numVCs)
-		r.out[p] = make([]outVC, r.numVCs)
+		lo := (base + p) * s.numVCs
+		r.in[p] = s.ins[lo : lo+s.numVCs : lo+s.numVCs]
+		r.out[p] = s.outs[lo : lo+s.numVCs : lo+s.numVCs]
+		for v := range r.in[p] {
+			// Each VC's FIFO gets a full-depth carve: appends stay within
+			// capacity, so the steady state allocates nothing.
+			elo := (lo + v) * s.depth
+			r.in[p][v].q = s.entries[elo:elo : elo+s.depth]
+		}
 		for v := range r.out[p] {
 			r.out[p][v].credits = cfg.BufDepth
 		}
-		r.inArb[p] = router.NewRoundRobin(r.numVCs)
-		r.outArb[p] = router.NewRoundRobin(topology.NumPorts)
+		r.inArb[p].Init(s.numVCs)
+		r.outArb[p].Init(topology.NumPorts)
 		for vn := flit.VN(0); vn < flit.NumVNs; vn++ {
-			n := len(r.vnVCs[vn])
-			r.vcaArb[p][vn] = router.NewRoundRobin(n)
+			r.vcaArb[p][vn].Init(len(r.vnVCs[vn]))
 		}
 	}
 	for vn := range r.injVC {
 		r.injVC[vn] = flit.NoVC
 	}
 	r.srcCount, _ = src.(router.QueuedCounter)
-	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil {
-			r.nbr = append(r.nbr, d)
+	if tables != nil {
+		r.nbr = tables.Neighbors(node)
+		r.dor = tables.Routes(node).DOR
+	} else {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			if pl := &wires.Ports[d]; pl.In != nil || pl.CreditIn != nil {
+				r.nbr = append(r.nbr, d)
+			}
 		}
+		r.dor = mesh.Routes(node).DOR
 	}
-	r.dor = mesh.Routes(node).DOR
+	s.next++
 	return r
 }
+
+// SetInbox attaches the router's slot of the network's per-node
+// aggregate in-flight slab (see link.Pipe.SetTally). Build-time wiring,
+// kept across Reset.
+func (r *Router) SetInbox(t *[3]int32) { r.inbox = t }
+
+// DORTable exposes the router's per-destination DOR table and
+// NeighborDirs its wired-direction list (aliasing tests assert they
+// share the network's topology.Tables backing).
+func (r *Router) DORTable() []topology.Dir { return r.dor }
+
+// NeighborDirs reports the router's wired mesh directions.
+func (r *Router) NeighborDirs() []topology.Dir { return r.nbr }
 
 // Node implements router.Router.
 func (r *Router) Node() topology.NodeID { return r.node }
@@ -273,6 +363,11 @@ func (r *Router) Tick(now uint64) {
 
 // receiveCredits consumes credit backflow from downstream routers.
 func (r *Router) receiveCredits(now uint64) {
+	// inbox[1] counts credits in flight toward this node: zero means
+	// every Recv below would miss, so the scan is skipped outright.
+	if r.inbox != nil && r.inbox[1] == 0 {
+		return
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.CreditIn == nil {
@@ -558,6 +653,9 @@ func (r *Router) injectionVC(vn flit.VN, f *flit.Flit) int {
 // receive buffers this cycle's link arrivals. Credits guarantee space; an
 // overflow is an invariant violation.
 func (r *Router) receive(now uint64) {
+	if r.inbox != nil && r.inbox[0] == 0 {
+		return // see receiveCredits: no flits in flight toward this node
+	}
 	for _, d := range r.nbr {
 		pl := &r.wires.Ports[d]
 		if pl.In == nil {
@@ -598,13 +696,23 @@ func (r *Router) Quiescent(now uint64) bool {
 	if r.held != 0 {
 		return false
 	}
-	for _, d := range r.nbr {
-		pl := &r.wires.Ports[d]
-		if pl.In != nil && pl.In.InFlight() != 0 {
+	// The inbox tallies mirror the summed InFlight of every inbound
+	// pipe (the ctrl column included, but nothing sends on the control
+	// line in a backpressured network), so one cache line of loads
+	// decides exactly what the pipe scan would.
+	if r.inbox != nil {
+		if r.inbox[0]|r.inbox[1]|r.inbox[2] != 0 {
 			return false
 		}
-		if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
-			return false
+	} else {
+		for _, d := range r.nbr {
+			pl := &r.wires.Ports[d]
+			if pl.In != nil && pl.In.InFlight() != 0 {
+				return false
+			}
+			if pl.CreditIn != nil && pl.CreditIn.InFlight() != 0 {
+				return false
+			}
 		}
 	}
 	if r.srcCount != nil {
